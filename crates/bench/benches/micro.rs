@@ -1,0 +1,178 @@
+//! Criterion micro-benchmarks over the workspace's hot operations: the
+//! eliminate/restore machinery (§5.2.1), ordering evaluation (Figs 6.2 and
+//! 7.1), set covering, the lower-bound heuristics and the GA operators.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ghd_bounds::lower::{degeneracy, minor_gamma_r, minor_min_width};
+use ghd_bounds::upper::min_fill_ordering;
+use ghd_core::bucket::{bucket_elimination, vertex_elimination};
+use ghd_core::eval::{GhwEvaluator, TwEvaluator};
+use ghd_core::setcover::{exact_cover, greedy_cover};
+use ghd_core::EliminationOrdering;
+use ghd_ga::{CrossoverOp, MutationOp};
+use ghd_hypergraph::generators::{graphs, hypergraphs};
+use ghd_hypergraph::{BitSet, EliminationGraph, Hypergraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_eliminate_restore(c: &mut Criterion) {
+    let g = graphs::queen(8);
+    let mut eg = EliminationGraph::new(&g);
+    c.bench_function("eliminate_restore/queen8_8", |b| {
+        b.iter(|| {
+            for v in 0..16 {
+                eg.eliminate(black_box(v));
+            }
+            for _ in 0..16 {
+                eg.restore();
+            }
+        })
+    });
+}
+
+fn bench_bucket_vs_vertex_elimination(c: &mut Criterion) {
+    let h = hypergraphs::grid2d(14);
+    let g = h.primal_graph();
+    let sigma = EliminationOrdering::identity(h.num_vertices());
+    c.bench_function("bucket_elimination/grid2d_14", |b| {
+        b.iter(|| bucket_elimination(black_box(&h), &sigma))
+    });
+    c.bench_function("vertex_elimination/grid2d_14", |b| {
+        b.iter(|| vertex_elimination(black_box(&g), &sigma))
+    });
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let g = graphs::queen(8);
+    let mut tw_eval = TwEvaluator::new(&g);
+    let mut rng = StdRng::seed_from_u64(1);
+    let sigma = EliminationOrdering::random(64, &mut rng);
+    c.bench_function("tw_eval/queen8_8 (Fig 6.2)", |b| {
+        b.iter(|| tw_eval.width(black_box(&sigma)))
+    });
+
+    let h = hypergraphs::grid2d(12);
+    let mut ghw_eval = GhwEvaluator::new(&h);
+    let sigma_h = EliminationOrdering::random(h.num_vertices(), &mut rng);
+    c.bench_function("ghw_eval/grid2d_12 (Fig 7.1)", |b| {
+        b.iter(|| ghw_eval.width::<StdRng>(black_box(&sigma_h), None))
+    });
+}
+
+fn bench_set_cover(c: &mut Criterion) {
+    let h = hypergraphs::random_hypergraph(60, 40, 5, 3);
+    let target = BitSet::from_iter(60, (0..30).map(|i| i * 2));
+    c.bench_function("set_cover/greedy (Fig 7.2)", |b| {
+        b.iter(|| greedy_cover::<StdRng>(black_box(&target), &h, None))
+    });
+    c.bench_function("set_cover/exact (BnB, IP-solver substitute)", |b| {
+        b.iter(|| exact_cover(black_box(&target), &h))
+    });
+}
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let g = graphs::queen(8);
+    c.bench_function("lb/degeneracy/queen8_8", |b| {
+        b.iter(|| degeneracy(black_box(&g)))
+    });
+    c.bench_function("lb/minor_min_width/queen8_8 (Fig 4.7)", |b| {
+        b.iter(|| minor_min_width::<StdRng>(black_box(&g), None))
+    });
+    c.bench_function("lb/minor_gamma_r/queen8_8 (Fig 4.8)", |b| {
+        b.iter(|| minor_gamma_r::<StdRng>(black_box(&g), None))
+    });
+}
+
+fn bench_upper_bounds(c: &mut Criterion) {
+    let g = graphs::queen(8);
+    c.bench_function("ub/min_fill/queen8_8", |b| {
+        b.iter(|| min_fill_ordering::<StdRng>(black_box(&g), None))
+    });
+}
+
+fn bench_ga_operators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let p1: Vec<usize> = (0..200).collect();
+    let p2: Vec<usize> = (0..200).rev().collect();
+    let mut group = c.benchmark_group("crossover_n200");
+    for op in CrossoverOp::ALL {
+        group.bench_function(op.name(), |b| {
+            b.iter(|| op.apply(black_box(&p1), black_box(&p2), &mut rng))
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("mutation_n200");
+    for op in MutationOp::ALL {
+        group.bench_function(op.name(), |b| {
+            b.iter_batched(
+                || p1.clone(),
+                |mut p| op.apply(&mut p, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_csp_joins(c: &mut Criterion) {
+    use ghd_csp::Relation;
+    let tuples_a: Vec<Vec<u32>> = (0..500u32).map(|i| vec![i % 50, i % 7]).collect();
+    let tuples_b: Vec<Vec<u32>> = (0..500u32).map(|i| vec![i % 7, i % 11]).collect();
+    let a = Relation::new(vec![0, 1], tuples_a);
+    let b2 = Relation::new(vec![1, 2], tuples_b);
+    c.bench_function("csp/natural_join_500x500", |bch| {
+        bch.iter(|| black_box(&a).join(black_box(&b2)))
+    });
+    c.bench_function("csp/semijoin_500x500", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| x.semijoin(black_box(&b2)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_preprocess_and_adaptive(c: &mut Criterion) {
+    let g = graphs::queen(6);
+    c.bench_function("preprocess_tw/queen6_6", |b| {
+        b.iter(|| ghd_search::preprocess_tw(black_box(&g)))
+    });
+    let csp = ghd_csp::examples::australia();
+    let sigma = EliminationOrdering::identity(csp.num_variables());
+    c.bench_function("csp/adaptive_consistency/australia", |b| {
+        b.iter(|| ghd_csp::adaptive_consistency(black_box(&csp), &sigma))
+    });
+    let h = csp.constraint_hypergraph();
+    let ghd = ghd_core::bucket::ghd_from_ordering(&h, &sigma, ghd_core::CoverMethod::Exact);
+    c.bench_function("csp/count_solutions/australia", |b| {
+        b.iter(|| ghd_csp::count_solutions_with_ghd(black_box(&csp), &ghd).unwrap())
+    });
+}
+
+fn bench_primal_and_lnf(c: &mut Criterion) {
+    let h: Hypergraph = hypergraphs::grid2d(14);
+    c.bench_function("hypergraph/primal_graph/grid2d_14", |b| {
+        b.iter(|| black_box(&h).primal_graph())
+    });
+    let sigma = EliminationOrdering::identity(h.num_vertices());
+    let td = vertex_elimination(&h.primal_graph(), &sigma);
+    c.bench_function("lnf/transform/grid2d_14 (Fig 3.1)", |b| {
+        b.iter(|| ghd_core::lnf::leaf_normal_form(black_box(&h), &td))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_eliminate_restore,
+    bench_bucket_vs_vertex_elimination,
+    bench_evaluators,
+    bench_set_cover,
+    bench_lower_bounds,
+    bench_upper_bounds,
+    bench_ga_operators,
+    bench_csp_joins,
+    bench_preprocess_and_adaptive,
+    bench_primal_and_lnf,
+);
+criterion_main!(benches);

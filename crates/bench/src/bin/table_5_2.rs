@@ -1,0 +1,40 @@
+//! Regenerates Table 5.2: A*-tw on n×n grid graphs (treewidth is n).
+
+use ghd_bench::instances::grid_suite;
+use ghd_bench::table::{Args, Table};
+use ghd_bounds::{tw_lower_bound, tw_upper_bound};
+use ghd_search::{astar_tw, SearchLimits};
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let max_n: usize = args.get("max-n").unwrap_or(6);
+    let secs: f64 = args.get("time").unwrap_or(30.0);
+    let limits = SearchLimits::with_time(Duration::from_secs_f64(secs));
+
+    println!("Table 5.2 — A*-tw on grid graphs (tw(grid_n) = n)");
+    println!("({secs}s/instance; thesis budget was 1h)\n");
+    let mut t = Table::new(&["Graph", "V", "E", "lb", "ub", "A*-tw", "status", "time[s]"]);
+    for inst in grid_suite(max_n) {
+        let g = &inst.graph;
+        let lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
+        let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+        let r = astar_tw(g, limits);
+        let (value, status) = if r.exact {
+            (r.upper_bound, "exact")
+        } else {
+            (r.lower_bound, "lb *")
+        };
+        t.row(vec![
+            inst.name.clone(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            lb.to_string(),
+            ub.to_string(),
+            value.to_string(),
+            status.to_string(),
+            format!("{:.2}", r.elapsed.as_secs_f64()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,56 @@
+//! Regenerates Table 6.1: comparison of crossover operators in GA-tw
+//! (p_c = 100 %, p_m = 0 %, n = 50, s = 2; thesis: 1000 generations × 5
+//! runs — scaled down by default).
+
+use ghd_bench::instances::{ga_tuning_suite, Scale};
+use ghd_bench::stats::summarize;
+use ghd_bench::table::{Args, Table};
+use ghd_ga::{ga_tw, CrossoverOp, GaConfig};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args
+        .get::<String>("scale")
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let generations: usize = args.get("generations").unwrap_or(150);
+    let runs: u64 = args.get("runs").unwrap_or(3);
+
+    println!("Table 6.1 — crossover operator comparison (GA-tw)");
+    println!("(n=50, s=2, p_c=1.0, p_m=0, {generations} generations, {runs} runs)\n");
+    let mut t = Table::new(&["Instance", "Crossover", "avg", "min", "max"]);
+    for inst in ga_tuning_suite(scale) {
+        let mut rows: Vec<(CrossoverOp, _)> = CrossoverOp::ALL
+            .iter()
+            .map(|&op| {
+                let widths: Vec<usize> = (0..runs)
+                    .map(|seed| {
+                        let cfg = GaConfig {
+                            population: 50,
+                            crossover_rate: 1.0,
+                            mutation_rate: 0.0,
+                            tournament: 2,
+                            generations,
+                            crossover: op,
+                            seed,
+                            ..GaConfig::default()
+                        };
+                        ga_tw(&inst.graph, &cfg).best_width
+                    })
+                    .collect();
+                (op, summarize(&widths))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).expect("finite"));
+        for (op, s) in rows {
+            t.row(vec![
+                inst.name.clone(),
+                op.name().to_string(),
+                format!("{:.1}", s.avg),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

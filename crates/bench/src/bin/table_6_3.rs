@@ -1,0 +1,56 @@
+//! Regenerates Table 6.3: crossover-rate × mutation-rate grid for GA-tw
+//! (n = 200, POS + ISM; the thesis settles on p_c = 1.0, p_m = 0.3).
+
+use ghd_bench::instances::{ga_tuning_suite, Scale};
+use ghd_bench::stats::summarize;
+use ghd_bench::table::{Args, Table};
+use ghd_ga::{ga_tw, GaConfig};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args
+        .get::<String>("scale")
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let generations: usize = args.get("generations").unwrap_or(100);
+    let runs: u64 = args.get("runs").unwrap_or(3);
+    let population: usize = args.get("population").unwrap_or(200);
+
+    println!("Table 6.3 — mutation/crossover rate combinations (GA-tw)");
+    println!("(n={population}, s=2, POS+ISM, {generations} generations, {runs} runs)\n");
+    let mut t = Table::new(&["Instance", "p_c", "p_m", "avg", "min", "max"]);
+    for inst in ga_tuning_suite(scale) {
+        let mut rows = Vec::new();
+        for pc in [0.8, 0.9, 1.0] {
+            for pm in [0.01, 0.1, 0.3] {
+                let widths: Vec<usize> = (0..runs)
+                    .map(|seed| {
+                        let cfg = GaConfig {
+                            population,
+                            crossover_rate: pc,
+                            mutation_rate: pm,
+                            tournament: 2,
+                            generations,
+                            seed,
+                            ..GaConfig::default()
+                        };
+                        ga_tw(&inst.graph, &cfg).best_width
+                    })
+                    .collect();
+                rows.push((pc, pm, summarize(&widths)));
+            }
+        }
+        rows.sort_by(|a, b| a.2.avg.partial_cmp(&b.2.avg).expect("finite"));
+        for (pc, pm, s) in rows {
+            t.row(vec![
+                inst.name.clone(),
+                format!("{pc}"),
+                format!("{pm}"),
+                format!("{:.1}", s.avg),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

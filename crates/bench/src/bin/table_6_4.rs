@@ -1,0 +1,56 @@
+//! Regenerates Table 6.4: population-size comparison for GA-tw at a fixed
+//! generation budget (the thesis compares 100 / 200 / 1000 / 2000).
+
+use ghd_bench::instances::{ga_tuning_suite, Scale};
+use ghd_bench::stats::summarize;
+use ghd_bench::table::{Args, Table};
+use ghd_ga::{ga_tw, GaConfig};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args
+        .get::<String>("scale")
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let generations: usize = args.get("generations").unwrap_or(80);
+    let runs: u64 = args.get("runs").unwrap_or(3);
+    let full = args.flag("paper-sizes");
+    let sizes: Vec<usize> = if full {
+        vec![100, 200, 1000, 2000]
+    } else {
+        vec![50, 100, 200, 400]
+    };
+
+    println!("Table 6.4 — population size comparison (GA-tw)");
+    println!("(s=2, p_c=1.0, p_m=0.3, {generations} generations, {runs} runs)\n");
+    let mut t = Table::new(&["Instance", "n", "avg", "min", "max"]);
+    for inst in ga_tuning_suite(scale) {
+        let mut rows = Vec::new();
+        for &n in &sizes {
+            let widths: Vec<usize> = (0..runs)
+                .map(|seed| {
+                    let cfg = GaConfig {
+                        population: n,
+                        tournament: 2,
+                        generations,
+                        seed,
+                        ..GaConfig::default()
+                    };
+                    ga_tw(&inst.graph, &cfg).best_width
+                })
+                .collect();
+            rows.push((n, summarize(&widths)));
+        }
+        rows.sort_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).expect("finite"));
+        for (n, s) in rows {
+            t.row(vec![
+                inst.name.clone(),
+                n.to_string(),
+                format!("{:.1}", s.avg),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

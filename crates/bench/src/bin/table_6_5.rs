@@ -1,0 +1,51 @@
+//! Regenerates Table 6.5: tournament-selection group sizes for GA-tw
+//! (the thesis picks s = 3 at population 2000).
+
+use ghd_bench::instances::{ga_tuning_suite, Scale};
+use ghd_bench::stats::summarize;
+use ghd_bench::table::{Args, Table};
+use ghd_ga::{ga_tw, GaConfig};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args
+        .get::<String>("scale")
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let generations: usize = args.get("generations").unwrap_or(100);
+    let runs: u64 = args.get("runs").unwrap_or(3);
+    let population: usize = args.get("population").unwrap_or(200);
+
+    println!("Table 6.5 — tournament group size comparison (GA-tw)");
+    println!("(n={population}, p_c=1.0, p_m=0.3, {generations} generations, {runs} runs)\n");
+    let mut t = Table::new(&["Instance", "s", "avg", "min", "max"]);
+    for inst in ga_tuning_suite(scale) {
+        let mut rows = Vec::new();
+        for s in [2usize, 3, 4] {
+            let widths: Vec<usize> = (0..runs)
+                .map(|seed| {
+                    let cfg = GaConfig {
+                        population,
+                        tournament: s,
+                        generations,
+                        seed,
+                        ..GaConfig::default()
+                    };
+                    ga_tw(&inst.graph, &cfg).best_width
+                })
+                .collect();
+            rows.push((s, summarize(&widths)));
+        }
+        rows.sort_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).expect("finite"));
+        for (s, st) in rows {
+            t.row(vec![
+                inst.name.clone(),
+                s.to_string(),
+                format!("{:.1}", st.avg),
+                st.min.to_string(),
+                st.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

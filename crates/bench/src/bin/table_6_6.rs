@@ -1,0 +1,57 @@
+//! Regenerates Table 6.6: final GA-tw results on the DIMACS suite with the
+//! tuned parameters (thesis: n=2000, p_c=1.0, p_m=0.3, s=3, 2000
+//! generations, 10 runs — scaled down by default), compared against the
+//! min-fill upper bound (stand-in for the literature's best `ub` column).
+
+use ghd_bench::instances::{dimacs_suite, Scale};
+use ghd_bench::stats::summarize;
+use ghd_bench::table::{Args, Table};
+use ghd_bounds::tw_upper_bound;
+use ghd_ga::{ga_tw, GaConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args
+        .get::<String>("scale")
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let generations: usize = args.get("generations").unwrap_or(150);
+    let population: usize = args.get("population").unwrap_or(200);
+    let runs: u64 = args.get("runs").unwrap_or(3);
+
+    println!("Table 6.6 — final GA-tw results on DIMACS graphs");
+    println!("(n={population}, p_c=1.0, p_m=0.3, s=3, POS+ISM, {generations} generations, {runs} runs)\n");
+    let mut t = Table::new(&[
+        "Graph", "V", "E", "ub(min-fill)", "ref-ub", "min", "max", "avg", "std.dev", "avg-time[s]",
+    ]);
+    for inst in dimacs_suite(scale) {
+        let (mf, _) = tw_upper_bound::<rand::rngs::StdRng>(&inst.graph, None);
+        let mut widths = Vec::new();
+        let start = Instant::now();
+        for seed in 0..runs {
+            let cfg = GaConfig {
+                population,
+                generations,
+                seed,
+                ..GaConfig::default()
+            };
+            widths.push(ga_tw(&inst.graph, &cfg).best_width);
+        }
+        let avg_time = start.elapsed().as_secs_f64() / runs as f64;
+        let s = summarize(&widths);
+        t.row(vec![
+            inst.name.clone(),
+            inst.graph.num_vertices().to_string(),
+            inst.graph.num_edges().to_string(),
+            mf.to_string(),
+            inst.reference_ub.map_or("-".into(), |u| u.to_string()),
+            s.min.to_string(),
+            s.max.to_string(),
+            format!("{:.1}", s.avg),
+            format!("{:.2}", s.std_dev),
+            format!("{avg_time:.2}"),
+        ]);
+    }
+    t.print();
+}

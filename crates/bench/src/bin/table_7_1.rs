@@ -1,0 +1,62 @@
+//! Regenerates Table 7.1: GA-ghw upper bounds on the CSP hypergraph suite
+//! (thesis: n=2000, p_c=1.0, p_m=0.3, s=3, 2000 generations, 10 runs —
+//! scaled down by default).
+
+use ghd_bench::instances::{hypergraph_suite, Scale};
+use ghd_bench::stats::summarize;
+use ghd_bench::table::{Args, Table};
+use ghd_ga::{ga_ghw, ga_ghw_seeded, GaConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args
+        .get::<String>("scale")
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let generations: usize = args.get("generations").unwrap_or(60);
+    let population: usize = args.get("population").unwrap_or(100);
+    let runs: u64 = args.get("runs").unwrap_or(3);
+    let seeded = args.flag("seeded");
+
+    println!("Table 7.1 — GA-ghw results on CSP hypergraphs");
+    println!(
+        "(n={population}, p_c=1.0, p_m=0.3, s=3, {generations} generations, {runs} runs{})\n",
+        if seeded { ", heuristic-seeded init" } else { "" }
+    );
+    let mut t = Table::new(&[
+        "Hypergraph", "V", "H", "ref-ub", "min", "max", "avg", "std.dev", "avg-time[s]",
+    ]);
+    for inst in hypergraph_suite(scale) {
+        let mut widths = Vec::new();
+        let start = Instant::now();
+        for seed in 0..runs {
+            let cfg = GaConfig {
+                population,
+                generations,
+                seed,
+                ..GaConfig::default()
+            };
+            let r = if seeded {
+                ga_ghw_seeded(&inst.hypergraph, &cfg)
+            } else {
+                ga_ghw(&inst.hypergraph, &cfg)
+            };
+            widths.push(r.best_width);
+        }
+        let avg_time = start.elapsed().as_secs_f64() / runs as f64;
+        let s = summarize(&widths);
+        t.row(vec![
+            inst.name.clone(),
+            inst.hypergraph.num_vertices().to_string(),
+            inst.hypergraph.num_edges().to_string(),
+            inst.reference_ub.map_or("-".into(), |u| u.to_string()),
+            s.min.to_string(),
+            s.max.to_string(),
+            format!("{:.1}", s.avg),
+            format!("{:.2}", s.std_dev),
+            format!("{avg_time:.2}"),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,210 @@
+//! The benchmark instance registry: the thesis' two evaluation suites,
+//! regenerated per DESIGN.md (exact constructions where the family is
+//! mathematical, seeded `syn-` stand-ins where the raw instance data is not
+//! shippable).
+
+use ghd_hypergraph::generators::{graphs, hypergraphs};
+use ghd_hypergraph::{Graph, Hypergraph};
+
+/// A graph benchmark instance.
+pub struct GraphInstance {
+    /// Instance name; `syn-` prefixed when a seeded stand-in replaces the
+    /// original data (see DESIGN.md).
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Best upper bound the thesis cites for the original instance, when
+    /// meaningful for the regenerated instance (exact constructions only).
+    pub reference_ub: Option<usize>,
+}
+
+fn gi(name: &str, graph: Graph, reference_ub: Option<usize>) -> GraphInstance {
+    GraphInstance {
+        name: name.to_string(),
+        graph,
+        reference_ub,
+    }
+}
+
+/// The DIMACS-style suite of Table 5.1 / Table 6.6, restricted to instances
+/// a laptop-scale run can exercise. Exact constructions: queens, Mycielski;
+/// substitutes: random geometric (`miles*`), G(n,m) (`DSJC*`, book graphs).
+pub fn dimacs_suite(scale: Scale) -> Vec<GraphInstance> {
+    let mut v = vec![
+        gi("myciel3", graphs::mycielski(3), Some(5)),
+        gi("myciel4", graphs::mycielski(4), Some(10)),
+        gi("queen5_5", graphs::queen(5), Some(18)),
+        gi("queen6_6", graphs::queen(6), Some(25)),
+    ];
+    if scale >= Scale::Small {
+        v.extend([
+            gi("myciel5", graphs::mycielski(5), Some(19)),
+            gi("queen7_7", graphs::queen(7), Some(35)),
+            gi("syn-anna", graphs::gnm_random(138, 493, 0xA22A), None),
+            gi("syn-david", graphs::gnm_random(87, 406, 0xDA71D), None),
+            gi("syn-miles250", graphs::random_geometric_with_edges(128, 774, 0x250), None),
+        ]);
+    }
+    if scale >= Scale::Full {
+        v.extend([
+            gi("myciel6", graphs::mycielski(6), Some(35)),
+            gi("myciel7", graphs::mycielski(7), Some(54)),
+            gi("queen8_8", graphs::queen(8), Some(46)),
+            gi("queen10_10", graphs::queen(10), Some(72)),
+            gi("queen12_12", graphs::queen(12), Some(104)),
+            gi("syn-DSJC125.1", graphs::gnm_random(125, 736, 0xD125), None),
+            gi("syn-DSJC125.5", graphs::gnm_random(125, 3891, 0xD555), None),
+            gi("syn-miles500", graphs::random_geometric_with_edges(128, 1170, 0x500), None),
+            gi("syn-games120", graphs::gnm_random(120, 638, 0x64E5), None),
+            gi("syn-huck", graphs::gnm_random(74, 301, 0x8C4), None),
+            gi("syn-jean", graphs::gnm_random(80, 254, 0x7EA4), None),
+        ]);
+    }
+    v
+}
+
+/// The operator/parameter tuning suite of Tables 6.1–6.5. The thesis tunes
+/// on mid-size graphs (games120, homer, inithx.i.3, le450_25d, myciel7,
+/// queen16_16, zeroin.i.3); small instances are useless here because every
+/// operator converges to the same width. Exact constructions plus seeded
+/// stand-ins at matching sizes.
+pub fn ga_tuning_suite(scale: Scale) -> Vec<GraphInstance> {
+    let mut v = vec![gi("queen8_8", graphs::queen(8), Some(45))];
+    if scale >= Scale::Small {
+        v.extend([
+            gi("myciel6", graphs::mycielski(6), Some(35)),
+            gi("syn-games120", graphs::gnm_random(120, 638, 0x64E5), None),
+        ]);
+    }
+    if scale >= Scale::Full {
+        v.extend([
+            gi("myciel7", graphs::mycielski(7), Some(54)),
+            gi("queen16_16", graphs::queen(16), Some(186)),
+            gi("syn-homer", graphs::gnm_random(561, 1629, 0x803E2), None),
+            gi("syn-le450_25d", graphs::gnm_random(450, 17425, 0x25D), None),
+            gi("syn-inithx.i.3", graphs::gnm_random(621, 13969, 0x1213), None),
+            gi("syn-zeroin.i.3", graphs::gnm_random(206, 3540, 0x0113), None),
+        ]);
+    }
+    v
+}
+
+/// Grid graph suite of Table 5.2: exact constructions, treewidth = n.
+pub fn grid_suite(max_n: usize) -> Vec<GraphInstance> {
+    (2..=max_n)
+        .map(|n| gi(&format!("grid{n}"), graphs::grid(n), Some(n)))
+        .collect()
+}
+
+/// A hypergraph benchmark instance.
+pub struct HypergraphInstance {
+    /// Instance name (`syn-` prefix for seeded stand-ins).
+    pub name: String,
+    /// The hypergraph.
+    pub hypergraph: Hypergraph,
+    /// Upper bound on ghw reported by the thesis (Table 7.1 `ub` column),
+    /// for exact constructions only.
+    pub reference_ub: Option<usize>,
+}
+
+fn hi(name: &str, hypergraph: Hypergraph, reference_ub: Option<usize>) -> HypergraphInstance {
+    HypergraphInstance {
+        name: name.to_string(),
+        hypergraph,
+        reference_ub,
+    }
+}
+
+/// Coarse instance-size tiers: `Tiny` finishes in seconds, `Full`
+/// approximates the thesis' instance sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scale {
+    /// Seconds-scale runs: small members of every family.
+    Tiny,
+    /// Default: the thesis' smaller instances plus scaled-down stand-ins.
+    Small,
+    /// The sizes the thesis actually ran (minutes to hours).
+    Full,
+}
+
+impl Scale {
+    /// Parses `tiny` / `small` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The CSP hypergraph library suite of Tables 7.1–9.2 (DaimlerChrysler
+/// circuits, cliques, grids; synthetic ISCAS stand-ins).
+pub fn hypergraph_suite(scale: Scale) -> Vec<HypergraphInstance> {
+    let mut v = vec![
+        gi_h_adder(scale),
+        hi("clique_10", hypergraphs::clique(10), Some(5)),
+        hi("grid2d_10", hypergraphs::grid2d(10), Some(6)),
+        hi("syn-b06", hypergraphs::random_circuit(48, 50, 0xB06), None),
+    ];
+    if scale >= Scale::Small {
+        v.extend([
+            hi("clique_20", hypergraphs::clique(20), Some(10)),
+            hi("grid2d_20", hypergraphs::grid2d(20), Some(11)),
+            hi("bridge_25", hypergraphs::bridge(25), None),
+            hi("syn-b08", hypergraphs::random_circuit(170, 179, 0xB08), None),
+            hi("syn-b09", hypergraphs::random_circuit(168, 169, 0xB09), None),
+        ]);
+    }
+    if scale >= Scale::Full {
+        v.extend([
+            hi("adder_75", hypergraphs::adder(75), Some(2)),
+            hi("adder_99", hypergraphs::adder(99), Some(2)),
+            hi("bridge_50", hypergraphs::bridge(50), Some(2)),
+            hi("grid3d_8", hypergraphs::grid3d(8), Some(20)),
+            hi("syn-b10", hypergraphs::random_circuit(189, 200, 0xB10), None),
+            hi("syn-c499", hypergraphs::random_circuit(202, 243, 0xC499), None),
+            hi("syn-c880", hypergraphs::random_circuit(383, 443, 0xC880), None),
+        ]);
+    }
+    v
+}
+
+fn gi_h_adder(scale: Scale) -> HypergraphInstance {
+    match scale {
+        Scale::Tiny => hi("adder_15", hypergraphs::adder(15), Some(2)),
+        _ => hi("adder_25", hypergraphs::adder(25), Some(2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_nonempty_and_named() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Full] {
+            let g = dimacs_suite(scale);
+            assert!(!g.is_empty());
+            let h = hypergraph_suite(scale);
+            assert!(!h.is_empty());
+            for inst in &h {
+                assert!(inst.hypergraph.covers_all_vertices(), "{}", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        assert!(dimacs_suite(Scale::Full).len() > dimacs_suite(Scale::Tiny).len());
+        assert!(hypergraph_suite(Scale::Full).len() > hypergraph_suite(Scale::Tiny).len());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

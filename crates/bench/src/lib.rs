@@ -1,0 +1,13 @@
+//! Benchmark harness: the instance registry, a plain-text table renderer and
+//! shared helpers for the table-regeneration binaries (`src/bin/table_*`),
+//! one per evaluation table of the thesis. Criterion micro-benchmarks live
+//! in `benches/`.
+//!
+//! Every binary accepts `--scale tiny|small|full` (instance sizes),
+//! `--time <seconds>` (per-instance budget for the exact searches),
+//! `--runs <k>` and GA-size overrides; defaults regenerate each table in
+//! seconds. See EXPERIMENTS.md for the recorded paper-vs-measured shapes.
+
+pub mod instances;
+pub mod stats;
+pub mod table;

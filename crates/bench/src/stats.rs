@@ -1,0 +1,70 @@
+//! Small statistics helpers for multi-run tables (avg / min / max / stddev,
+//! as reported in Tables 6.1–7.2).
+
+/// Summary statistics of a sample of widths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Minimum.
+    pub min: usize,
+    /// Maximum.
+    pub max: usize,
+    /// Sample standard deviation (n−1 denominator; 0 for singletons).
+    pub std_dev: f64,
+}
+
+/// Summarises a non-empty sample.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn summarize(sample: &[usize]) -> Summary {
+    assert!(!sample.is_empty(), "empty sample");
+    let n = sample.len() as f64;
+    let avg = sample.iter().sum::<usize>() as f64 / n;
+    let min = *sample.iter().min().expect("nonempty");
+    let max = *sample.iter().max().expect("nonempty");
+    let std_dev = if sample.len() < 2 {
+        0.0
+    } else {
+        (sample
+            .iter()
+            .map(|&x| (x as f64 - avg).powi(2))
+            .sum::<f64>()
+            / (n - 1.0))
+            .sqrt()
+    };
+    Summary {
+        avg,
+        min,
+        max,
+        std_dev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = summarize(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((s.avg - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 9);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_has_zero_deviation() {
+        let s = summarize(&[3]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        summarize(&[]);
+    }
+}

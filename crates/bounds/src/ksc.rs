@@ -1,0 +1,122 @@
+//! Lower bounds for the generalized hypertree width (§8.1): the *k-set
+//! cover* bound and algorithm *tw-ksc-width* (Fig 8.1).
+//!
+//! The chain of reasoning implemented here:
+//!
+//! 1. any GHD of `H` is also a tree decomposition of `H`, so some bag has at
+//!    least `tw(H) + 1` vertices — and at least `lb_tw + 1` for any treewidth
+//!    lower bound `lb_tw`;
+//! 2. that bag's λ-set must cover its `≥ lb_tw + 1` vertices with hyperedges
+//!    of `H`, i.e. it solves a *k-set cover* problem with `k = lb_tw + 1`:
+//!    choose the fewest hyperedges whose union reaches `k` vertices;
+//! 3. any lower bound on that k-set cover problem is therefore a lower bound
+//!    on `ghw(H)`.
+
+use crate::lower::tw_lower_bound;
+use ghd_hypergraph::{Graph, Hypergraph};
+use rand::Rng;
+
+/// A lower bound on the k-set cover problem: the minimum number of
+/// hyperedges whose union can reach `k` vertices. Since `t` hyperedges cover
+/// at most the sum of the `t` largest cardinalities, the smallest `t` whose
+/// prefix sum reaches `k` is a valid lower bound (§8.1.1).
+///
+/// Returns `usize::MAX` if even all hyperedges together hold fewer than `k`
+/// vertices (impossible for bags of real decompositions).
+pub fn k_set_cover_lower_bound(h: &Hypergraph, k: usize) -> usize {
+    if k == 0 {
+        return 0;
+    }
+    let mut sizes: Vec<usize> = h.edges().iter().map(|e| e.len()).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut covered = 0;
+    for (t, s) in sizes.iter().enumerate() {
+        covered += s;
+        if covered >= k {
+            return t + 1;
+        }
+    }
+    usize::MAX
+}
+
+/// Algorithm *tw-ksc-width* (Fig 8.1): lifts a treewidth lower bound on a
+/// graph `g` (typically the primal graph of `h`, or a residual graph inside
+/// a search) to a generalized hypertree width lower bound via the k-set
+/// cover bound.
+pub fn tw_ksc_width(h: &Hypergraph, g: &Graph, tw_lb: usize) -> usize {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    k_set_cover_lower_bound(h, tw_lb + 1)
+}
+
+/// The combined generalized hypertree width lower bound used by BB-ghw and
+/// A\*-ghw: treewidth lower bound on the primal graph (max of minor-min-width
+/// and minor-γ_R), then tw-ksc-width.
+pub fn ghw_lower_bound<R: Rng + ?Sized>(h: &Hypergraph, rng: Option<&mut R>) -> usize {
+    let primal = h.primal_graph();
+    let tw_lb = tw_lower_bound(&primal, rng);
+    tw_ksc_width(h, &primal, tw_lb).max(usize::from(h.num_edges() > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upper::ghw_upper_bound;
+    use ghd_hypergraph::generators::hypergraphs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ksc_with_uniform_sizes_is_ceiling_division() {
+        // 10 disjoint hyperedges of size 3: covering k vertices needs
+        // exactly ⌈k/3⌉ edges
+        let h = Hypergraph::from_edges(30, (0..10).map(|i| (3 * i)..(3 * i + 3)));
+        for k in 1..=30 {
+            assert_eq!(k_set_cover_lower_bound(&h, k), k.div_ceil(3), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ksc_exact_on_handmade_instance() {
+        // sizes 4, 3, 2 → k=5 needs 2 sets, k=8 needs 3, k=10 impossible
+        let h = Hypergraph::from_edges(
+            9,
+            [vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8]],
+        );
+        assert_eq!(k_set_cover_lower_bound(&h, 4), 1);
+        assert_eq!(k_set_cover_lower_bound(&h, 5), 2);
+        assert_eq!(k_set_cover_lower_bound(&h, 8), 3);
+        assert_eq!(k_set_cover_lower_bound(&h, 10), usize::MAX);
+        assert_eq!(k_set_cover_lower_bound(&h, 0), 0);
+    }
+
+    #[test]
+    fn clique_hypergraph_lower_bound_is_strong() {
+        // clique_n: tw = n−1, all hyperedges binary → ghw lb = ⌈n/2⌉,
+        // which is exactly ghw.
+        let h = hypergraphs::clique(8);
+        let lb = ghw_lower_bound::<StdRng>(&h, None);
+        assert_eq!(lb, 4);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for seed in 0..10u64 {
+            let h = hypergraphs::random_hypergraph(20, 14, 4, seed);
+            let lb = ghw_lower_bound(&h, Some(&mut rng));
+            let (ub, _) = ghw_upper_bound(&h, Some(&mut rng));
+            assert!(lb <= ub, "seed {seed}: lb {lb} > ub {ub}");
+        }
+    }
+
+    #[test]
+    fn acyclic_instances_get_lower_bound_one() {
+        let h = hypergraphs::acyclic_chain(5, 3, 1);
+        let lb = ghw_lower_bound::<StdRng>(&h, None);
+        assert_eq!(lb, 1);
+    }
+
+    use ghd_hypergraph::Hypergraph;
+}

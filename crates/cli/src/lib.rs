@@ -1,0 +1,430 @@
+//! The `ghd` command-line tool: generate benchmark instances, compute
+//! treewidth / generalized hypertree width with any of the workspace's
+//! algorithms, and validate decompositions.
+//!
+//! ```text
+//! ghd gen <family> <params…> [--format col|gr|hg]
+//! ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time S] [--td]
+//! ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy] [--time S] [--show]
+//! ghd bounds <file>
+//! ghd validate <graph-or-hypergraph-file> <td-file>
+//! ```
+//!
+//! All commands are implemented as pure functions from arguments + file
+//! contents to an output string, so the test suite drives them directly.
+
+use ghd_bounds::{ghw_lower_bound, ghw_upper_bound, tw_lower_bound, tw_upper_bound};
+use ghd_core::bucket::ghd_from_ordering;
+use ghd_core::io::{parse_td, write_ghd, write_td};
+use ghd_core::{CoverMethod, EliminationOrdering};
+use ghd_ga::{ga_ghw, ga_tw, sa_ghw, sa_tw, saiga_ghw, GaConfig, SaConfig, SaigaConfig};
+use ghd_hypergraph::generators::{graphs, hypergraphs};
+use ghd_hypergraph::{io, Graph, Hypergraph};
+use ghd_search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+use std::time::Duration;
+
+/// Result type of every command: human-readable output or error text.
+pub type CmdResult = Result<String, String>;
+
+/// Entry point: dispatches on the first argument.
+pub fn run(args: &[String]) -> CmdResult {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("tw") => cmd_tw(&args[1..]),
+        Some("ghw") => cmd_ghw(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+ghd — tree and generalized hypertree decompositions
+
+USAGE:
+  ghd gen <family> <params…> [--format col|gr|hg]
+      families: grid N | grid3d N | queen N | myciel K | complete N |
+                gnm N M SEED | adder N | bridge N | clique N |
+                grid2d-h N | grid3d-h N | circuit V E SEED
+  ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time SECONDS] [--td]
+  ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy] [--time SECONDS] [--show]
+  ghd bounds <file>
+  ghd validate <instance-file> <td-file>
+
+Graph files: DIMACS .col (`p edge`) or PACE .gr (`p tw`).
+Hypergraph files: CSP hypergraph library format `name(v1,v2,…).`
+";
+
+/// Splits `args` into positionals and `--key [value]` options.
+fn split_opts(args: &[String]) -> (Vec<&str>, Vec<(&str, Option<&str>)>) {
+    let mut pos = Vec::new();
+    let mut opts = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(String::as_str);
+            if val.is_some() {
+                i += 1;
+            }
+            opts.push((key, val));
+        } else {
+            pos.push(args[i].as_str());
+        }
+        i += 1;
+    }
+    (pos, opts)
+}
+
+fn opt<'a>(opts: &[(&'a str, Option<&'a str>)], key: &str) -> Option<&'a str> {
+    opts.iter().rev().find(|(k, _)| *k == key).and_then(|(_, v)| *v)
+}
+
+fn flag(opts: &[(&str, Option<&str>)], key: &str) -> bool {
+    opts.iter().any(|(k, _)| *k == key)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: `{s}`"))
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Loads a graph, auto-detecting DIMACS `.col` vs PACE `.gr` content.
+pub fn load_graph(text: &str) -> Result<Graph, String> {
+    let looks_pace = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('c'))
+        .is_some_and(|l| l.starts_with("p tw"));
+    if looks_pace {
+        io::parse_pace_gr(text).map_err(|e| e.to_string())
+    } else {
+        io::parse_dimacs(text).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_gen(args: &[String]) -> CmdResult {
+    let (pos, opts) = split_opts(args);
+    let format = opt(&opts, "format").unwrap_or("auto");
+    let usage = "gen <family> <params…> — see `ghd --help`";
+    let family = *pos.first().ok_or(usage)?;
+    let p = |i: usize| -> Result<usize, String> {
+        pos.get(i)
+            .ok_or_else(|| format!("missing parameter {i} for `{family}`"))
+            .and_then(|s| parse_num(s, "parameter"))
+    };
+    enum Inst {
+        G(Graph),
+        H(Hypergraph),
+    }
+    let inst = match family {
+        "grid" => Inst::G(graphs::grid(p(1)?)),
+        "grid3d" => Inst::G(graphs::grid3d(p(1)?)),
+        "queen" => Inst::G(graphs::queen(p(1)?)),
+        "myciel" => Inst::G(graphs::mycielski(p(1)?)),
+        "complete" => Inst::G(graphs::complete(p(1)?)),
+        "gnm" => Inst::G(graphs::gnm_random(p(1)?, p(2)?, p(3)? as u64)),
+        "adder" => Inst::H(hypergraphs::adder(p(1)?)),
+        "bridge" => Inst::H(hypergraphs::bridge(p(1)?)),
+        "clique" => Inst::H(hypergraphs::clique(p(1)?)),
+        "grid2d-h" => Inst::H(hypergraphs::grid2d(p(1)?)),
+        "grid3d-h" => Inst::H(hypergraphs::grid3d(p(1)?)),
+        "circuit" => Inst::H(hypergraphs::random_circuit(p(1)?, p(2)?, p(3)? as u64)),
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    match (inst, format) {
+        (Inst::G(g), "col" | "auto") => Ok(io::write_dimacs(&g)),
+        (Inst::G(g), "gr") => Ok(io::write_pace_gr(&g)),
+        (Inst::H(h), "hg" | "auto") => Ok(io::write_hypergraph(&h)),
+        (_, f) => Err(format!("format `{f}` does not fit this family")),
+    }
+}
+
+fn limits_from(opts: &[(&str, Option<&str>)]) -> Result<SearchLimits, String> {
+    match opt(opts, "time") {
+        Some(s) => {
+            let secs: f64 = parse_num(s, "--time")?;
+            Ok(SearchLimits::with_time(Duration::from_secs_f64(secs)))
+        }
+        None => Ok(SearchLimits::with_time(Duration::from_secs(10))),
+    }
+}
+
+fn cmd_tw(args: &[String]) -> CmdResult {
+    let (pos, opts) = split_opts(args);
+    let path = *pos.first().ok_or("tw <graph-file> — see `ghd --help`")?;
+    let g = load_graph(&read_file(path)?)?;
+    let method = opt(&opts, "method").unwrap_or("astar");
+    let limits = limits_from(&opts)?;
+    let (summary, ordering) = match method {
+        "astar" => {
+            let r = astar_tw(&g, limits);
+            (describe("A*-tw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+        }
+        "bb" => {
+            let r = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
+            (describe("BB-tw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+        }
+        "ga" => {
+            let r = ga_tw(&g, &ga_cfg(&opts)?);
+            (format!("GA-tw: width <= {}", r.best_width), Some(r.best_ordering))
+        }
+        "sa" => {
+            let r = sa_tw(&g, &SaConfig { seed: seed_of(&opts)?, ..SaConfig::default() });
+            (format!("SA-tw: width <= {}", r.best_width), Some(r.best_ordering))
+        }
+        "minfill" => {
+            let (w, o) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+            (format!("min-fill: width <= {w}"), Some(o.into_vec()))
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let mut out = format!(
+        "graph: {} vertices, {} edges\n{summary}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    if flag(&opts, "td") {
+        let o = ordering.ok_or("no ordering available to emit a decomposition")?;
+        let sigma = EliminationOrdering::new(o).ok_or("internal: bad ordering")?;
+        let td = ghd_core::bucket::vertex_elimination(&g, &sigma);
+        out.push_str(&write_td(&td));
+    }
+    Ok(out)
+}
+
+fn cmd_ghw(args: &[String]) -> CmdResult {
+    let (pos, opts) = split_opts(args);
+    let path = *pos.first().ok_or("ghw <hypergraph-file> — see `ghd --help`")?;
+    let h = io::parse_hypergraph(&read_file(path)?).map_err(|e| e.to_string())?;
+    let method = opt(&opts, "method").unwrap_or("astar");
+    let limits = limits_from(&opts)?;
+    let (summary, ordering) = match method {
+        "astar" => {
+            let r = astar_ghw(&h, limits);
+            (describe("A*-ghw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+        }
+        "bb" => {
+            let r = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
+            (describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+        }
+        "ga" => {
+            let r = ga_ghw(&h, &ga_cfg(&opts)?);
+            (format!("GA-ghw: width <= {}", r.best_width), Some(r.best_ordering))
+        }
+        "saiga" => {
+            let r = saiga_ghw(&h, &SaigaConfig { seed: seed_of(&opts)?, ..SaigaConfig::default() });
+            (
+                format!("SAIGA-ghw: width <= {}", r.result.best_width),
+                Some(r.result.best_ordering),
+            )
+        }
+        "sa" => {
+            let r = sa_ghw(&h, &SaConfig { seed: seed_of(&opts)?, ..SaConfig::default() });
+            (format!("SA-ghw: width <= {}", r.best_width), Some(r.best_ordering))
+        }
+        "greedy" => {
+            let (w, o) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+            (format!("min-fill + greedy cover: width <= {w}"), Some(o.into_vec()))
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let mut out = format!(
+        "hypergraph: {} vertices, {} hyperedges\n{summary}\n",
+        h.num_vertices(),
+        h.num_edges()
+    );
+    if flag(&opts, "show") {
+        let o = ordering.ok_or("no ordering available to emit a decomposition")?;
+        let sigma = EliminationOrdering::new(o).ok_or("internal: bad ordering")?;
+        let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+        ghd.verify(&h).map_err(|e| e.to_string())?;
+        out.push_str(&write_ghd(&ghd, &h));
+    }
+    Ok(out)
+}
+
+fn describe(name: &str, ub: usize, lb: usize, exact: bool) -> String {
+    if exact {
+        format!("{name}: width = {ub} (exact)")
+    } else {
+        format!("{name}: {lb} <= width <= {ub} (budget expired)")
+    }
+}
+
+fn seed_of(opts: &[(&str, Option<&str>)]) -> Result<u64, String> {
+    match opt(opts, "seed") {
+        Some(s) => parse_num(s, "--seed"),
+        None => Ok(0),
+    }
+}
+
+fn ga_cfg(opts: &[(&str, Option<&str>)]) -> Result<GaConfig, String> {
+    let mut cfg = GaConfig {
+        population: 200,
+        generations: 200,
+        ..GaConfig::default()
+    };
+    if let Some(s) = opt(opts, "population") {
+        cfg.population = parse_num(s, "--population")?;
+    }
+    if let Some(s) = opt(opts, "generations") {
+        cfg.generations = parse_num(s, "--generations")?;
+    }
+    cfg.seed = seed_of(opts)?;
+    if let Some(s) = opt(opts, "time") {
+        let secs: f64 = parse_num(s, "--time")?;
+        cfg.time_limit = Some(Duration::from_secs_f64(secs));
+    }
+    Ok(cfg)
+}
+
+fn cmd_bounds(args: &[String]) -> CmdResult {
+    let (pos, _) = split_opts(args);
+    let path = *pos.first().ok_or("bounds <file> — see `ghd --help`")?;
+    let text = read_file(path)?;
+    // try hypergraph format first when the file smells like one
+    if text.contains('(') {
+        let h = io::parse_hypergraph(&text).map_err(|e| e.to_string())?;
+        let lb = ghw_lower_bound::<rand::rngs::StdRng>(&h, None);
+        let (ub, _) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+        return Ok(format!(
+            "hypergraph: {} vertices, {} hyperedges\n{lb} <= ghw <= {ub}\n",
+            h.num_vertices(),
+            h.num_edges()
+        ));
+    }
+    let g = load_graph(&text)?;
+    let lb = tw_lower_bound::<rand::rngs::StdRng>(&g, None);
+    let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+    Ok(format!(
+        "graph: {} vertices, {} edges\n{lb} <= tw <= {ub}\n",
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+fn cmd_validate(args: &[String]) -> CmdResult {
+    let (pos, _) = split_opts(args);
+    let inst_path = *pos.first().ok_or("validate <instance> <td-file>")?;
+    let td_path = *pos.get(1).ok_or("validate <instance> <td-file>")?;
+    let inst_text = read_file(inst_path)?;
+    let td = parse_td(&read_file(td_path)?).map_err(|e| e.to_string())?;
+    if inst_text.contains('(') {
+        let h = io::parse_hypergraph(&inst_text).map_err(|e| e.to_string())?;
+        td.verify(&h).map_err(|e| format!("INVALID: {e}"))?;
+        Ok(format!(
+            "valid tree decomposition of the hypergraph; width {}\n",
+            td.width()
+        ))
+    } else {
+        let g = load_graph(&inst_text)?;
+        td.verify_graph(&g).map_err(|e| format!("INVALID: {e}"))?;
+        Ok(format!(
+            "valid tree decomposition of the graph; width {}\n",
+            td.width()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> CmdResult {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("ghd-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).expect("write temp file");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_args(&["--help"]).unwrap().contains("USAGE"));
+        assert!(run_args(&[]).unwrap().contains("USAGE"));
+        assert!(run_args(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn gen_graph_families() {
+        let col = run_args(&["gen", "grid", "3"]).unwrap();
+        assert!(col.starts_with("p edge 9 12"));
+        let gr = run_args(&["gen", "queen", "4", "--format", "gr"]).unwrap();
+        assert!(gr.starts_with("p tw 16"));
+        assert!(run_args(&["gen", "nosuch", "3"]).is_err());
+        assert!(run_args(&["gen", "grid"]).is_err()); // missing param
+    }
+
+    #[test]
+    fn gen_hypergraph_families() {
+        let hg = run_args(&["gen", "adder", "3"]).unwrap();
+        assert!(hg.contains("xor1_1("));
+        assert!(run_args(&["gen", "adder", "3", "--format", "gr"]).is_err());
+    }
+
+    #[test]
+    fn tw_pipeline_with_td_output_validates() {
+        let col = run_args(&["gen", "grid", "3"]).unwrap();
+        let gpath = tmp("g.col", &col);
+        let out = run_args(&["tw", &gpath, "--method", "astar", "--td"]).unwrap();
+        assert!(out.contains("width = 3 (exact)"), "{out}");
+        // extract the .td part and validate it
+        let td_start = out.find("s td").expect("td emitted");
+        let td_path = tmp("g.td", &out[td_start..]);
+        let v = run_args(&["validate", &gpath, &td_path]).unwrap();
+        assert!(v.contains("valid tree decomposition"), "{v}");
+    }
+
+    #[test]
+    fn ghw_pipeline_on_generated_hypergraph() {
+        let hg = run_args(&["gen", "clique", "6"]).unwrap();
+        let hpath = tmp("h.hg", &hg);
+        let out = run_args(&["ghw", &hpath, "--method", "bb", "--show"]).unwrap();
+        assert!(out.contains("width = 3 (exact)"), "{out}");
+        assert!(out.contains("lambda"));
+        let out = run_args(&["ghw", &hpath, "--method", "greedy"]).unwrap();
+        assert!(out.contains("width <="));
+    }
+
+    #[test]
+    fn bounds_on_both_kinds() {
+        let col = run_args(&["gen", "myciel", "4"]).unwrap();
+        let gpath = tmp("b.col", &col);
+        let out = run_args(&["bounds", &gpath]).unwrap();
+        assert!(out.contains("<= tw <="), "{out}");
+        let hg = run_args(&["gen", "grid2d-h", "6"]).unwrap();
+        let hpath = tmp("b.hg", &hg);
+        let out = run_args(&["bounds", &hpath]).unwrap();
+        assert!(out.contains("<= ghw <="), "{out}");
+    }
+
+    #[test]
+    fn validate_rejects_bogus_decomposition() {
+        let col = run_args(&["gen", "grid", "3"]).unwrap();
+        let gpath = tmp("v.col", &col);
+        // a single-bag decomposition that misses most vertices
+        let td_path = tmp("v.td", "s td 1 1 9\nb 1 1\n");
+        let out = run_args(&["validate", &gpath, &td_path]);
+        assert!(out.is_err());
+        assert!(out.unwrap_err().contains("INVALID"));
+    }
+
+    #[test]
+    fn ga_and_sa_methods_produce_upper_bounds() {
+        let col = run_args(&["gen", "queen", "4"]).unwrap();
+        let gpath = tmp("ga.col", &col);
+        for m in ["ga", "sa", "minfill"] {
+            let out = run_args(&["tw", &gpath, "--method", m, "--generations", "30", "--population", "40"]).unwrap();
+            assert!(out.contains("width <="), "{m}: {out}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Thin binary wrapper around [`ghd_cli::run`].
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ghd_cli::run(&args) {
+        Ok(out) => {
+            // tolerate closed pipes (`ghd gen … | head`)
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(out.as_bytes());
+            let _ = stdout.flush();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Serialisation of decompositions: the PACE-2017 `.td` format for tree
+//! decompositions, and a readable text format for generalized hypertree
+//! decompositions (bags plus λ-labels).
+
+use crate::ghd::GeneralizedHypertreeDecomposition;
+use crate::tree_decomposition::TreeDecomposition;
+use ghd_hypergraph::io::ParseError;
+use ghd_hypergraph::{BitSet, Hypergraph};
+use std::fmt::Write as _;
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serialises a tree decomposition in PACE `.td` format:
+/// `s td <#bags> <max-bag-size> <#vertices>`, one `b <id> v…` line per bag
+/// (1-based ids) and one `i j` line per tree edge.
+pub fn write_td(td: &TreeDecomposition) -> String {
+    let mut out = String::new();
+    let max_bag = td.nodes().map(|p| td.bag(p).len()).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "s td {} {} {}",
+        td.num_nodes(),
+        max_bag,
+        td.num_vertices()
+    );
+    for p in td.nodes() {
+        let vs: Vec<String> = td.bag(p).iter().map(|v| (v + 1).to_string()).collect();
+        let _ = writeln!(out, "b {} {}", p + 1, vs.join(" "));
+    }
+    for (a, b) in td.edges() {
+        let _ = writeln!(out, "{} {}", a + 1, b + 1);
+    }
+    out
+}
+
+/// Parses a PACE `.td` file into a rooted [`TreeDecomposition`] (rooted at
+/// bag 1; parents assigned by breadth-first traversal of the given edges).
+pub fn parse_td(input: &str) -> Result<TreeDecomposition, ParseError> {
+    let mut header: Option<(usize, usize)> = None; // (#bags, #vertices)
+    let mut bags: Vec<Option<BitSet>> = Vec::new();
+    let mut tree_edges: Vec<(usize, usize)> = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("s ") {
+            if header.is_some() {
+                return Err(err(lineno, "duplicate solution line"));
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("td") {
+                return Err(err(lineno, "expected `s td`"));
+            }
+            let nb: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad bag count"))?;
+            let _max: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad max bag size"))?;
+            let nv: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad vertex count"))?;
+            header = Some((nb, nv));
+            bags = vec![None; nb];
+            continue;
+        }
+        let (nb, nv) = header.ok_or_else(|| err(lineno, "content before `s td` line"))?;
+        if let Some(rest) = line.strip_prefix("b ") {
+            let mut it = rest.split_whitespace();
+            let id: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad bag id"))?;
+            if id == 0 || id > nb {
+                return Err(err(lineno, "bag id out of range"));
+            }
+            let mut bag = BitSet::new(nv);
+            for tok in it {
+                let v: usize = tok.parse().map_err(|_| err(lineno, "bad bag vertex"))?;
+                if v == 0 || v > nv {
+                    return Err(err(lineno, "bag vertex out of range"));
+                }
+                bag.insert(v - 1);
+            }
+            if bags[id - 1].replace(bag).is_some() {
+                return Err(err(lineno, "duplicate bag id"));
+            }
+        } else {
+            let mut it = line.split_whitespace();
+            let a: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad tree edge"))?;
+            let b: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad tree edge"))?;
+            if a == 0 || b == 0 || a > nb || b > nb {
+                return Err(err(lineno, "tree edge out of range"));
+            }
+            tree_edges.push((a - 1, b - 1));
+        }
+    }
+    let (nb, nv) = header.ok_or_else(|| err(0, "no `s td` line"))?;
+    let bags: Vec<BitSet> = bags
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| b.ok_or_else(|| err(0, format!("bag {} missing", i + 1))))
+        .collect::<Result<_, _>>()?;
+
+    // root at bag 0 and BFS-orient the edges
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for &(a, b) in &tree_edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut td = TreeDecomposition::new(nv);
+    let mut id_map = vec![usize::MAX; nb];
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited = vec![false; nb];
+    if nb > 0 {
+        visited[0] = true;
+        id_map[0] = td.add_root(bags[0].clone());
+        queue.push_back(0);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &w in &adj[u] {
+            if !visited[w] {
+                visited[w] = true;
+                id_map[w] = td.add_child(id_map[u], bags[w].clone());
+                queue.push_back(w);
+            }
+        }
+    }
+    if visited.iter().any(|&v| !v) {
+        return Err(err(0, "tree edges do not connect all bags"));
+    }
+    Ok(td)
+}
+
+/// Serialises a generalized hypertree decomposition in a readable format:
+/// one line per node, `<id>: chi {v…} lambda {edge-names…} parent <id|->`.
+pub fn write_ghd(ghd: &GeneralizedHypertreeDecomposition, h: &Hypergraph) -> String {
+    let td = ghd.tree();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ghd {} nodes, width {}",
+        td.num_nodes(),
+        ghd.width()
+    );
+    for p in td.nodes() {
+        let chi: Vec<&str> = td.bag(p).iter().map(|v| h.vertex_name(v)).collect();
+        let lambda: Vec<&str> = ghd.lambda(p).iter().map(|&e| h.edge_name(e)).collect();
+        let parent = td
+            .parent(p)
+            .map_or("-".to_string(), |q| (q + 1).to_string());
+        let _ = writeln!(
+            out,
+            "{}: chi {{{}}} lambda {{{}}} parent {}",
+            p + 1,
+            chi.join(","),
+            lambda.join(","),
+            parent
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{ghd_from_ordering, vertex_elimination};
+    use crate::setcover::CoverMethod;
+    use crate::EliminationOrdering;
+    use ghd_hypergraph::generators::hypergraphs;
+
+    #[test]
+    fn td_round_trip_preserves_validity_and_width() {
+        for seed in 0..8u64 {
+            let h = hypergraphs::random_hypergraph(12, 8, 4, seed);
+            let sigma = EliminationOrdering::identity(12);
+            let td = vertex_elimination(&h.primal_graph(), &sigma);
+            let text = write_td(&td);
+            let parsed = parse_td(&text).unwrap();
+            parsed.verify(&h).unwrap();
+            assert_eq!(parsed.width(), td.width(), "seed {seed}");
+            assert_eq!(parsed.num_nodes(), td.num_nodes());
+        }
+    }
+
+    #[test]
+    fn td_format_header_shape() {
+        let h = hypergraphs::clique(4);
+        let sigma = EliminationOrdering::identity(4);
+        let td = vertex_elimination(&h.primal_graph(), &sigma);
+        let text = write_td(&td);
+        assert!(text.starts_with("s td 4 4 4"), "{text}");
+    }
+
+    #[test]
+    fn td_parser_rejects_malformed() {
+        assert!(parse_td("b 1 1 2\n").is_err()); // bag before header
+        assert!(parse_td("s td 2 2 3\nb 1 1\n").is_err()); // missing bag 2
+        assert!(parse_td("s td 1 1 2\nb 1 9\n").is_err()); // vertex range
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n").is_err()); // disconnected
+        assert!(parse_td("s td 1 1 1\nb 1 1\nb 1 1\n").is_err()); // dup id
+    }
+
+    #[test]
+    fn ghd_text_output_mentions_edge_names() {
+        let h = hypergraphs::adder(2);
+        let sigma = EliminationOrdering::identity(h.num_vertices());
+        let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+        let text = write_ghd(&ghd, &h);
+        assert!(text.contains("lambda"));
+        assert!(text.contains("xor1_1") || text.contains("maj_1") || text.contains("in_a1"));
+    }
+}

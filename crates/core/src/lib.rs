@@ -1,0 +1,31 @@
+//! Decomposition core: tree decompositions, generalized hypertree
+//! decompositions, bucket/vertex elimination, set covering and the leaf
+//! normal form — Chapters 2 and 3 of the thesis.
+//!
+//! The central workflow is:
+//!
+//! ```
+//! use ghd_core::{bucket::ghd_from_ordering, ordering::EliminationOrdering,
+//!                setcover::CoverMethod};
+//! use ghd_hypergraph::Hypergraph;
+//!
+//! let h = Hypergraph::from_edges(6, [vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+//! let sigma = EliminationOrdering::new(vec![5, 4, 3, 2, 1, 0]).unwrap();
+//! let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+//! ghd.verify(&h).unwrap();
+//! assert_eq!(ghd.width(), 2);
+//! ```
+
+pub mod bucket;
+pub mod io;
+pub mod eval;
+pub mod ghd;
+pub mod lnf;
+pub mod ordering;
+pub mod setcover;
+pub mod tree_decomposition;
+
+pub use ghd::GeneralizedHypertreeDecomposition;
+pub use ordering::EliminationOrdering;
+pub use setcover::CoverMethod;
+pub use tree_decomposition::{DecompositionError, TreeDecomposition};

@@ -1,0 +1,360 @@
+//! The *leaf normal form* for tree decompositions (Chapter 3) and the
+//! extraction of elimination orderings from it.
+//!
+//! This is the constructive side of the thesis' central theoretical result:
+//! from any generalized hypertree decomposition of width k one can derive an
+//! elimination ordering σ with `width(σ, H) ≤ k` (Theorem 2), hence the set
+//! of all elimination orderings is a sound and complete search space for the
+//! generalized hypertree width (Theorem 3).
+//!
+//! * [`leaf_normal_form`] — Algorithm *Transform Leaf Normal Form* (Fig 3.1).
+//! * [`ordering_from_lnf`] — the depth-ordering of Lemma 13 (§3.3), built on
+//!   deepest common ancestors of leaves.
+
+use crate::ordering::EliminationOrdering;
+use crate::tree_decomposition::TreeDecomposition;
+use ghd_hypergraph::Hypergraph;
+
+/// A tree decomposition in leaf normal form (Definition 18), together with
+/// the one-to-one mapping from hyperedges to leaves.
+#[derive(Clone, Debug)]
+pub struct LeafNormalForm {
+    /// The transformed decomposition.
+    pub td: TreeDecomposition,
+    /// `leaf_of_edge[e]` = the leaf node whose bag equals hyperedge `e`.
+    pub leaf_of_edge: Vec<usize>,
+}
+
+/// Algorithm *Transform Leaf Normal Form* (Fig 3.1): transforms `td` into a
+/// tree decomposition of `h` in leaf normal form whose every bag is a subset
+/// of some bag of `td` (Theorem 1).
+///
+/// # Panics
+/// Panics if `td` is not a valid tree decomposition of `h` (a hyperedge has
+/// no hosting bag).
+pub fn leaf_normal_form(h: &Hypergraph, td: &TreeDecomposition) -> LeafNormalForm {
+    let n = h.num_vertices();
+    let orig_nodes = td.num_nodes();
+    // Step 1: working copy.
+    let mut work = td.clone();
+    // Step 2: one fresh leaf per hyperedge, attached to a *pre-existing*
+    // node whose bag contains the hyperedge.
+    let mut leaf_of_edge = Vec::with_capacity(h.num_edges());
+    for e in 0..h.num_edges() {
+        let host = (0..orig_nodes)
+            .find(|&p| h.edge(e).is_subset(work.bag(p)))
+            .expect("td must cover every hyperedge");
+        leaf_of_edge.push(work.add_child(host, h.edge(e).clone()));
+    }
+    let is_mapped = |p: usize| p >= orig_nodes;
+
+    // Step 3: iteratively delete childless nodes that are not mapped leaves.
+    let total_nodes = work.num_nodes();
+    let mut deleted = vec![false; total_nodes];
+    let mut live_children: Vec<usize> = (0..total_nodes).map(|p| work.children(p).len()).collect();
+    let mut queue: Vec<usize> = (0..total_nodes)
+        .filter(|&p| live_children[p] == 0 && !is_mapped(p))
+        .collect();
+    while let Some(p) = queue.pop() {
+        deleted[p] = true;
+        if let Some(parent) = work.parent(p) {
+            live_children[parent] -= 1;
+            if live_children[parent] == 0 && !is_mapped(parent) && !deleted[parent] {
+                queue.push(parent);
+            }
+        }
+    }
+
+    // Step 4: prune variables from inner bags. An inner node keeps Y iff it
+    // lies on a path between two (mapped) leaves with Y in their labels:
+    // at least two of {child-subtree counts, outside count} are positive.
+    //
+    // One bottom-up pass per variable would be O(V·N); instead count, per
+    // node, mapped-leaf occurrences of each variable in its subtree with a
+    // single post-order accumulation of per-variable totals via bitsets is
+    // not possible (counts, not membership), so we run the per-variable pass
+    // but restrict it to the nodes that contain the variable plus their
+    // ancestors — cheap in practice.
+    let post = {
+        // postorder over live nodes
+        let pre = work.preorder();
+        let mut post: Vec<usize> = pre.into_iter().filter(|&p| !deleted[p]).collect();
+        post.reverse();
+        post
+    };
+    for y in 0..n {
+        let leaves_with_y: Vec<usize> = (0..h.num_edges())
+            .filter(|&e| h.edge(e).contains(y))
+            .map(|e| leaf_of_edge[e])
+            .collect();
+        let total = leaves_with_y.len();
+        if total == 0 {
+            // variable in no hyperedge: remove everywhere
+            for (p, &dead) in deleted.iter().enumerate() {
+                if !dead {
+                    work.bag_mut(p).remove(y);
+                }
+            }
+            continue;
+        }
+        // subtree counts via postorder accumulation
+        let mut cnt = vec![0usize; total_nodes];
+        for &l in &leaves_with_y {
+            cnt[l] += 1;
+        }
+        for &p in &post {
+            if let Some(parent) = work.parent(p) {
+                cnt[parent] += cnt[p];
+            }
+        }
+        for p in 0..total_nodes {
+            if deleted[p] || is_mapped(p) || !work.bag(p).contains(y) {
+                continue;
+            }
+            let outside = total - cnt[p];
+            let mut directions = usize::from(outside > 0);
+            for &c in work.children(p) {
+                if !deleted[c] && cnt[c] > 0 {
+                    directions += 1;
+                    if directions >= 2 {
+                        break;
+                    }
+                }
+            }
+            if directions < 2 {
+                work.bag_mut(p).remove(y);
+            }
+        }
+    }
+
+    // Compact: rebuild without deleted nodes.
+    let mut new_id = vec![usize::MAX; total_nodes];
+    let mut out = TreeDecomposition::new(n);
+    for &p in &work.preorder() {
+        if deleted[p] {
+            continue;
+        }
+        let id = match work.parent(p).filter(|&q| !deleted[q]) {
+            Some(parent) => out.add_child(new_id[parent], work.bag(p).clone()),
+            None => out.add_root(work.bag(p).clone()),
+        };
+        new_id[p] = id;
+    }
+    let leaf_of_edge = leaf_of_edge.into_iter().map(|l| new_id[l]).collect();
+    LeafNormalForm {
+        td: out,
+        leaf_of_edge,
+    }
+}
+
+/// Checks Definition 18 on an [`LeafNormalForm`]: the leaf mapping is a
+/// bijection with `χ(leaf(h)) = h`, and every internal node contains `Y` iff
+/// it lies on a path between two leaves containing `Y`.
+pub fn verify_lnf(h: &Hypergraph, lnf: &LeafNormalForm) -> bool {
+    let td = &lnf.td;
+    // bijection onto the set of leaves
+    let mut seen = vec![false; td.num_nodes()];
+    for (e, &l) in lnf.leaf_of_edge.iter().enumerate() {
+        if !td.is_leaf(l) || seen[l] || td.bag(l) != h.edge(e) {
+            return false;
+        }
+        seen[l] = true;
+    }
+    if td.nodes().filter(|&p| td.is_leaf(p)).count() != h.num_edges() {
+        return false;
+    }
+    // path criterion per variable
+    let post = {
+        let mut p = td.preorder();
+        p.reverse();
+        p
+    };
+    for y in 0..h.num_vertices() {
+        let total = (0..h.num_edges()).filter(|&e| h.edge(e).contains(y)).count();
+        let mut cnt = vec![0usize; td.num_nodes()];
+        for (e, &l) in lnf.leaf_of_edge.iter().enumerate() {
+            if h.edge(e).contains(y) {
+                cnt[l] += 1;
+            }
+        }
+        for &p in &post {
+            if let Some(parent) = td.parent(p) {
+                cnt[parent] += cnt[p];
+            }
+        }
+        for p in td.nodes() {
+            if td.is_leaf(p) {
+                continue;
+            }
+            let outside = total - cnt[p];
+            let directions = usize::from(outside > 0)
+                + td.children(p).iter().filter(|&&c| cnt[c] > 0).count();
+            let on_path = directions >= 2;
+            if on_path != td.bag(p).contains(y) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Derives an elimination ordering from a leaf normal form per §3.3: each
+/// vertex is ranked by the depth of the deepest common ancestor of the
+/// leaves containing it; shallower vertices precede deeper ones (so deeper
+/// vertices are *eliminated earlier*). By Lemma 13 every elimination clique
+/// of the resulting σ is contained in some bag of the LNF.
+///
+/// Vertices occurring in no hyperedge are placed at the very back
+/// (eliminated first; they are isolated so this is harmless).
+pub fn ordering_from_lnf(h: &Hypergraph, lnf: &LeafNormalForm) -> EliminationOrdering {
+    let td = &lnf.td;
+    let n = h.num_vertices();
+    // node depths
+    let mut depth = vec![0usize; td.num_nodes()];
+    for &p in &td.preorder() {
+        if let Some(parent) = td.parent(p) {
+            depth[p] = depth[parent] + 1;
+        }
+    }
+    let lca = |mut a: usize, mut b: usize| -> usize {
+        while depth[a] > depth[b] {
+            a = td.parent(a).expect("depth > 0 has parent");
+        }
+        while depth[b] > depth[a] {
+            b = td.parent(b).expect("depth > 0 has parent");
+        }
+        while a != b {
+            a = td.parent(a).expect("distinct nodes share an ancestor");
+            b = td.parent(b).expect("distinct nodes share an ancestor");
+        }
+        a
+    };
+    let mut keyed: Vec<(usize, usize)> = (0..n)
+        .map(|v| {
+            let mut dca: Option<usize> = None;
+            for &e in h.edges_containing(v) {
+                let l = lnf.leaf_of_edge[e];
+                dca = Some(match dca {
+                    None => l,
+                    Some(d) => lca(d, l),
+                });
+            }
+            // uncovered vertices sink to the back (max depth + 1)
+            (dca.map_or(td.num_nodes(), |d| depth[d]), v)
+        })
+        .collect();
+    keyed.sort(); // stable by (depth, vertex id)
+    EliminationOrdering::new(keyed.into_iter().map(|(_, v)| v).collect())
+        .expect("permutation by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{ghd_from_ordering, vertex_elimination};
+    use crate::setcover::CoverMethod;
+    use ghd_hypergraph::generators::hypergraphs;
+    use ghd_hypergraph::BitSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example5() -> Hypergraph {
+        Hypergraph::from_edges(6, [vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]])
+    }
+
+    fn example5_td() -> TreeDecomposition {
+        let mut td = TreeDecomposition::new(6);
+        let root = td.add_root(BitSet::from_iter(6, [0, 2, 4]));
+        td.add_child(root, BitSet::from_iter(6, [0, 1, 2]));
+        td.add_child(root, BitSet::from_iter(6, [0, 4, 5]));
+        td.add_child(root, BitSet::from_iter(6, [2, 3, 4]));
+        td
+    }
+
+    #[test]
+    fn lnf_of_example5_is_valid_and_subset_bounded() {
+        let h = example5();
+        let td = example5_td();
+        let lnf = leaf_normal_form(&h, &td);
+        lnf.td.verify(&h).unwrap();
+        assert!(verify_lnf(&h, &lnf));
+        // Theorem 1: every LNF bag ⊆ some original bag
+        for p in lnf.td.nodes() {
+            assert!(
+                td.nodes().any(|q| lnf.td.bag(p).is_subset(td.bag(q))),
+                "bag {p} not dominated"
+            );
+        }
+        assert!(lnf.td.width() <= td.width());
+    }
+
+    #[test]
+    fn lnf_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for seed in 0..15u64 {
+            let h = hypergraphs::random_hypergraph(16, 10, 4, seed);
+            let sigma = EliminationOrdering::random(16, &mut rng);
+            let td = vertex_elimination(&h.primal_graph(), &sigma);
+            let lnf = leaf_normal_form(&h, &td);
+            lnf.td.verify(&h).unwrap();
+            assert!(verify_lnf(&h, &lnf), "seed {seed}");
+            for p in lnf.td.nodes() {
+                assert!(td.nodes().any(|q| lnf.td.bag(p).is_subset(td.bag(q))));
+            }
+        }
+    }
+
+    /// Theorem 2 end-to-end: ordering extracted from the LNF of a
+    /// decomposition never has larger (exact-cover) width than the GHD we
+    /// started from.
+    #[test]
+    fn theorem_2_ordering_width_bounded_by_ghd_width() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for seed in 0..12u64 {
+            let h = hypergraphs::random_hypergraph(14, 9, 4, seed);
+            let start_sigma = EliminationOrdering::random(14, &mut rng);
+            let ghd = ghd_from_ordering(&h, &start_sigma, CoverMethod::Exact);
+            let k = ghd.width();
+            let lnf = leaf_normal_form(&h, ghd.tree());
+            let sigma = ordering_from_lnf(&h, &lnf);
+            let redone = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+            redone.verify(&h).unwrap();
+            assert!(
+                redone.width() <= k,
+                "width grew: {} > {} (seed {seed})",
+                redone.width(),
+                k
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_13_cliques_contained_in_lnf_bags() {
+        for seed in 0..10u64 {
+            let h = hypergraphs::random_hypergraph(12, 8, 4, seed);
+            let sigma0 = EliminationOrdering::identity(12);
+            let td = vertex_elimination(&h.primal_graph(), &sigma0);
+            let lnf = leaf_normal_form(&h, &td);
+            let sigma = ordering_from_lnf(&h, &lnf);
+            let derived = vertex_elimination(&h.primal_graph(), &sigma);
+            for p in derived.nodes() {
+                assert!(
+                    lnf.td.nodes().any(|q| derived.bag(p).is_subset(lnf.td.bag(q))),
+                    "clique {p} not inside any LNF bag (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lnf_handles_vertex_in_single_edge() {
+        // x3 appears in exactly one hyperedge: its dca is that leaf
+        let h = Hypergraph::from_edges(4, [vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let sigma = EliminationOrdering::identity(4);
+        let td = vertex_elimination(&h.primal_graph(), &sigma);
+        let lnf = leaf_normal_form(&h, &td);
+        assert!(verify_lnf(&h, &lnf));
+        let o = ordering_from_lnf(&h, &lnf);
+        assert_eq!(o.len(), 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Elimination orderings (Definition 15): permutations of the vertices of a
+//! graph or hypergraph.
+//!
+//! Throughout the workspace the thesis' convention is used: for an ordering
+//! `σ = (v_1, …, v_n)`, vertices are *eliminated from the back* — `v_n`
+//! first, `v_1` last (Definition 16, bucket elimination Fig 2.10). The
+//! notation `x <_σ y` ("x precedes y") means `x` is eliminated *after* `y`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation of `0..n` acting as an elimination ordering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EliminationOrdering {
+    order: Vec<usize>,
+    /// `position[v]` = index of `v` in `order`.
+    position: Vec<usize>,
+}
+
+impl EliminationOrdering {
+    /// Wraps a permutation. Returns `None` if `order` is not a permutation of
+    /// `0..order.len()`.
+    pub fn new(order: Vec<usize>) -> Option<Self> {
+        let n = order.len();
+        let mut position = vec![usize::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            if v >= n || position[v] != usize::MAX {
+                return None;
+            }
+            position[v] = i;
+        }
+        Some(EliminationOrdering { order, position })
+    }
+
+    /// The identity ordering `(0, 1, …, n−1)`.
+    pub fn identity(n: usize) -> Self {
+        EliminationOrdering {
+            order: (0..n).collect(),
+            position: (0..n).collect(),
+        }
+    }
+
+    /// A uniformly random ordering.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        Self::new(order).expect("shuffle preserves permutation")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for the empty ordering.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The vertex at position `i` (`v_{i+1}` in thesis notation).
+    #[inline]
+    pub fn at(&self, i: usize) -> usize {
+        self.order[i]
+    }
+
+    /// The position of vertex `v` within the ordering.
+    #[inline]
+    pub fn position(&self, v: usize) -> usize {
+        self.position[v]
+    }
+
+    /// `true` iff `x <_σ y`, i.e. `x` precedes `y` (and is eliminated later).
+    #[inline]
+    pub fn precedes(&self, x: usize, y: usize) -> bool {
+        self.position[x] < self.position[y]
+    }
+
+    /// The underlying permutation, front (eliminated last) to back
+    /// (eliminated first).
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Iterates vertices in *elimination order* (back to front).
+    pub fn elimination_sequence(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// Consumes the ordering, returning the permutation.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.order
+    }
+}
+
+impl From<EliminationOrdering> for Vec<usize> {
+    fn from(o: EliminationOrdering) -> Vec<usize> {
+        o.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_non_permutations() {
+        assert!(EliminationOrdering::new(vec![0, 1, 1]).is_none());
+        assert!(EliminationOrdering::new(vec![0, 3]).is_none());
+        assert!(EliminationOrdering::new(vec![]).is_some());
+    }
+
+    #[test]
+    fn positions_and_precedence() {
+        let o = EliminationOrdering::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(o.position(2), 0);
+        assert_eq!(o.at(2), 1);
+        assert!(o.precedes(2, 1)); // 2 comes first → eliminated last
+        let seq: Vec<usize> = o.elimination_sequence().collect();
+        assert_eq!(seq, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_seed_stable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = EliminationOrdering::random(30, &mut rng);
+        assert_eq!(a.len(), 30);
+        let mut sorted = a.as_slice().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<_>>());
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let b = EliminationOrdering::random(30, &mut rng2);
+        assert_eq!(a, b);
+    }
+}

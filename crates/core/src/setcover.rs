@@ -1,0 +1,321 @@
+//! Set cover over the hyperedges of a hypergraph (§2.5.2).
+//!
+//! Turning a tree decomposition into a generalized hypertree decomposition
+//! requires, per bag χ(p), a minimum set of hyperedges covering χ(p). The
+//! thesis uses the greedy heuristic (Fig 7.2) inside the genetic algorithms
+//! and an external IP solver for exact covers inside BB-ghw / A\*-ghw; here
+//! the exact solver is a self-contained branch-and-bound (same optima, no
+//! external dependency — see DESIGN.md, substitution 3).
+
+use ghd_hypergraph::{BitSet, Hypergraph};
+use rand::{Rng, RngExt};
+
+/// Strategy for solving the per-bag set cover problems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverMethod {
+    /// Greedy heuristic (Fig 7.2): upper bound, very fast.
+    Greedy,
+    /// Exact branch and bound: optimal cover, exponential worst case.
+    Exact,
+}
+
+/// Candidate hyperedges for covering `target`: those intersecting it,
+/// deduplicated by their restriction to `target` and pruned to maximal
+/// restrictions. Returns `(edge_index, restriction)` pairs.
+fn candidates(target: &BitSet, h: &Hypergraph) -> Vec<(usize, BitSet)> {
+    let mut seen = Vec::<(usize, BitSet)>::new();
+    let mut edge_ids = BitSet::new(h.num_edges());
+    for v in target.iter() {
+        for &e in h.edges_containing(v) {
+            edge_ids.insert(e);
+        }
+    }
+    'next: for e in edge_ids.iter() {
+        let mut restriction = h.edge(e).clone();
+        restriction.intersect_with(target);
+        // drop restrictions dominated by an existing candidate
+        let mut i = 0;
+        while i < seen.len() {
+            if restriction.is_subset(&seen[i].1) {
+                continue 'next;
+            }
+            if seen[i].1.is_subset(&restriction) {
+                seen.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        seen.push((e, restriction));
+    }
+    seen
+}
+
+/// Greedy set cover (Fig 7.2): repeatedly takes a hyperedge covering the
+/// maximum number of still-uncovered vertices; ties broken by the supplied
+/// `tie_break` (the thesis breaks ties randomly; pass `None` for the
+/// deterministic first-maximum rule). Returns the chosen hyperedge indices.
+///
+/// # Panics
+/// Panics if `target` cannot be covered by the hyperedges of `h` (every
+/// vertex of a constraint hypergraph lies in some hyperedge, so this cannot
+/// happen for bags produced by elimination).
+pub fn greedy_cover<R: Rng + ?Sized>(
+    target: &BitSet,
+    h: &Hypergraph,
+    mut rng: Option<&mut R>,
+) -> Vec<usize> {
+    let cands = candidates(target, h);
+    let mut uncovered = target.clone();
+    let mut chosen = Vec::new();
+    while !uncovered.is_empty() {
+        let gains: Vec<usize> = cands
+            .iter()
+            .map(|(_, r)| r.intersection_len(&uncovered))
+            .collect();
+        let best = *gains.iter().max().expect("target not coverable");
+        assert!(best > 0, "target not coverable by hypergraph edges");
+        let tied: Vec<usize> = (0..cands.len()).filter(|&i| gains[i] == best).collect();
+        let pick = match rng.as_deref_mut() {
+            Some(r) => tied[r.random_range(0..tied.len())],
+            None => tied[0],
+        };
+        uncovered.difference_with(&cands[pick].1);
+        chosen.push(cands[pick].0);
+    }
+    chosen
+}
+
+/// Size-only variant of [`greedy_cover`] for hot loops.
+pub fn greedy_cover_size<R: Rng + ?Sized>(
+    target: &BitSet,
+    h: &Hypergraph,
+    rng: Option<&mut R>,
+) -> usize {
+    greedy_cover(target, h, rng).len()
+}
+
+/// Exact minimum set cover by branch and bound.
+///
+/// Branches on the first uncovered vertex (trying each candidate covering
+/// it), seeded with the greedy solution as upper bound and pruned by the
+/// bound `chosen + ⌈uncovered / max_gain⌉ ≥ best`.
+pub fn exact_cover(target: &BitSet, h: &Hypergraph) -> Vec<usize> {
+    let cands = candidates(target, h);
+    let best: Vec<usize> = greedy_cover::<rand::rngs::StdRng>(target, h, None);
+    let mut state = ExactState {
+        cands: &cands,
+        best,
+        chosen: Vec::new(),
+        limit: usize::MAX,
+        budget: u64::MAX,
+    };
+    let uncovered = target.clone();
+    state.search(uncovered);
+    let mut out = state.best;
+    out.sort_unstable();
+    out
+}
+
+/// Size-only variant of [`exact_cover`].
+pub fn exact_cover_size(target: &BitSet, h: &Hypergraph) -> usize {
+    exact_cover(target, h).len()
+}
+
+/// Capped exact cover size: returns `min(optimal cover size, cap)`.
+///
+/// Callers that only need to know whether the cover stays below `cap` (the
+/// branch-and-bound searches prune any bag whose cover reaches their
+/// incumbent anyway) get an enormous extra pruning lever: every set-cover
+/// branch that cannot beat `cap` is cut immediately. The second component
+/// is `false` iff the internal node budget was exhausted, in which case the
+/// returned size is a (still sound for pruning) upper estimate.
+pub fn exact_cover_size_capped(target: &BitSet, h: &Hypergraph, cap: usize) -> (usize, bool) {
+    if cap == 0 {
+        return (0, true);
+    }
+    let cands = candidates(target, h);
+    let greedy: Vec<usize> = greedy_cover::<rand::rngs::StdRng>(target, h, None);
+    let greedy_len = greedy.len();
+    let mut state = ExactState {
+        cands: &cands,
+        best: greedy,
+        chosen: Vec::new(),
+        limit: greedy_len.min(cap),
+        budget: 100_000,
+    };
+    state.search(target.clone());
+    let exact = state.budget > 0;
+    (state.best.len().min(state.limit).min(cap), exact)
+}
+
+/// Dispatches on [`CoverMethod`].
+pub fn cover(target: &BitSet, h: &Hypergraph, method: CoverMethod) -> Vec<usize> {
+    match method {
+        CoverMethod::Greedy => greedy_cover::<rand::rngs::StdRng>(target, h, None),
+        CoverMethod::Exact => exact_cover(target, h),
+    }
+}
+
+struct ExactState<'a> {
+    cands: &'a [(usize, BitSet)],
+    best: Vec<usize>,
+    chosen: Vec<usize>,
+    /// Prune any branch that cannot produce a cover strictly below this.
+    limit: usize,
+    /// Remaining branch-node budget; 0 = exhausted.
+    budget: u64,
+}
+
+impl ExactState<'_> {
+    fn search(&mut self, uncovered: BitSet) {
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        if uncovered.is_empty() {
+            if self.chosen.len() < self.best.len() {
+                self.best = self.chosen.clone();
+                self.limit = self.limit.min(self.best.len());
+            }
+            return;
+        }
+        if self.chosen.len() + 1 >= self.limit.min(self.best.len()) {
+            return; // even one more edge cannot beat the incumbent/cap
+        }
+        // lower bound: every edge covers at most `max_gain` uncovered vertices
+        let max_gain = self
+            .cands
+            .iter()
+            .map(|(_, r)| r.intersection_len(&uncovered))
+            .max()
+            .unwrap_or(0);
+        if max_gain == 0 {
+            return; // uncoverable residue (cannot happen for bag covers)
+        }
+        let need = uncovered.len().div_ceil(max_gain);
+        if self.chosen.len() + need >= self.limit.min(self.best.len()) {
+            return;
+        }
+        // branch on the uncovered vertex with the fewest candidates
+        let branch_v = uncovered
+            .iter()
+            .min_by_key(|&v| {
+                self.cands
+                    .iter()
+                    .filter(|(_, r)| r.contains(v))
+                    .count()
+            })
+            .expect("nonempty");
+        let mut options: Vec<usize> = (0..self.cands.len())
+            .filter(|&i| self.cands[i].1.contains(branch_v))
+            .collect();
+        // try the most-covering options first
+        options.sort_by_key(|&i| usize::MAX - self.cands[i].1.intersection_len(&uncovered));
+        for i in options {
+            let mut rest = uncovered.clone();
+            rest.difference_with(&self.cands[i].1);
+            self.chosen.push(self.cands[i].0);
+            self.search(rest);
+            self.chosen.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hg(n: usize, edges: &[&[usize]]) -> Hypergraph {
+        Hypergraph::from_edges(n, edges.iter().map(|e| e.iter().copied()))
+    }
+
+    #[test]
+    fn greedy_covers_target() {
+        let h = hg(6, &[&[0, 1, 2], &[2, 3], &[3, 4, 5], &[0, 5]]);
+        let target = BitSet::from_iter(6, [0, 2, 3, 5]);
+        let chosen = greedy_cover::<StdRng>(&target, &h, None);
+        let mut covered = BitSet::new(6);
+        for e in chosen {
+            covered.union_with(h.edge(e));
+        }
+        assert!(target.is_subset(&covered));
+    }
+
+    /// Classic greedy-trap: greedy picks the big middle set and needs 3,
+    /// exact needs only 2.
+    #[test]
+    fn exact_beats_greedy_on_adversarial_instance() {
+        // universe {0..5}; sets: {0,1,2}, {3,4,5}, {1,2,3,4}
+        let h = hg(6, &[&[0, 1, 2], &[3, 4, 5], &[1, 2, 3, 4]]);
+        let target = BitSet::full(6);
+        let g = greedy_cover::<StdRng>(&target, &h, None);
+        let x = exact_cover(&target, &h);
+        assert_eq!(x.len(), 2);
+        assert!(g.len() >= x.len());
+        assert_eq!(x, vec![0, 1]);
+    }
+
+    #[test]
+    fn exact_is_minimal_on_random_instances() {
+        // brute-force cross-check on small instances
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let h = ghd_hypergraph::generators::hypergraphs::random_hypergraph(
+                10,
+                8,
+                4,
+                trial as u64,
+            );
+            let target = BitSet::from_iter(10, (0..10).filter(|_| rng.random_range(0..2) == 0));
+            if target.is_empty() {
+                continue;
+            }
+            let exact = exact_cover(&target, &h);
+            // brute force over all subsets of edges
+            let m = h.num_edges();
+            let mut brute = usize::MAX;
+            for mask in 0u32..(1 << m) {
+                let mut covered = BitSet::new(10);
+                for e in 0..m {
+                    if mask & (1 << e) != 0 {
+                        covered.union_with(h.edge(e));
+                    }
+                }
+                if target.is_subset(&covered) {
+                    brute = brute.min(mask.count_ones() as usize);
+                }
+            }
+            assert_eq!(exact.len(), brute, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_target_needs_no_edges() {
+        let h = hg(3, &[&[0, 1, 2]]);
+        let target = BitSet::new(3);
+        assert!(greedy_cover::<StdRng>(&target, &h, None).is_empty());
+        assert!(exact_cover(&target, &h).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not coverable")]
+    fn uncoverable_target_panics() {
+        let h = hg(3, &[&[0]]);
+        let target = BitSet::from_iter(3, [1, 2]);
+        greedy_cover::<StdRng>(&target, &h, None);
+    }
+
+    #[test]
+    fn randomized_tie_breaking_is_seed_stable() {
+        let h = hg(4, &[&[0, 1], &[2, 3], &[0, 2], &[1, 3]]);
+        let target = BitSet::full(4);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(
+            greedy_cover(&target, &h, Some(&mut r1)),
+            greedy_cover(&target, &h, Some(&mut r2))
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the decomposition core: exact set cover optimality
+//! against subset brute force, and decomposition validity for arbitrary
+//! orderings.
+
+use ghd_core::bucket::{bucket_elimination, vertex_elimination};
+use ghd_core::setcover::{exact_cover, greedy_cover};
+use ghd_core::EliminationOrdering;
+use ghd_hypergraph::{BitSet, Hypergraph};
+use proptest::prelude::*;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (3usize..=9).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::btree_set(0..n, 1..=4), 1..=7).prop_map(
+            move |edge_sets| {
+                let mut edges: Vec<Vec<usize>> =
+                    edge_sets.into_iter().map(|s| s.into_iter().collect()).collect();
+                let covered: std::collections::BTreeSet<usize> =
+                    edges.iter().flatten().copied().collect();
+                for v in 0..n {
+                    if !covered.contains(&v) {
+                        edges.push(vec![v]);
+                    }
+                }
+                Hypergraph::from_edges(n, edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    /// The branch-and-bound set cover is truly optimal: no subset of edges
+    /// of smaller cardinality covers the target.
+    #[test]
+    fn exact_cover_is_optimal(h in arb_hypergraph(), mask in any::<u16>()) {
+        let n = h.num_vertices();
+        let target = BitSet::from_iter(n, (0..n).filter(|v| mask >> v & 1 == 1));
+        let chosen = exact_cover(&target, &h);
+        // brute force over all 2^m subsets (m ≤ ~16)
+        let m = h.num_edges();
+        prop_assume!(m <= 16);
+        let mut best = usize::MAX;
+        for sub in 0u32..(1 << m) {
+            let mut covered = BitSet::new(n);
+            for e in 0..m {
+                if sub >> e & 1 == 1 {
+                    covered.union_with(h.edge(e));
+                }
+            }
+            if target.is_subset(&covered) {
+                best = best.min(sub.count_ones() as usize);
+            }
+        }
+        prop_assert_eq!(chosen.len(), best);
+        prop_assert!(greedy_cover::<rand::rngs::StdRng>(&target, &h, None).len() >= best);
+    }
+
+    /// Both elimination algorithms produce valid decompositions with equal
+    /// widths for every ordering.
+    #[test]
+    fn eliminations_valid_and_equal(h in arb_hypergraph(), seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sigma = EliminationOrdering::random(h.num_vertices(), &mut rng);
+        let a = bucket_elimination(&h, &sigma);
+        let b = vertex_elimination(&h.primal_graph(), &sigma);
+        prop_assert!(a.verify(&h).is_ok());
+        prop_assert!(b.verify(&h).is_ok());
+        prop_assert_eq!(a.width(), b.width());
+    }
+}

@@ -1,0 +1,228 @@
+//! Join trees (Definition 8), acyclicity recognition (Definition 9) and
+//! algorithm *Acyclic Solving* (Fig 2.4).
+
+use crate::csp::{Assignment, Csp};
+use crate::relation::Relation;
+
+/// A join tree over a set of relations: node `i` carries `relations[i]`;
+/// `parent[i]` is `None` exactly for the root.
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    parent: Vec<Option<usize>>,
+    order: Vec<usize>, // root-first order (each node after its parent)
+}
+
+impl JoinTree {
+    /// Builds a join tree for the relations by taking a maximum-weight
+    /// spanning tree of the dual graph (weight = number of shared
+    /// variables). By Maier's classical result this spanning tree satisfies
+    /// the connectedness condition iff the CSP is acyclic; returns `None`
+    /// otherwise.
+    pub fn build(relations: &[Relation], num_vars: usize) -> Option<JoinTree> {
+        let m = relations.len();
+        if m == 0 {
+            return None;
+        }
+        // Prim's algorithm on shared-variable weights; disconnected dual
+        // graphs (variable-disjoint components) connect with weight-0 edges,
+        // which is fine for a join tree.
+        let mut parent = vec![None; m];
+        let mut in_tree = vec![false; m];
+        let mut best = vec![(0usize, usize::MAX); m]; // (weight, attach-to)
+        let mut order = Vec::with_capacity(m);
+        in_tree[0] = true;
+        order.push(0);
+        for j in 1..m {
+            best[j] = (shared_count(&relations[0], &relations[j]), 0);
+        }
+        for _ in 1..m {
+            let next = (0..m)
+                .filter(|&j| !in_tree[j])
+                .max_by_key(|&j| best[j].0)
+                .expect("nodes remain");
+            in_tree[next] = true;
+            parent[next] = Some(best[next].1);
+            order.push(next);
+            for j in 0..m {
+                if !in_tree[j] {
+                    let w = shared_count(&relations[next], &relations[j]);
+                    if w > best[j].0 {
+                        best[j] = (w, next);
+                    }
+                }
+            }
+        }
+        let jt = JoinTree { parent, order };
+        jt.satisfies_connectedness(relations, num_vars).then_some(jt)
+    }
+
+    /// Builds a join tree from explicit parent links and a root-first node
+    /// order — used to reuse a decomposition's tree shape directly. The
+    /// caller is responsible for the connectedness condition (tree
+    /// decompositions guarantee it via their condition 2); it can be
+    /// re-checked with [`JoinTree::satisfies_connectedness`].
+    pub fn from_parts(parent: Vec<Option<usize>>, order: Vec<usize>) -> JoinTree {
+        debug_assert_eq!(parent.len(), order.len());
+        JoinTree { parent, order }
+    }
+
+    /// Parent of node `i`.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Nodes in root-first order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Checks the connectedness condition for join trees (Definition 8):
+    /// for each variable, the nodes whose scopes contain it form a subtree.
+    pub fn satisfies_connectedness(&self, relations: &[Relation], num_vars: usize) -> bool {
+        for v in 0..num_vars {
+            let members: Vec<usize> = (0..relations.len())
+                .filter(|&i| relations[i].column(v).is_some())
+                .collect();
+            if members.len() <= 1 {
+                continue;
+            }
+            // count tree edges internal to `members`
+            let mut edges = 0;
+            for &i in &members {
+                if let Some(p) = self.parent[i] {
+                    if relations[p].column(v).is_some() {
+                        edges += 1;
+                    }
+                }
+            }
+            if members.len() - edges != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn shared_count(a: &Relation, b: &Relation) -> usize {
+    a.scope().iter().filter(|&&v| b.column(v).is_some()).count()
+}
+
+/// `true` iff the CSP is acyclic (has a join tree, Definition 9).
+pub fn is_acyclic(csp: &Csp) -> bool {
+    JoinTree::build(csp.constraints(), csp.num_variables()).is_some()
+}
+
+/// Algorithm *Acyclic Solving* (Fig 2.4) over an explicit join tree of
+/// relations: bottom-up semijoins (full reduction towards the root), then
+/// top-down tuple selection. Variables outside every scope get the supplied
+/// `default` domain value. Returns `None` iff the relations have no common
+/// solution.
+pub fn acyclic_solve(
+    relations: &[Relation],
+    jt: &JoinTree,
+    num_vars: usize,
+    defaults: &[Vec<crate::relation::Value>],
+) -> Option<Assignment> {
+    let mut rels: Vec<Relation> = relations.to_vec();
+    // BOTTOM-UP: children before parents = reverse root-first order
+    for &i in jt.order().iter().rev() {
+        if let Some(p) = jt.parent(i) {
+            let child = rels[i].clone();
+            rels[p].semijoin(&child);
+            if rels[p].is_empty() {
+                return None;
+            }
+        }
+    }
+    if rels.iter().any(Relation::is_empty) {
+        return None;
+    }
+    // TOP-DOWN: select tuples consistent with the partial assignment
+    let mut assignment: Vec<Option<crate::relation::Value>> = vec![None; num_vars];
+    for &i in jt.order() {
+        let filtered = rels[i].filter_assignment(&assignment);
+        let t = filtered.tuples().first()?; // full reduction ⇒ always present
+        for (&v, &val) in rels[i].scope().iter().zip(t.iter()) {
+            assignment[v] = Some(val);
+        }
+    }
+    // unconstrained variables take any domain value
+    Some(
+        assignment
+            .into_iter()
+            .enumerate()
+            .map(|(v, a)| a.unwrap_or_else(|| defaults[v][0]))
+            .collect(),
+    )
+}
+
+/// Convenience: decide constraint satisfiability of an *acyclic* CSP and
+/// produce a solution (Fig 2.4 end-to-end). Returns `Err(())` if the CSP is
+/// not acyclic.
+#[allow(clippy::result_unit_err)]
+pub fn solve_acyclic_csp(csp: &Csp) -> Result<Option<Assignment>, ()> {
+    let jt = JoinTree::build(csp.constraints(), csp.num_variables()).ok_or(())?;
+    Ok(acyclic_solve(
+        csp.constraints(),
+        &jt,
+        csp.num_variables(),
+        csp.domains(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::examples;
+
+    #[test]
+    fn example5_is_acyclic_as_dual_triangle() {
+        // the three constraints pairwise share one variable; its dual graph
+        // is a triangle, but a join tree exists (α-acyclic? here: no — the
+        // hypergraph of example 5 is cyclic). Verify build() rejects it.
+        let csp = examples::example5();
+        assert!(!is_acyclic(&csp));
+    }
+
+    #[test]
+    fn sat_example_is_acyclic_and_solvable() {
+        let csp = examples::sat_formula();
+        assert!(is_acyclic(&csp));
+        let sol = solve_acyclic_csp(&csp).unwrap().expect("satisfiable");
+        assert!(csp.is_solution(&sol));
+    }
+
+    #[test]
+    fn acyclic_solving_detects_inconsistency() {
+        use crate::relation::Relation;
+        let mut csp = crate::csp::Csp::with_uniform_domain(3, vec![0, 1]);
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![0, 0]]));
+        csp.add_constraint(Relation::new(vec![1, 2], vec![vec![1, 1]]));
+        assert!(is_acyclic(&csp));
+        assert_eq!(solve_acyclic_csp(&csp).unwrap(), None);
+    }
+
+    #[test]
+    fn chain_of_constraints_solves() {
+        use crate::relation::Relation;
+        let mut csp = crate::csp::Csp::with_uniform_domain(4, vec![0, 1]);
+        // x0 < x1, x1 = x2, x2 != x3 over {0,1}
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![0, 1]]));
+        csp.add_constraint(Relation::new(vec![1, 2], vec![vec![0, 0], vec![1, 1]]));
+        csp.add_constraint(Relation::new(vec![2, 3], vec![vec![0, 1], vec![1, 0]]));
+        let sol = solve_acyclic_csp(&csp).unwrap().expect("satisfiable");
+        assert_eq!(sol, vec![0, 1, 1, 0]);
+        assert!(csp.is_solution(&sol));
+    }
+
+    #[test]
+    fn unconstrained_variables_get_defaults() {
+        use crate::relation::Relation;
+        let mut csp = crate::csp::Csp::with_uniform_domain(3, vec![5, 6]);
+        csp.add_constraint(Relation::new(vec![0], vec![vec![6]]));
+        let sol = solve_acyclic_csp(&csp).unwrap().expect("satisfiable");
+        assert_eq!(sol[0], 6);
+        assert_eq!(sol[1], 5);
+        assert!(csp.is_solution(&sol));
+    }
+}

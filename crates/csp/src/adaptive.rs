@@ -1,0 +1,189 @@
+//! Algorithm *Adaptive Consistency* (Dechter & Pearl), the bucket-elimination
+//! CSP solver the thesis names in §2.5: "bucket elimination algorithms tend
+//! to solve CSP by creating a tree decomposition and solving the problem on
+//! that tree decomposition".
+//!
+//! Constraints are distributed into per-variable buckets along an
+//! elimination ordering; processing a bucket joins its relations and
+//! projects the bucket variable out, placing the resulting constraint into
+//! the bucket of its new deepest variable. A backtrack-free forward pass
+//! then assembles a solution. Time and space are exponential only in the
+//! induced width of the ordering — exactly the width the rest of this
+//! workspace minimises.
+
+use crate::csp::{Assignment, Csp};
+use crate::relation::{Relation, Value};
+use ghd_core::EliminationOrdering;
+
+/// Solves `csp` by adaptive consistency along `σ` (variables processed
+/// back-to-front, matching the workspace's elimination convention).
+/// Returns `None` iff the CSP has no solution.
+///
+/// # Panics
+/// Panics if `σ.len() != csp.num_variables()`.
+pub fn adaptive_consistency(csp: &Csp, sigma: &EliminationOrdering) -> Option<Assignment> {
+    let n = csp.num_variables();
+    assert_eq!(sigma.len(), n, "ordering/CSP size mismatch");
+
+    // bucket of a relation: its scope variable with the maximum position
+    let bucket_of = |r: &Relation| -> Option<usize> {
+        r.scope().iter().copied().max_by_key(|&v| sigma.position(v))
+    };
+
+    let mut buckets: Vec<Vec<Relation>> = vec![Vec::new(); n];
+    for c in csp.constraints() {
+        match bucket_of(c) {
+            Some(v) => buckets[sigma.position(v)].push(c.clone()),
+            None => {
+                // 0-ary constraint cannot arise from `Relation`
+                unreachable!("relations have nonempty scopes")
+            }
+        }
+    }
+
+    // BACKWARD: process buckets from the back of σ
+    for i in (0..n).rev() {
+        let v = sigma.at(i);
+        let relations = std::mem::take(&mut buckets[i]);
+        if relations.is_empty() {
+            continue;
+        }
+        // join all bucket relations, restrict v to its domain, project v out
+        let mut joined = relations[0].clone();
+        for r in &relations[1..] {
+            joined = joined.join(r);
+        }
+        let domain = Relation::new(
+            vec![v],
+            csp.domain(v).iter().map(|&val| vec![val]).collect(),
+        );
+        joined = joined.join(&domain);
+        if joined.is_empty() {
+            return None;
+        }
+        buckets[i] = vec![joined.clone()]; // kept for the forward pass
+        let rest: Vec<usize> = joined
+            .scope()
+            .iter()
+            .copied()
+            .filter(|&x| x != v)
+            .collect();
+        if rest.is_empty() {
+            continue;
+        }
+        let projected = joined.project(&rest);
+        if projected.is_empty() {
+            return None;
+        }
+        let target = bucket_of(&projected).expect("nonempty scope");
+        debug_assert!(sigma.position(target) < i);
+        buckets[sigma.position(target)].push(projected);
+    }
+
+    // FORWARD: assign variables front-to-back; backtrack-free by
+    // construction (each bucket's joined relation is consistent with every
+    // assignment of earlier variables).
+    let mut assignment: Vec<Option<Value>> = vec![None; n];
+    for (i, bucket) in buckets.iter().enumerate() {
+        let v = sigma.at(i);
+        if assignment[v].is_some() {
+            continue; // can't happen: each variable assigned at its bucket
+        }
+        let choice = match bucket.first() {
+            Some(r) => {
+                let filtered = r.filter_assignment(&assignment);
+                let t = filtered.tuples().first()?;
+                let col = filtered.column(v).expect("bucket relation contains v");
+                t[col]
+            }
+            // unconstrained at this point: any domain value works
+            None => csp.domain(v)[0],
+        };
+        assignment[v] = Some(choice);
+    }
+    let solution: Assignment = assignment.into_iter().map(|a| a.expect("assigned")).collect();
+    debug_assert!(csp.is_solution(&solution));
+    Some(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::examples;
+
+    #[test]
+    fn solves_the_thesis_examples() {
+        for csp in [examples::australia(), examples::sat_formula(), examples::example5()] {
+            let sigma = EliminationOrdering::identity(csp.num_variables());
+            let sol = adaptive_consistency(&csp, &sigma).expect("satisfiable");
+            assert!(csp.is_solution(&sol));
+        }
+    }
+
+    #[test]
+    fn detects_unsatisfiability() {
+        let mut csp = Csp::with_uniform_domain(2, vec![0, 1]);
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![0, 0]]));
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![1, 1]]));
+        let sigma = EliminationOrdering::identity(2);
+        assert_eq!(adaptive_consistency(&csp, &sigma), None);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_csps_and_orderings() {
+        use rand::rngs::StdRng;
+        use rand::seq::index::sample;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut csp = Csp::with_uniform_domain(7, vec![0, 1, 2]);
+            for _ in 0..5 {
+                let arity = rng.random_range(2..=3usize);
+                let scope: Vec<usize> = sample(&mut rng, 7, arity).into_iter().collect();
+                let total = 3u32.pow(arity as u32);
+                let tuples: Vec<Vec<u32>> = (0..total)
+                    .filter(|_| rng.random_bool(0.6))
+                    .map(|mut m| {
+                        let mut t = vec![0u32; arity];
+                        for slot in t.iter_mut() {
+                            *slot = m % 3;
+                            m /= 3;
+                        }
+                        t
+                    })
+                    .collect();
+                csp.add_constraint(Relation::new(scope, tuples));
+            }
+            let brute = csp.solve_brute_force();
+            let sigma = EliminationOrdering::random(7, &mut rng);
+            let ac = adaptive_consistency(&csp, &sigma);
+            assert_eq!(brute.is_some(), ac.is_some(), "seed {seed}");
+            if let Some(s) = ac {
+                assert!(csp.is_solution(&s), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn domain_restrictions_are_enforced() {
+        // constraint allows (5,5) but 5 is outside the domain
+        let mut csp = Csp::new(vec![vec![0, 1], vec![0, 1]]);
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![5, 5], vec![1, 0]]));
+        let sigma = EliminationOrdering::identity(2);
+        let sol = adaptive_consistency(&csp, &sigma).expect("satisfiable via (1,0)");
+        assert_eq!(sol, vec![1, 0]);
+    }
+
+    #[test]
+    fn n_queens_through_adaptive_consistency() {
+        let csp = examples::n_queens(5);
+        let sigma = EliminationOrdering::identity(5);
+        let sol = adaptive_consistency(&csp, &sigma).expect("5-queens solvable");
+        assert!(csp.is_solution(&sol));
+        assert_eq!(adaptive_consistency(&examples::n_queens(3), &sigma_n(3)), None);
+    }
+
+    fn sigma_n(n: usize) -> EliminationOrdering {
+        EliminationOrdering::identity(n)
+    }
+}

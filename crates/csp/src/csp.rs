@@ -1,0 +1,344 @@
+//! Constraint satisfaction problems (Definition 5) with the thesis' running
+//! examples, constraint-hypergraph extraction (Definition 7) and a
+//! brute-force reference solver for testing.
+
+use crate::relation::{Relation, Value};
+use ghd_hypergraph::Hypergraph;
+
+/// A CSP `⟨X, D, C⟩`: `domains[v]` lists the allowed values of variable `v`;
+/// each constraint is a [`Relation`].
+#[derive(Clone, Debug)]
+pub struct Csp {
+    domains: Vec<Vec<Value>>,
+    constraints: Vec<Relation>,
+}
+
+/// A complete assignment: `assignment[v]` is the value of variable `v`.
+pub type Assignment = Vec<Value>;
+
+impl Csp {
+    /// Creates a CSP with `n` variables sharing the same `domain`.
+    pub fn with_uniform_domain(n: usize, domain: Vec<Value>) -> Self {
+        Csp {
+            domains: vec![domain; n],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates a CSP with explicit per-variable domains.
+    pub fn new(domains: Vec<Vec<Value>>) -> Self {
+        Csp {
+            domains,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the scope mentions an unknown variable.
+    pub fn add_constraint(&mut self, c: Relation) -> usize {
+        assert!(
+            c.scope().iter().all(|&v| v < self.domains.len()),
+            "constraint scope out of range"
+        );
+        self.constraints.push(c);
+        self.constraints.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The domain of variable `v`.
+    pub fn domain(&self, v: usize) -> &[Value] {
+        &self.domains[v]
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[Vec<Value>] {
+        &self.domains
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Relation] {
+        &self.constraints
+    }
+
+    /// The constraint hypergraph (Definition 7): one vertex per variable,
+    /// one hyperedge per constraint scope.
+    pub fn constraint_hypergraph(&self) -> Hypergraph {
+        Hypergraph::from_edges(
+            self.domains.len(),
+            self.constraints.iter().map(|c| c.scope().iter().copied()),
+        )
+    }
+
+    /// `true` iff `assignment` satisfies every constraint.
+    pub fn is_solution(&self, assignment: &Assignment) -> bool {
+        assignment.len() == self.domains.len()
+            && assignment
+                .iter()
+                .enumerate()
+                .all(|(v, val)| self.domains[v].contains(val))
+            && self.constraints.iter().all(|c| {
+                c.tuples().iter().any(|t| {
+                    c.scope()
+                        .iter()
+                        .zip(t.iter())
+                        .all(|(&v, &tv)| assignment[v] == tv)
+                })
+            })
+    }
+
+    /// Brute-force reference solver (exponential; for tests and tiny
+    /// instances only). Returns the first solution in lexicographic
+    /// domain-index order.
+    pub fn solve_brute_force(&self) -> Option<Assignment> {
+        let n = self.domains.len();
+        let mut assignment: Vec<Value> = Vec::with_capacity(n);
+        self.brute(&mut assignment).then(|| assignment.clone())?;
+        Some(assignment)
+    }
+
+    fn brute(&self, assignment: &mut Vec<Value>) -> bool {
+        let v = assignment.len();
+        if v == self.domains.len() {
+            return self.is_solution(assignment);
+        }
+        for i in 0..self.domains[v].len() {
+            let val = self.domains[v][i];
+            assignment.push(val);
+            // prune: check constraints fully inside the assigned prefix
+            let ok = self.constraints.iter().all(|c| {
+                if c.scope().iter().any(|&x| x >= assignment.len()) {
+                    return true;
+                }
+                c.tuples().iter().any(|t| {
+                    c.scope()
+                        .iter()
+                        .zip(t.iter())
+                        .all(|(&x, &tv)| assignment[x] == tv)
+                })
+            });
+            if ok && self.brute(assignment) {
+                return true;
+            }
+            assignment.pop();
+        }
+        false
+    }
+
+    /// Brute-force count of all complete consistent assignments.
+    pub fn count_solutions_brute_force(&self) -> u64 {
+        fn rec(csp: &Csp, assignment: &mut Vec<Value>) -> u64 {
+            let v = assignment.len();
+            if v == csp.domains.len() {
+                return u64::from(csp.is_solution(assignment));
+            }
+            let mut total = 0;
+            for i in 0..csp.domains[v].len() {
+                assignment.push(csp.domains[v][i]);
+                total += rec(csp, assignment);
+                assignment.pop();
+            }
+            total
+        }
+        rec(self, &mut Vec::new())
+    }
+}
+
+/// Builders for the thesis' running examples.
+pub mod examples {
+    use super::*;
+
+    /// All ordered pairs of *distinct* values from `0..k` — the "different
+    /// colors" relation.
+    fn distinct_pairs(k: Value) -> Vec<Vec<Value>> {
+        (0..k)
+            .flat_map(|a| (0..k).filter(move |&b| b != a).map(move |b| vec![a, b]))
+            .collect()
+    }
+
+    /// Example 1: 3-coloring the map of Australia. Variables 0..=6 are
+    /// WA, NT, Q, SA, NSW, V, TAS; values 0,1,2 are r, g, b.
+    pub fn australia() -> Csp {
+        const WA: usize = 0;
+        const NT: usize = 1;
+        const Q: usize = 2;
+        const SA: usize = 3;
+        const NSW: usize = 4;
+        const V: usize = 5;
+        let mut csp = Csp::with_uniform_domain(7, vec![0, 1, 2]);
+        for (a, b) in [
+            (NT, WA),
+            (SA, WA),
+            (NT, Q),
+            (NT, SA),
+            (Q, SA),
+            (NSW, Q),
+            (NSW, V),
+            (NSW, SA),
+            (SA, V),
+        ] {
+            csp.add_constraint(Relation::new(vec![a, b], distinct_pairs(3)));
+        }
+        csp
+    }
+
+    /// Example 2: the SAT instance
+    /// `(¬x1 ∨ x2 ∨ x3) ∧ (x1 ∨ ¬x4) ∧ (¬x3 ∨ ¬x5)`
+    /// as a CSP over variables 0..=4 with values 0 = false, 1 = true.
+    pub fn sat_formula() -> Csp {
+        let mut csp = Csp::with_uniform_domain(5, vec![0, 1]);
+        // clause 1 over (x1,x2,x3): all combinations except (1,0,0)
+        let c1: Vec<Vec<Value>> = (0..8u32)
+            .map(|m| vec![m >> 2 & 1, m >> 1 & 1, m & 1])
+            .filter(|t| !(t[0] == 1 && t[1] == 0 && t[2] == 0))
+            .collect();
+        csp.add_constraint(Relation::new(vec![0, 1, 2], c1));
+        // clause 2 over (x1,x4): not (0,1)
+        let c2: Vec<Vec<Value>> = (0..4u32)
+            .map(|m| vec![m >> 1 & 1, m & 1])
+            .filter(|t| !(t[0] == 0 && t[1] == 1))
+            .collect();
+        csp.add_constraint(Relation::new(vec![0, 3], c2));
+        // clause 3 over (x3,x5): not (1,1)
+        let c3: Vec<Vec<Value>> = (0..4u32)
+            .map(|m| vec![m >> 1 & 1, m & 1])
+            .filter(|t| !(t[0] == 1 && t[1] == 1))
+            .collect();
+        csp.add_constraint(Relation::new(vec![2, 4], c3));
+        csp
+    }
+
+    /// The k-colouring CSP of an arbitrary graph (the thesis' motivating
+    /// family): one variable per vertex, values `0..k`, one ≠-constraint per
+    /// edge. Its constraint hypergraph is the graph itself.
+    pub fn graph_coloring(g: &ghd_hypergraph::Graph, k: Value) -> Csp {
+        let mut csp = Csp::with_uniform_domain(g.num_vertices(), (0..k).collect());
+        for (u, v) in g.edges() {
+            csp.add_constraint(Relation::new(vec![u, v], distinct_pairs(k)));
+        }
+        csp
+    }
+
+    /// The n-queens problem as a CSP (one variable per column, value = row;
+    /// pairwise constraints forbid shared rows and diagonals).
+    pub fn n_queens(n: usize) -> Csp {
+        let mut csp = Csp::with_uniform_domain(n, (0..n as Value).collect());
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let tuples: Vec<Vec<Value>> = (0..n as Value)
+                    .flat_map(|ra| (0..n as Value).map(move |rb| (ra, rb)))
+                    .filter(|&(ra, rb)| {
+                        ra != rb && (ra.abs_diff(rb) as usize) != b - a
+                    })
+                    .map(|(ra, rb)| vec![ra, rb])
+                    .collect();
+                csp.add_constraint(Relation::new(vec![a, b], tuples));
+            }
+        }
+        csp
+    }
+
+    /// Example 5: six variables, domains `D_{x1} = {a, b}`, the others
+    /// `{b, c}` (encoded a=0, b=1, c=2), with the three ternary constraints
+    /// of Fig 2.6.
+    pub fn example5() -> Csp {
+        let mut domains = vec![vec![1, 2]; 6];
+        domains[0] = vec![0, 1];
+        let mut csp = Csp::new(domains);
+        // R1 over (x1,x2,x3)
+        csp.add_constraint(Relation::new(
+            vec![0, 1, 2],
+            vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 1, 2]],
+        ));
+        // R2 over (x1,x5,x6)
+        csp.add_constraint(Relation::new(
+            vec![0, 4, 5],
+            vec![vec![0, 1, 2], vec![0, 2, 1]],
+        ));
+        // R3 over (x3,x4,x5)
+        csp.add_constraint(Relation::new(
+            vec![2, 3, 4],
+            vec![vec![2, 1, 2], vec![2, 2, 1]],
+        ));
+        csp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::*;
+    use super::*;
+
+    #[test]
+    fn australia_has_the_thesis_solution() {
+        let csp = australia();
+        // WA=r, NT=g, SA=b, Q=r, NSW=g, V=r, TAS=g (r=0,g=1,b=2)
+        let sol = vec![0, 1, 0, 2, 1, 0, 1];
+        assert!(csp.is_solution(&sol));
+        // 3-coloring count of Australia's mainland graph: 6 colorings × 3
+        // free choices for TAS = 18
+        assert_eq!(csp.count_solutions_brute_force(), 18);
+    }
+
+    #[test]
+    fn sat_example_solvable_with_thesis_witness() {
+        let csp = sat_formula();
+        // x1=t, x2=t, x3=f, x4=t, x5=f
+        assert!(csp.is_solution(&vec![1, 1, 0, 1, 0]));
+        assert!(csp.solve_brute_force().is_some());
+    }
+
+    #[test]
+    fn example5_matches_hypergraph_of_fig_2_6() {
+        let csp = example5();
+        let h = csp.constraint_hypergraph();
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge(0).to_vec(), vec![0, 1, 2]);
+        let sol = csp.solve_brute_force().expect("example 5 is satisfiable");
+        assert!(csp.is_solution(&sol));
+    }
+
+    #[test]
+    fn graph_coloring_builder_matches_structure() {
+        use ghd_hypergraph::generators::graphs;
+        let g = graphs::cycle(5);
+        // odd cycle: not 2-colorable, 3-colorable (30 proper colorings)
+        let c2 = graph_coloring(&g, 2);
+        assert_eq!(c2.solve_brute_force(), None);
+        let c3 = graph_coloring(&g, 3);
+        assert_eq!(c3.count_solutions_brute_force(), 30);
+        assert_eq!(c3.constraint_hypergraph().primal_graph(), g);
+    }
+
+    #[test]
+    fn n_queens_solution_counts() {
+        // classic: 2 solutions for n=4, 10 for n=5
+        assert_eq!(n_queens(4).count_solutions_brute_force(), 2);
+        assert_eq!(n_queens(5).count_solutions_brute_force(), 10);
+        assert_eq!(n_queens(3).solve_brute_force(), None);
+        let sol = n_queens(6).solve_brute_force().expect("6-queens solvable");
+        assert!(n_queens(6).is_solution(&sol));
+    }
+
+    #[test]
+    fn unsatisfiable_detected() {
+        let mut csp = Csp::with_uniform_domain(2, vec![0, 1]);
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![0, 0]]));
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![1, 1]]));
+        assert_eq!(csp.solve_brute_force(), None);
+        assert_eq!(csp.count_solutions_brute_force(), 0);
+    }
+
+    #[test]
+    fn is_solution_rejects_out_of_domain_values() {
+        let csp = Csp::with_uniform_domain(2, vec![0, 1]);
+        assert!(!csp.is_solution(&vec![0, 7]));
+        assert!(!csp.is_solution(&vec![0]));
+    }
+}

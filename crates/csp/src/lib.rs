@@ -1,0 +1,22 @@
+//! CSP substrate (§2.2–§2.4): constraint satisfaction problems, relational
+//! algebra, join trees, acyclic solving, and end-to-end solving of CSPs from
+//! tree decompositions and generalized hypertree decompositions.
+//!
+//! This is the crate that makes decompositions *useful*: a decomposition of
+//! the constraint hypergraph converts the CSP into a solution-equivalent
+//! acyclic instance, which [`acyclic::acyclic_solve`] (Fig 2.4) finishes in
+//! polynomial time.
+
+pub mod acyclic;
+pub mod adaptive;
+pub mod csp;
+pub mod enumerate;
+pub mod relation;
+pub mod solve;
+
+pub use acyclic::{is_acyclic, solve_acyclic_csp, JoinTree};
+pub use adaptive::adaptive_consistency;
+pub use csp::{examples, Assignment, Csp};
+pub use relation::{Relation, Value};
+pub use enumerate::{count_solutions_with_ghd, enumerate_solutions_with_ghd};
+pub use solve::{solve_with_ghd, solve_with_tree_decomposition, SolveError};

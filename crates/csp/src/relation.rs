@@ -1,0 +1,269 @@
+//! Relations over CSP variables with the relational-algebra operations the
+//! decomposition-based solvers need: natural join, semijoin and projection.
+
+/// A domain value (domains are indexed densely per variable).
+pub type Value = u32;
+
+/// A relation: a scope of variable ids plus the list of allowed tuples.
+/// Tuples have the scope's length; variables appear at the index of their
+/// position in `scope`. The scope contains no duplicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    scope: Vec<usize>,
+    tuples: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Creates a relation.
+    ///
+    /// # Panics
+    /// Panics if the scope contains duplicates or a tuple has the wrong
+    /// arity.
+    pub fn new(scope: Vec<usize>, tuples: Vec<Vec<Value>>) -> Self {
+        let mut sorted = scope.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), scope.len(), "duplicate variable in scope");
+        for t in &tuples {
+            assert_eq!(t.len(), scope.len(), "tuple arity mismatch");
+        }
+        Relation { scope, tuples }
+    }
+
+    /// The full relation over `scope` given per-variable domains: the
+    /// Cartesian product of the domains.
+    pub fn full(scope: Vec<usize>, domains: &[Vec<Value>]) -> Self {
+        let mut tuples: Vec<Vec<Value>> = vec![Vec::new()];
+        for &v in &scope {
+            let mut next = Vec::with_capacity(tuples.len() * domains[v].len());
+            for t in &tuples {
+                for &val in &domains[v] {
+                    let mut t2 = t.clone();
+                    t2.push(val);
+                    next.push(t2);
+                }
+            }
+            tuples = next;
+        }
+        Relation { scope, tuples }
+    }
+
+    /// The scope (variable ids, in column order).
+    pub fn scope(&self) -> &[usize] {
+        &self.scope
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Vec<Value>] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Column index of variable `v`, if in scope.
+    pub fn column(&self, v: usize) -> Option<usize> {
+        self.scope.iter().position(|&x| x == v)
+    }
+
+    /// Key of a tuple restricted to the columns `cols`.
+    fn key(t: &[Value], cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| t[c]).collect()
+    }
+
+    /// Natural join `self ⋈ other`.
+    pub fn join(&self, other: &Relation) -> Relation {
+        // shared variables and their column indices in both relations
+        let shared: Vec<usize> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|&v| other.column(v).is_some())
+            .collect();
+        let self_cols: Vec<usize> = shared.iter().map(|&v| self.column(v).unwrap()).collect();
+        let other_cols: Vec<usize> = shared.iter().map(|&v| other.column(v).unwrap()).collect();
+        let extra: Vec<usize> = other
+            .scope
+            .iter()
+            .copied()
+            .filter(|&v| self.column(v).is_none())
+            .collect();
+        let extra_cols: Vec<usize> = extra.iter().map(|&v| other.column(v).unwrap()).collect();
+
+        // hash the smaller side on the shared key
+        use std::collections::HashMap;
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, t) in other.tuples.iter().enumerate() {
+            index.entry(Self::key(t, &other_cols)).or_default().push(i);
+        }
+        let mut scope = self.scope.clone();
+        scope.extend(&extra);
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            if let Some(matches) = index.get(&Self::key(t, &self_cols)) {
+                for &j in matches {
+                    let mut row = t.clone();
+                    row.extend(extra_cols.iter().map(|&c| other.tuples[j][c]));
+                    tuples.push(row);
+                }
+            }
+        }
+        Relation { scope, tuples }
+    }
+
+    /// Semijoin `self ⋉ other`: keeps the tuples of `self` that agree with
+    /// at least one tuple of `other` on the shared variables. Returns `true`
+    /// if any tuple was removed.
+    pub fn semijoin(&mut self, other: &Relation) -> bool {
+        let shared: Vec<usize> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|&v| other.column(v).is_some())
+            .collect();
+        if shared.is_empty() {
+            if other.is_empty() && !self.is_empty() {
+                self.tuples.clear();
+                return true;
+            }
+            return false;
+        }
+        let self_cols: Vec<usize> = shared.iter().map(|&v| self.column(v).unwrap()).collect();
+        let other_cols: Vec<usize> = shared.iter().map(|&v| other.column(v).unwrap()).collect();
+        use std::collections::HashSet;
+        let keys: HashSet<Vec<Value>> = other
+            .tuples
+            .iter()
+            .map(|t| Self::key(t, &other_cols))
+            .collect();
+        let before = self.tuples.len();
+        self.tuples.retain(|t| keys.contains(&Self::key(t, &self_cols)));
+        self.tuples.len() != before
+    }
+
+    /// Projection `π_vars(self)` with duplicate elimination.
+    ///
+    /// # Panics
+    /// Panics if some requested variable is not in scope.
+    pub fn project(&self, vars: &[usize]) -> Relation {
+        let cols: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.column(v).expect("projection variable not in scope"))
+            .collect();
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            let row = Self::key(t, &cols);
+            if seen.insert(row.clone()) {
+                tuples.push(row);
+            }
+        }
+        Relation {
+            scope: vars.to_vec(),
+            tuples,
+        }
+    }
+
+    /// Keeps only tuples compatible with a partial assignment
+    /// (`assignment[v] = Some(val)`).
+    pub fn filter_assignment(&self, assignment: &[Option<Value>]) -> Relation {
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| {
+                self.scope
+                    .iter()
+                    .zip(t.iter())
+                    .all(|(&v, &val)| assignment[v].is_none_or(|a| a == val))
+            })
+            .cloned()
+            .collect();
+        Relation {
+            scope: self.scope.clone(),
+            tuples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(scope: &[usize], tuples: &[&[Value]]) -> Relation {
+        Relation::new(scope.to_vec(), tuples.iter().map(|t| t.to_vec()).collect())
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let a = r(&[0, 1], &[&[1, 2], &[1, 3], &[2, 2]]);
+        let b = r(&[1, 2], &[&[2, 9], &[3, 8]]);
+        let j = a.join(&b);
+        assert_eq!(j.scope(), &[0, 1, 2]);
+        let mut tuples = j.tuples().to_vec();
+        tuples.sort();
+        assert_eq!(tuples, vec![vec![1, 2, 9], vec![1, 3, 8], vec![2, 2, 9]]);
+    }
+
+    #[test]
+    fn join_without_shared_variables_is_cross_product() {
+        let a = r(&[0], &[&[1], &[2]]);
+        let b = r(&[1], &[&[7]]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.scope(), &[0, 1]);
+    }
+
+    #[test]
+    fn semijoin_removes_unsupported_tuples() {
+        let mut a = r(&[0, 1], &[&[1, 2], &[1, 3], &[2, 2]]);
+        let b = r(&[1], &[&[2]]);
+        assert!(a.semijoin(&b));
+        assert_eq!(a.tuples(), &[vec![1, 2], vec![2, 2]]);
+        assert!(!a.semijoin(&b)); // idempotent
+    }
+
+    #[test]
+    fn semijoin_disjoint_scopes_checks_emptiness_only() {
+        let mut a = r(&[0], &[&[1]]);
+        let empty = Relation::new(vec![5], vec![]);
+        assert!(a.semijoin(&empty));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let a = r(&[0, 1], &[&[1, 2], &[1, 3], &[2, 2]]);
+        let p = a.project(&[0]);
+        assert_eq!(p.tuples(), &[vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn full_relation_is_cartesian_product() {
+        let domains = vec![vec![0, 1], vec![0, 1, 2]];
+        let f = Relation::full(vec![0, 1], &domains);
+        assert_eq!(f.len(), 6);
+    }
+
+    #[test]
+    fn filter_by_partial_assignment() {
+        let a = r(&[0, 1], &[&[1, 2], &[1, 3], &[2, 2]]);
+        let mut asg = vec![None, None];
+        asg[0] = Some(1);
+        let f = a.filter_assignment(&asg);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_scope_rejected() {
+        let _ = Relation::new(vec![0, 0], vec![]);
+    }
+}

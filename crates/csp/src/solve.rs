@@ -1,0 +1,258 @@
+//! Solving CSPs from tree decompositions and (complete) generalized
+//! hypertree decompositions (§2.4): the decomposition turns the CSP into a
+//! solution-equivalent acyclic instance, which *Acyclic Solving* finishes.
+
+use crate::acyclic::{acyclic_solve, JoinTree};
+use crate::csp::{Assignment, Csp};
+use crate::relation::Relation;
+use ghd_core::{GeneralizedHypertreeDecomposition, TreeDecomposition};
+
+/// Error cases of the decomposition-based solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The decomposition is not valid for this CSP's constraint hypergraph.
+    InvalidDecomposition,
+    /// A constraint's scope fits in no bag (condition 1 violated).
+    ConstraintNotPlaced,
+}
+
+/// A join tree directly mirroring a decomposition's tree structure.
+fn tree_of_decomposition(td: &TreeDecomposition) -> JoinTreeShim {
+    JoinTreeShim {
+        parent: td.nodes().map(|p| td.parent(p)).collect(),
+        order: td.preorder(),
+    }
+}
+
+struct JoinTreeShim {
+    parent: Vec<Option<usize>>,
+    order: Vec<usize>,
+}
+
+impl JoinTreeShim {
+    fn to_join_tree(&self) -> JoinTree {
+        // JoinTree has no public constructor from raw parts; rebuild through
+        // its invariant-checked builder is impossible here (relations may
+        // legally violate *its* dual-graph construction), so JoinTree
+        // exposes `from_parts` for decomposition shims.
+        JoinTree::from_parts(self.parent.clone(), self.order.clone())
+    }
+}
+
+/// Solves a CSP from a tree decomposition of its constraint hypergraph
+/// (Join Tree Clustering, §2.4):
+///
+/// 1. place every constraint at a node whose bag contains its scope,
+/// 2. per node, solve the subproblem: all assignments of the bag variables
+///    consistent with the constraints placed there (cost `O(d^{w+1})`),
+/// 3. run Acyclic Solving on the resulting join tree.
+pub fn solve_with_tree_decomposition(
+    csp: &Csp,
+    td: &TreeDecomposition,
+) -> Result<Option<Assignment>, SolveError> {
+    let h = csp.constraint_hypergraph();
+    td.verify(&h).map_err(|_| SolveError::InvalidDecomposition)?;
+
+    // 1. place constraints
+    let mut placed: Vec<Vec<usize>> = vec![Vec::new(); td.num_nodes()];
+    for (ci, c) in csp.constraints().iter().enumerate() {
+        let node = td
+            .nodes()
+            .find(|&p| c.scope().iter().all(|&v| td.bag(p).contains(v)))
+            .ok_or(SolveError::ConstraintNotPlaced)?;
+        placed[node].push(ci);
+    }
+
+    // 2. per-node subproblems: full product over the bag filtered by the
+    // placed constraints
+    let relations: Vec<Relation> = td
+        .nodes()
+        .map(|p| {
+            let bag: Vec<usize> = td.bag(p).to_vec();
+            let mut r = Relation::full(bag.clone(), csp.domains());
+            for &ci in &placed[p] {
+                r = r.join(&csp.constraints()[ci]).project(&bag);
+            }
+            r
+        })
+        .collect();
+
+    // 3. acyclic solving along the decomposition tree
+    let shim = tree_of_decomposition(td);
+    let jt = shim.to_join_tree();
+    Ok(acyclic_solve(
+        &relations,
+        &jt,
+        csp.num_variables(),
+        csp.domains(),
+    ))
+}
+
+/// Builds the join tree of node relations `R_p := π_{χ(p)} ⋈_{h ∈ λ(p)} R_h`
+/// for a (completed) GHD — the shared front half of GHD-based solving,
+/// counting and enumeration. Returns the relations, the join tree mirroring
+/// the decomposition's shape, and the completed decomposition.
+pub(crate) fn ghd_relations(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+) -> Result<(Vec<Relation>, JoinTree, GeneralizedHypertreeDecomposition), SolveError> {
+    let h = csp.constraint_hypergraph();
+    ghd.verify(&h).map_err(|_| SolveError::InvalidDecomposition)?;
+    let complete = if ghd.is_complete(&h) {
+        ghd.clone()
+    } else {
+        ghd.clone().complete(&h)
+    };
+    let td = complete.tree();
+
+    let relations: Vec<Relation> = td
+        .nodes()
+        .map(|p| {
+            let bag: Vec<usize> = td.bag(p).to_vec();
+            let lam = complete.lambda(p);
+            let mut r: Option<Relation> = None;
+            for &e in lam {
+                let c = &csp.constraints()[e];
+                r = Some(match r {
+                    None => c.clone(),
+                    Some(acc) => acc.join(c),
+                });
+            }
+            let joined = r.unwrap_or_else(|| Relation::full(bag.clone(), csp.domains()));
+            // χ(p) ⊆ var(λ(p)) by condition 3, so the projection is defined
+            joined.project(&bag)
+        })
+        .collect();
+
+    let shim = tree_of_decomposition(td);
+    let jt = shim.to_join_tree();
+    Ok((relations, jt, complete))
+}
+
+/// Solves a CSP from a *complete* generalized hypertree decomposition
+/// (§2.4): per node `p`, `R_p := π_{χ(p)} ⋈_{h ∈ λ(p)} R_h`, then Acyclic
+/// Solving. The decomposition is completed automatically if necessary
+/// (Lemma 2), so any valid GHD is accepted.
+pub fn solve_with_ghd(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+) -> Result<Option<Assignment>, SolveError> {
+    let (relations, jt, _) = ghd_relations(csp, ghd)?;
+    Ok(acyclic_solve(
+        &relations,
+        &jt,
+        csp.num_variables(),
+        csp.domains(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::examples;
+    use ghd_core::bucket::{ghd_from_ordering, vertex_elimination};
+    use ghd_core::setcover::CoverMethod;
+    use ghd_core::EliminationOrdering;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn td_for(csp: &Csp, sigma: &EliminationOrdering) -> TreeDecomposition {
+        vertex_elimination(&csp.constraint_hypergraph().primal_graph(), sigma)
+    }
+
+    #[test]
+    fn example5_solved_from_tree_decomposition() {
+        let csp = examples::example5();
+        // Fig 2.11's ordering σ = (x6..x1)
+        let sigma = EliminationOrdering::new(vec![5, 4, 3, 2, 1, 0]).unwrap();
+        let td = td_for(&csp, &sigma);
+        let sol = solve_with_tree_decomposition(&csp, &td)
+            .unwrap()
+            .expect("example 5 is satisfiable");
+        assert!(csp.is_solution(&sol));
+    }
+
+    #[test]
+    fn example5_solved_from_ghd() {
+        let csp = examples::example5();
+        let sigma = EliminationOrdering::new(vec![5, 4, 3, 2, 1, 0]).unwrap();
+        let ghd = ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Exact);
+        let sol = solve_with_ghd(&csp, &ghd).unwrap().expect("satisfiable");
+        assert!(csp.is_solution(&sol));
+    }
+
+    #[test]
+    fn australia_solved_from_decompositions() {
+        let csp = examples::australia();
+        let sigma = EliminationOrdering::identity(7);
+        let td = td_for(&csp, &sigma);
+        let sol = solve_with_tree_decomposition(&csp, &td).unwrap().unwrap();
+        assert!(csp.is_solution(&sol));
+        let ghd = ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Greedy);
+        let sol2 = solve_with_ghd(&csp, &ghd).unwrap().unwrap();
+        assert!(csp.is_solution(&sol2));
+    }
+
+    #[test]
+    fn unsatisfiable_csp_detected_through_decomposition() {
+        use crate::relation::Relation;
+        let mut csp = Csp::with_uniform_domain(3, vec![0, 1]);
+        csp.add_constraint(Relation::new(vec![0, 1], vec![vec![0, 0]]));
+        csp.add_constraint(Relation::new(vec![1, 2], vec![vec![1, 0]]));
+        let sigma = EliminationOrdering::identity(3);
+        let td = td_for(&csp, &sigma);
+        assert_eq!(solve_with_tree_decomposition(&csp, &td).unwrap(), None);
+        let ghd = ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Exact);
+        assert_eq!(solve_with_ghd(&csp, &ghd).unwrap(), None);
+    }
+
+    #[test]
+    fn decomposition_solvers_agree_with_brute_force_on_random_csps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..10u64 {
+            let csp = random_csp(seed);
+            let brute = csp.solve_brute_force();
+            let sigma = EliminationOrdering::random(csp.num_variables(), &mut rng);
+            let td = td_for(&csp, &sigma);
+            let td_sol = solve_with_tree_decomposition(&csp, &td).unwrap();
+            assert_eq!(brute.is_some(), td_sol.is_some(), "TD seed {seed}");
+            if let Some(s) = td_sol {
+                assert!(csp.is_solution(&s), "TD seed {seed}");
+            }
+            let ghd =
+                ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Exact);
+            let ghd_sol = solve_with_ghd(&csp, &ghd).unwrap();
+            assert_eq!(brute.is_some(), ghd_sol.is_some(), "GHD seed {seed}");
+            if let Some(s) = ghd_sol {
+                assert!(csp.is_solution(&s), "GHD seed {seed}");
+            }
+        }
+    }
+
+    /// Random small CSP: 7 variables over {0,1,2}, 5 random ternary/binary
+    /// constraints with random tuple subsets.
+    fn random_csp(seed: u64) -> Csp {
+        use rand::seq::index::sample;
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut csp = Csp::with_uniform_domain(7, vec![0, 1, 2]);
+        for _ in 0..5 {
+            let arity = rng.random_range(2..=3usize);
+            let scope: Vec<usize> = sample(&mut rng, 7, arity).into_iter().collect();
+            let total = 3u32.pow(arity as u32);
+            let tuples: Vec<Vec<u32>> = (0..total)
+                .filter(|_| rng.random_bool(0.6))
+                .map(|mut m| {
+                    let mut t = vec![0u32; arity];
+                    for slot in t.iter_mut() {
+                        *slot = m % 3;
+                        m /= 3;
+                    }
+                    t
+                })
+                .collect();
+            csp.add_constraint(Relation::new(scope, tuples));
+        }
+        csp
+    }
+}

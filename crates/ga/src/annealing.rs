@@ -1,0 +1,187 @@
+//! Simulated annealing over elimination orderings — the baseline that
+//! Larrañaga et al. \[36\] (the thesis' GA source, §4.5) report as the only
+//! method matching the genetic algorithm's triangulation quality. Provided
+//! for comparison experiments against GA-tw / GA-ghw.
+
+use crate::engine::GaResult;
+use crate::permutation::MutationOp;
+use ghd_core::eval::{GhwEvaluator, TwEvaluator};
+use ghd_core::EliminationOrdering;
+use ghd_hypergraph::{Graph, Hypergraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Control parameters of the annealer.
+#[derive(Clone, Debug)]
+pub struct SaConfig {
+    /// Starting temperature (in width units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per temperature level (0 < c < 1).
+    pub cooling: f64,
+    /// Proposals evaluated at each temperature level.
+    pub steps_per_level: usize,
+    /// Stop once the temperature falls below this.
+    pub min_temperature: f64,
+    /// Neighbourhood move (ISM by default, the best mutation of Table 6.2).
+    pub mutation: MutationOp,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional wall-clock budget.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temperature: 4.0,
+            cooling: 0.95,
+            steps_per_level: 400,
+            min_temperature: 0.05,
+            mutation: MutationOp::Ism,
+            seed: 0,
+            time_limit: None,
+        }
+    }
+}
+
+impl SaConfig {
+    /// A small configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        SaConfig {
+            steps_per_level: 120,
+            cooling: 0.9,
+            seed,
+            ..SaConfig::default()
+        }
+    }
+}
+
+/// Runs simulated annealing on permutations of `0..n`, minimising `fitness`.
+pub fn run_sa<F>(n: usize, cfg: &SaConfig, mut fitness: F) -> GaResult
+where
+    F: FnMut(&[usize]) -> usize,
+{
+    assert!(n >= 1);
+    assert!(cfg.cooling > 0.0 && cfg.cooling < 1.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut current = {
+        use rand::seq::SliceRandom;
+        let mut p: Vec<usize> = (0..n).collect();
+        p.shuffle(&mut rng);
+        p
+    };
+    let mut current_w = fitness(&current);
+    let mut best = current.clone();
+    let mut best_w = current_w;
+    let mut history = vec![best_w];
+    let mut evaluations: u64 = 1;
+    let started = Instant::now();
+
+    let mut temp = cfg.initial_temperature;
+    'outer: while temp >= cfg.min_temperature {
+        for _ in 0..cfg.steps_per_level {
+            if let Some(limit) = cfg.time_limit {
+                if started.elapsed() >= limit {
+                    break 'outer;
+                }
+            }
+            let mut candidate = current.clone();
+            cfg.mutation.apply(&mut candidate, &mut rng);
+            let w = fitness(&candidate);
+            evaluations += 1;
+            let delta = w as f64 - current_w as f64;
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                current = candidate;
+                current_w = w;
+                if current_w < best_w {
+                    best_w = current_w;
+                    best = current.clone();
+                }
+            }
+        }
+        history.push(best_w);
+        temp *= cfg.cooling;
+    }
+    GaResult {
+        best_width: best_w,
+        best_ordering: best,
+        history,
+        evaluations,
+    }
+}
+
+/// Simulated annealing for treewidth upper bounds (Fig 6.2 fitness).
+pub fn sa_tw(g: &Graph, cfg: &SaConfig) -> GaResult {
+    let mut eval = TwEvaluator::new(g);
+    run_sa(g.num_vertices(), cfg, move |genes| {
+        let sigma = EliminationOrdering::new(genes.to_vec()).expect("SA maintains permutations");
+        eval.width(&sigma)
+    })
+}
+
+/// Simulated annealing for generalized hypertree width upper bounds
+/// (Fig 7.1 fitness with random greedy tie-breaks).
+pub fn sa_ghw(h: &Hypergraph, cfg: &SaConfig) -> GaResult {
+    let mut eval = GhwEvaluator::new(h);
+    let mut cover_rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1B5_4A32_D192_ED03);
+    run_sa(h.num_vertices(), cfg, move |genes| {
+        let sigma = EliminationOrdering::new(genes.to_vec()).expect("SA maintains permutations");
+        eval.width(&sigma, Some(&mut cover_rng))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghd_hypergraph::generators::{graphs, hypergraphs};
+
+    #[test]
+    fn finds_treewidth_of_easy_graphs() {
+        let cfg = SaConfig::small(1);
+        assert_eq!(sa_tw(&graphs::cycle(12), &cfg).best_width, 2);
+        assert_eq!(sa_tw(&graphs::complete(7), &cfg).best_width, 6);
+        assert_eq!(sa_tw(&graphs::grid(4), &cfg).best_width, 4);
+    }
+
+    #[test]
+    fn finds_ghw_of_easy_hypergraphs() {
+        let cfg = SaConfig::small(2);
+        assert_eq!(sa_ghw(&hypergraphs::clique(8), &cfg).best_width, 4);
+        assert_eq!(sa_ghw(&hypergraphs::acyclic_chain(4, 3, 1), &cfg).best_width, 1);
+    }
+
+    #[test]
+    fn never_below_the_exact_optimum() {
+        for seed in 0..4u64 {
+            let g = graphs::gnm_random(14, 35, seed);
+            let exact = ghd_search::astar_tw(&g, ghd_search::SearchLimits::unlimited());
+            assert!(exact.exact);
+            let r = sa_tw(&g, &SaConfig::small(seed));
+            assert!(r.best_width >= exact.upper_bound, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seed_reproducible_and_history_monotone() {
+        let g = graphs::queen(4);
+        let a = sa_tw(&g, &SaConfig::small(5));
+        let b = sa_tw(&g, &SaConfig::small(5));
+        assert_eq!(a.best_width, b.best_width);
+        assert_eq!(a.best_ordering, b.best_ordering);
+        assert!(a.history.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        let g = graphs::queen(6);
+        let cfg = SaConfig {
+            steps_per_level: usize::MAX / 2,
+            time_limit: Some(Duration::from_millis(50)),
+            ..SaConfig::default()
+        };
+        let start = Instant::now();
+        let _ = sa_tw(&g, &cfg);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

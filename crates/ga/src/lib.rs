@@ -1,0 +1,18 @@
+//! Genetic algorithms for treewidth and generalized hypertree width upper
+//! bounds (Chapters 4.3, 6 and 7): the permutation operator suite of
+//! Larrañaga et al., the GA engine, GA-tw, GA-ghw and the self-adaptive
+//! island variant SAIGA-ghw.
+
+pub mod annealing;
+pub mod engine;
+pub mod ga_ghw;
+pub mod ga_tw;
+pub mod permutation;
+pub mod saiga;
+
+pub use annealing::{run_sa, sa_ghw, sa_tw, SaConfig};
+pub use engine::{run_ga, GaConfig, GaResult};
+pub use ga_ghw::{ga_ghw, ga_ghw_seeded};
+pub use ga_tw::{ga_tw, ga_tw_hypergraph};
+pub use permutation::{CrossoverOp, MutationOp};
+pub use saiga::{saiga_ghw, SaigaConfig, SaigaResult};

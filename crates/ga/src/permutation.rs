@@ -1,0 +1,430 @@
+//! Crossover (§4.3.2) and mutation (§4.3.3) operators for permutations,
+//! following Larrañaga et al. \[36\] — the operator suite compared in
+//! Tables 6.1 and 6.2.
+
+use rand::{Rng, RngExt};
+
+/// The six crossover operators of §4.3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossoverOp {
+    /// Partially-mapped crossover.
+    Pmx,
+    /// Cycle crossover.
+    Cx,
+    /// Order crossover.
+    Ox1,
+    /// Order-based crossover.
+    Ox2,
+    /// Position-based crossover (the thesis' winner, Table 6.1).
+    Pos,
+    /// Alternating-position crossover.
+    Ap,
+}
+
+impl CrossoverOp {
+    /// All operators, in Table 6.1 order.
+    pub const ALL: [CrossoverOp; 6] = [
+        CrossoverOp::Pmx,
+        CrossoverOp::Cx,
+        CrossoverOp::Ox1,
+        CrossoverOp::Ox2,
+        CrossoverOp::Pos,
+        CrossoverOp::Ap,
+    ];
+
+    /// Short name as used in the thesis tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossoverOp::Pmx => "PMX",
+            CrossoverOp::Cx => "CX",
+            CrossoverOp::Ox1 => "OX1",
+            CrossoverOp::Ox2 => "OX2",
+            CrossoverOp::Pos => "POS",
+            CrossoverOp::Ap => "AP",
+        }
+    }
+
+    /// Produces one offspring from two parents.
+    pub fn apply<R: Rng + ?Sized>(self, p1: &[usize], p2: &[usize], rng: &mut R) -> Vec<usize> {
+        debug_assert_eq!(p1.len(), p2.len());
+        match self {
+            CrossoverOp::Pmx => pmx(p1, p2, rng),
+            CrossoverOp::Cx => cx(p1, p2),
+            CrossoverOp::Ox1 => ox1(p1, p2, rng),
+            CrossoverOp::Ox2 => ox2(p1, p2, rng),
+            CrossoverOp::Pos => pos(p1, p2, rng),
+            CrossoverOp::Ap => ap(p1, p2),
+        }
+    }
+}
+
+/// The six mutation operators of §4.3.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Displacement mutation.
+    Dm,
+    /// Exchange mutation.
+    Em,
+    /// Insertion mutation (the thesis' winner, Table 6.2).
+    Ism,
+    /// Simple-inversion mutation.
+    Sim,
+    /// Inversion mutation.
+    Ivm,
+    /// Scramble mutation.
+    Sm,
+}
+
+impl MutationOp {
+    /// All operators, in Table 6.2 order.
+    pub const ALL: [MutationOp; 6] = [
+        MutationOp::Dm,
+        MutationOp::Em,
+        MutationOp::Ism,
+        MutationOp::Sim,
+        MutationOp::Ivm,
+        MutationOp::Sm,
+    ];
+
+    /// Short name as used in the thesis tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationOp::Dm => "DM",
+            MutationOp::Em => "EM",
+            MutationOp::Ism => "ISM",
+            MutationOp::Sim => "SIM",
+            MutationOp::Ivm => "IVM",
+            MutationOp::Sm => "SM",
+        }
+    }
+
+    /// Mutates `perm` in place.
+    pub fn apply<R: Rng + ?Sized>(self, perm: &mut Vec<usize>, rng: &mut R) {
+        if perm.len() < 2 {
+            return;
+        }
+        match self {
+            MutationOp::Dm => dm(perm, rng),
+            MutationOp::Em => em(perm, rng),
+            MutationOp::Ism => ism(perm, rng),
+            MutationOp::Sim => sim(perm, rng),
+            MutationOp::Ivm => ivm(perm, rng),
+            MutationOp::Sm => sm(perm, rng),
+        }
+    }
+}
+
+/// Random substring bounds `i < j` (half-open).
+fn cutpoints<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    if a <= b {
+        (a, b + 1)
+    } else {
+        (b, a + 1)
+    }
+}
+
+fn pmx<R: Rng + ?Sized>(p1: &[usize], p2: &[usize], rng: &mut R) -> Vec<usize> {
+    let n = p1.len();
+    let (i, j) = cutpoints(n, rng);
+    let mut pos1 = vec![usize::MAX; n]; // value → index in p1
+    for (k, &v) in p1.iter().enumerate() {
+        pos1[v] = k;
+    }
+    let in_segment = |v: usize| {
+        let k = pos1[v];
+        k >= i && k < j
+    };
+    let mut child = vec![usize::MAX; n];
+    child[i..j].copy_from_slice(&p1[i..j]);
+    for k in (0..i).chain(j..n) {
+        let mut v = p2[k];
+        // follow the segment mapping p1[m] → p2[m] until leaving the segment
+        while in_segment(v) {
+            v = p2[pos1[v]];
+        }
+        child[k] = v;
+    }
+    child
+}
+
+fn cx(p1: &[usize], p2: &[usize]) -> Vec<usize> {
+    let n = p1.len();
+    let mut pos1 = vec![usize::MAX; n];
+    for (k, &v) in p1.iter().enumerate() {
+        pos1[v] = k;
+    }
+    let mut in_cycle = vec![false; n];
+    let mut k = 0;
+    loop {
+        in_cycle[k] = true;
+        k = pos1[p2[k]];
+        if k == 0 {
+            break;
+        }
+    }
+    (0..n)
+        .map(|k| if in_cycle[k] { p1[k] } else { p2[k] })
+        .collect()
+}
+
+fn ox1<R: Rng + ?Sized>(p1: &[usize], p2: &[usize], rng: &mut R) -> Vec<usize> {
+    let n = p1.len();
+    let (i, j) = cutpoints(n, rng);
+    let mut used = vec![false; n];
+    for &v in &p1[i..j] {
+        used[v] = true;
+    }
+    let mut child = vec![usize::MAX; n];
+    child[i..j].copy_from_slice(&p1[i..j]);
+    // fill positions j, j+1, … (wrapping) with p2's values starting after j
+    let mut fill = j % n;
+    for off in 0..n {
+        let v = p2[(j + off) % n];
+        if !used[v] {
+            child[fill] = v;
+            fill = (fill + 1) % n;
+            while fill >= i && fill < j {
+                fill = (fill + 1) % n; // skip the copied segment
+            }
+        }
+    }
+    child
+}
+
+fn ox2<R: Rng + ?Sized>(p1: &[usize], p2: &[usize], rng: &mut R) -> Vec<usize> {
+    let n = p1.len();
+    // coin-toss position selection in p2
+    let selected: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
+    let mut chosen_vals = vec![false; n];
+    for &k in &selected {
+        chosen_vals[p2[k]] = true;
+    }
+    // offspring = p1 with the chosen values reordered to p2's order
+    let mut replacement = selected.iter().map(|&k| p2[k]);
+    p1.iter()
+        .map(|&v| {
+            if chosen_vals[v] {
+                replacement.next().expect("counts match")
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+fn pos<R: Rng + ?Sized>(p1: &[usize], p2: &[usize], rng: &mut R) -> Vec<usize> {
+    let n = p1.len();
+    let selected: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+    let mut child = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    for k in 0..n {
+        if selected[k] {
+            child[k] = p2[k];
+            used[p2[k]] = true;
+        }
+    }
+    // remaining positions filled with p1's unused values in p1 order
+    let mut fill = p1.iter().copied().filter(|&v| !used[v]);
+    for slot in child.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = fill.next().expect("counts match");
+        }
+    }
+    child
+}
+
+fn ap(p1: &[usize], p2: &[usize]) -> Vec<usize> {
+    let n = p1.len();
+    let mut used = vec![false; n];
+    let mut child = Vec::with_capacity(n);
+    let (mut i1, mut i2) = (0, 0);
+    for turn in 0.. {
+        if child.len() == n {
+            break;
+        }
+        let (p, idx) = if turn % 2 == 0 {
+            (p1, &mut i1)
+        } else {
+            (p2, &mut i2)
+        };
+        while *idx < n && used[p[*idx]] {
+            *idx += 1;
+        }
+        if *idx < n {
+            used[p[*idx]] = true;
+            child.push(p[*idx]);
+        }
+    }
+    child
+}
+
+fn dm<R: Rng + ?Sized>(perm: &mut Vec<usize>, rng: &mut R) {
+    let n = perm.len();
+    let (i, j) = cutpoints(n, rng);
+    let segment: Vec<usize> = perm.drain(i..j).collect();
+    let at = rng.random_range(0..=perm.len());
+    perm.splice(at..at, segment);
+}
+
+fn em<R: Rng + ?Sized>(perm: &mut [usize], rng: &mut R) {
+    let n = perm.len();
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    perm.swap(a, b);
+}
+
+fn ism<R: Rng + ?Sized>(perm: &mut Vec<usize>, rng: &mut R) {
+    let n = perm.len();
+    let from = rng.random_range(0..n);
+    let v = perm.remove(from);
+    let to = rng.random_range(0..=perm.len());
+    perm.insert(to, v);
+}
+
+fn sim<R: Rng + ?Sized>(perm: &mut [usize], rng: &mut R) {
+    let n = perm.len();
+    let (i, j) = cutpoints(n, rng);
+    perm[i..j].reverse();
+}
+
+fn ivm<R: Rng + ?Sized>(perm: &mut Vec<usize>, rng: &mut R) {
+    let n = perm.len();
+    let (i, j) = cutpoints(n, rng);
+    let mut segment: Vec<usize> = perm.drain(i..j).collect();
+    segment.reverse();
+    let at = rng.random_range(0..=perm.len());
+    perm.splice(at..at, segment);
+}
+
+fn sm<R: Rng + ?Sized>(perm: &mut [usize], rng: &mut R) {
+    use rand::seq::SliceRandom;
+    let n = perm.len();
+    let (i, j) = cutpoints(n, rng);
+    perm[i..j].shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_permutation(p: &[usize]) -> bool {
+        let n = p.len();
+        let mut seen = vec![false; n];
+        p.iter().all(|&v| {
+            if v >= n || seen[v] {
+                false
+            } else {
+                seen[v] = true;
+                true
+            }
+        })
+    }
+
+    #[test]
+    fn all_crossovers_produce_permutations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        use rand::seq::SliceRandom;
+        for trial in 0..50 {
+            let n = 2 + trial % 15;
+            let mut p1: Vec<usize> = (0..n).collect();
+            let mut p2: Vec<usize> = (0..n).collect();
+            p1.shuffle(&mut rng);
+            p2.shuffle(&mut rng);
+            for op in CrossoverOp::ALL {
+                let child = op.apply(&p1, &p2, &mut rng);
+                assert!(
+                    is_permutation(&child),
+                    "{} broke permutation: {child:?} from {p1:?}, {p2:?}",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_mutations_preserve_permutations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        use rand::seq::SliceRandom;
+        for trial in 0..50 {
+            let n = 2 + trial % 15;
+            let mut p: Vec<usize> = (0..n).collect();
+            p.shuffle(&mut rng);
+            for op in MutationOp::ALL {
+                let mut q = p.clone();
+                op.apply(&mut q, &mut rng);
+                assert!(is_permutation(&q), "{} broke permutation: {q:?}", op.name());
+                assert_eq!(q.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn cx_with_identical_parents_is_identity() {
+        let p: Vec<usize> = vec![3, 1, 4, 0, 2];
+        assert_eq!(cx(&p, &p), p);
+    }
+
+    #[test]
+    fn cx_takes_first_cycle_from_p1_rest_from_p2() {
+        // p1 = 0 1 2 3, p2 = 1 0 3 2: cycle at position 0 is {0, 1};
+        // offspring = p1 on {0,1}, p2 on {2,3} = [0, 1, 3, 2]
+        let p1 = vec![0, 1, 2, 3];
+        let p2 = vec![1, 0, 3, 2];
+        assert_eq!(cx(&p1, &p2), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn ap_alternates_parents() {
+        // AP on p1 = (1,2,3,4), p2 = (4,3,2,1):
+        // take 1, then 4, then 2 (3 used? no: p2 gives 3), …
+        let p1 = vec![0, 1, 2, 3];
+        let p2 = vec![3, 2, 1, 0];
+        let child = ap(&p1, &p2);
+        assert_eq!(child, vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn em_swaps_exactly_two_or_zero_positions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p: Vec<usize> = (0..10).collect();
+        for _ in 0..20 {
+            let mut q = p.clone();
+            em(&mut q, &mut rng);
+            let diffs = p.iter().zip(&q).filter(|(a, b)| a != b).count();
+            assert!(diffs == 0 || diffs == 2);
+        }
+    }
+
+    #[test]
+    fn sim_reverses_a_segment() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p: Vec<usize> = (0..8).collect();
+        let mut q = p.clone();
+        sim(&mut q, &mut rng);
+        // q is p with one contiguous segment reversed: find it
+        let l = p.iter().zip(&q).take_while(|(a, b)| a == b).count();
+        let r = p
+            .iter()
+            .rev()
+            .zip(q.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let mid: Vec<usize> = q[l..8 - r].iter().rev().copied().collect();
+        assert_eq!(&p[l..8 - r], mid.as_slice());
+    }
+
+    #[test]
+    fn operators_are_seed_deterministic() {
+        for op in CrossoverOp::ALL {
+            let p1: Vec<usize> = (0..12).collect();
+            let p2: Vec<usize> = (0..12).rev().collect();
+            let a = op.apply(&p1, &p2, &mut StdRng::seed_from_u64(9));
+            let b = op.apply(&p1, &p2, &mut StdRng::seed_from_u64(9));
+            assert_eq!(a, b, "{}", op.name());
+        }
+    }
+}

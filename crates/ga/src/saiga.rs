@@ -1,0 +1,256 @@
+//! Algorithm SAIGA-ghw (§7.2): a *self-adaptive island* genetic algorithm
+//! for generalized hypertree width upper bounds, based on Eiben et al. \[19\].
+//!
+//! Several sub-populations ("islands") evolve in parallel, each carrying its
+//! own control-parameter vector (crossover rate, mutation rate). Every epoch
+//! the islands (arranged in a ring):
+//!
+//! 1. evolve independently for a fixed number of generations,
+//! 2. migrate their best individual to the next island (replacing its worst),
+//! 3. perform *neighbour orientation* (§7.2.5): an island that progressed
+//!    less than its better ring neighbour moves its parameter vector a step
+//!    towards the neighbour's, and
+//! 4. mutate the parameter vector multiplicatively by a log-normal factor
+//!    (§7.2.4, Fig 7.4), clamped to sane ranges.
+//!
+//! The point of the construction (per the thesis) is that no external
+//! parameter tuning is needed: crossover and mutation rates adapt during the
+//! run.
+
+use crate::engine::{GaConfig, GaResult, Population};
+use crate::permutation::{CrossoverOp, MutationOp};
+use ghd_core::eval::GhwEvaluator;
+use ghd_core::EliminationOrdering;
+use ghd_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Configuration of the island model. Per-island GA rates are *not* part of
+/// the configuration: they are self-adapted.
+#[derive(Clone, Debug)]
+pub struct SaigaConfig {
+    /// Number of islands in the ring.
+    pub islands: usize,
+    /// Individuals per island.
+    pub island_population: usize,
+    /// Number of migrate-adapt epochs.
+    pub epochs: usize,
+    /// Generations evolved per epoch on each island.
+    pub generations_per_epoch: usize,
+    /// Tournament group size (fixed; the rates adapt).
+    pub tournament: usize,
+    /// Crossover / mutation operators (POS + ISM per Chapter 6's tuning).
+    pub crossover: CrossoverOp,
+    /// Mutation operator.
+    pub mutation: MutationOp,
+    /// Learning rate of the log-normal parameter mutation (τ in Fig 7.4).
+    pub tau: f64,
+    /// Step size of neighbour orientation (§7.2.5).
+    pub orientation_step: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaigaConfig {
+    fn default() -> Self {
+        SaigaConfig {
+            islands: 4,
+            island_population: 100,
+            epochs: 20,
+            generations_per_epoch: 25,
+            tournament: 3,
+            crossover: CrossoverOp::Pos,
+            mutation: MutationOp::Ism,
+            tau: 0.3,
+            orientation_step: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl SaigaConfig {
+    /// A small configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        SaigaConfig {
+            islands: 3,
+            island_population: 24,
+            epochs: 6,
+            generations_per_epoch: 8,
+            seed,
+            ..SaigaConfig::default()
+        }
+    }
+}
+
+/// Result of a SAIGA run: the GA result plus the final adapted parameter
+/// vectors per island.
+#[derive(Clone, Debug)]
+pub struct SaigaResult {
+    /// Combined best over all islands.
+    pub result: GaResult,
+    /// Final `(crossover_rate, mutation_rate)` per island.
+    pub final_parameters: Vec<(f64, f64)>,
+}
+
+/// Approximate standard normal via Irwin–Hall (sum of 12 uniforms − 6);
+/// avoids an extra dependency and is plenty for parameter jitter.
+fn normalish<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0
+}
+
+fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// Runs SAIGA-ghw on a hypergraph.
+pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
+    assert!(cfg.islands >= 2, "a ring needs at least two islands");
+    let n = h.num_vertices();
+    let mut meta_rng = StdRng::seed_from_u64(cfg.seed);
+
+    // per-island fitness evaluators (each with its own tie-break stream)
+    let mut evals: Vec<(GhwEvaluator, StdRng)> = (0..cfg.islands)
+        .map(|i| {
+            (
+                GhwEvaluator::new(h),
+                StdRng::seed_from_u64(cfg.seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(i as u64 + 1)),
+            )
+        })
+        .collect();
+    let mut fitness = |island: usize, genes: &[usize]| -> usize {
+        let (eval, rng) = &mut evals[island];
+        let sigma = EliminationOrdering::new(genes.to_vec()).expect("permutation");
+        eval.width(&sigma, Some(rng))
+    };
+
+    // initial parameter vectors drawn uniformly from their ranges (§7.2.3)
+    let mut params: Vec<(f64, f64)> = (0..cfg.islands)
+        .map(|_| {
+            (
+                meta_rng.random_range(0.5..=1.0),  // crossover rate
+                meta_rng.random_range(0.05..=0.5), // mutation rate
+            )
+        })
+        .collect();
+
+    let mut islands: Vec<Population> = (0..cfg.islands)
+        .map(|i| {
+            let ga_cfg = GaConfig {
+                population: cfg.island_population,
+                crossover_rate: params[i].0,
+                mutation_rate: params[i].1,
+                tournament: cfg.tournament,
+                generations: 0, // driven per epoch below
+                crossover: cfg.crossover,
+                mutation: cfg.mutation,
+                seed: cfg.seed.wrapping_add(1 + i as u64),
+                time_limit: None,
+                initial_seeds: Vec::new(),
+            };
+            Population::init(n, &ga_cfg, Vec::new(), &mut |g: &[usize]| fitness(i, g))
+        })
+        .collect();
+
+    let mut progress = vec![usize::MAX; cfg.islands];
+    for _epoch in 0..cfg.epochs {
+        // 1. evolve
+        for i in 0..cfg.islands {
+            let before = islands[i].best_width();
+            islands[i].set_rates(params[i].0, params[i].1);
+            islands[i].evolve(cfg.generations_per_epoch, &mut |g: &[usize]| fitness(i, g));
+            progress[i] = before.saturating_sub(islands[i].best_width());
+        }
+        // 2. ring migration of the best individual
+        let migrants: Vec<Vec<usize>> = islands
+            .iter()
+            .map(|p| p.best_ordering().to_vec())
+            .collect();
+        for (i, migrant) in migrants.iter().enumerate() {
+            let next = (i + 1) % cfg.islands;
+            islands[next].inject(migrant.clone(), &mut |g: &[usize]| fitness(next, g));
+        }
+        // 3. neighbour orientation: move towards the better-progressing
+        // ring neighbour's parameters
+        let snapshot = params.clone();
+        for i in 0..cfg.islands {
+            let left = (i + cfg.islands - 1) % cfg.islands;
+            let right = (i + 1) % cfg.islands;
+            let better = [left, right]
+                .into_iter()
+                .filter(|&j| {
+                    (islands[j].best_width(), std::cmp::Reverse(progress[j]))
+                        < (islands[i].best_width(), std::cmp::Reverse(progress[i]))
+                })
+                .min_by_key(|&j| (islands[j].best_width(), std::cmp::Reverse(progress[j])));
+            if let Some(j) = better {
+                params[i].0 += cfg.orientation_step * (snapshot[j].0 - snapshot[i].0);
+                params[i].1 += cfg.orientation_step * (snapshot[j].1 - snapshot[i].1);
+            }
+        }
+        // 4. log-normal parameter mutation (Fig 7.4)
+        for p in &mut params {
+            p.0 = clamp(p.0 * (cfg.tau * normalish(&mut meta_rng)).exp(), 0.1, 1.0);
+            p.1 = clamp(p.1 * (cfg.tau * normalish(&mut meta_rng)).exp(), 0.01, 0.8);
+        }
+    }
+
+    // combine
+    let mut results: Vec<GaResult> = islands.into_iter().map(Population::into_result).collect();
+    let best_idx = results
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.best_width)
+        .map(|(i, _)| i)
+        .expect("at least one island");
+    let total_evals: u64 = results.iter().map(|r| r.evaluations).sum();
+    let mut best = results.swap_remove(best_idx);
+    best.evaluations = total_evals;
+    SaigaResult {
+        result: best,
+        final_parameters: params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghd_hypergraph::generators::hypergraphs;
+
+    #[test]
+    fn finds_ghw_of_easy_instances() {
+        let cfg = SaigaConfig::small(3);
+        let r = saiga_ghw(&hypergraphs::acyclic_chain(5, 3, 1), &cfg);
+        assert_eq!(r.result.best_width, 1);
+        let r = saiga_ghw(&hypergraphs::clique(8), &cfg);
+        assert_eq!(r.result.best_width, 4);
+    }
+
+    #[test]
+    fn parameters_stay_in_range() {
+        let cfg = SaigaConfig::small(5);
+        let r = saiga_ghw(&hypergraphs::random_hypergraph(14, 9, 4, 2), &cfg);
+        assert_eq!(r.final_parameters.len(), 3);
+        for &(pc, pm) in &r.final_parameters {
+            assert!((0.1..=1.0).contains(&pc));
+            assert!((0.01..=0.8).contains(&pm));
+        }
+    }
+
+    #[test]
+    fn seed_reproducible() {
+        let h = hypergraphs::random_hypergraph(12, 8, 3, 9);
+        let a = saiga_ghw(&h, &SaigaConfig::small(1));
+        let b = saiga_ghw(&h, &SaigaConfig::small(1));
+        assert_eq!(a.result.best_width, b.result.best_width);
+        assert_eq!(a.final_parameters, b.final_parameters);
+    }
+
+    #[test]
+    fn never_below_exact_optimum() {
+        let h = hypergraphs::random_hypergraph(10, 7, 3, 4);
+        let exact = ghd_search::bb_ghw(&h, &ghd_search::BbGhwConfig::default());
+        assert!(exact.exact);
+        let r = saiga_ghw(&h, &SaigaConfig::small(2));
+        assert!(r.result.best_width >= exact.upper_bound);
+    }
+}

@@ -1,0 +1,329 @@
+//! Incremental vertex elimination with O(1)-undo, the workhorse of the
+//! branch-and-bound and A\* searches.
+//!
+//! §5.2.1 of the thesis describes a graph object that can *eliminate* a
+//! vertex (connect all its neighbours pairwise, then remove it) and *restore*
+//! the most recently eliminated vertex, using an append-only adjacency log
+//! (`A`, `E`) plus an adjacency matrix (`T`). This module implements the same
+//! contract with an explicit undo stack over bit-set adjacency rows: each
+//! elimination records the vertex, its neighbourhood at elimination time and
+//! the list of fill edges added, which is exactly the information the
+//! thesis reconstructs from `A`/`E`. Memory stays O(|V|² + fill).
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+
+/// One elimination step, retained so it can be undone.
+#[derive(Clone, Debug)]
+struct Step {
+    vertex: usize,
+    /// Neighbours of `vertex` at the moment of elimination.
+    neighbors: Vec<usize>,
+    /// Fill edges `(u, v)` added to make those neighbours a clique.
+    fill: Vec<(usize, usize)>,
+}
+
+/// A graph supporting `eliminate` / `restore` in LIFO order.
+#[derive(Clone)]
+pub struct EliminationGraph {
+    adj: Vec<BitSet>,
+    alive: BitSet,
+    n_alive: usize,
+    stack: Vec<Step>,
+}
+
+impl EliminationGraph {
+    /// Wraps a static graph.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        EliminationGraph {
+            adj: (0..n).map(|v| g.neighbors(v).clone()).collect(),
+            alive: BitSet::full(n),
+            n_alive: n,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Total number of vertices (eliminated or not).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of not-yet-eliminated vertices.
+    #[inline]
+    pub fn num_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// `true` iff `v` has not been eliminated.
+    #[inline]
+    pub fn is_alive(&self, v: usize) -> bool {
+        self.alive.contains(v)
+    }
+
+    /// The alive vertices.
+    #[inline]
+    pub fn alive(&self) -> &BitSet {
+        &self.alive
+    }
+
+    /// Current neighbourhood of an alive vertex.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &BitSet {
+        debug_assert!(self.is_alive(v));
+        &self.adj[v]
+    }
+
+    /// Current degree of an alive vertex.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        debug_assert!(self.is_alive(v));
+        self.adj[v].len()
+    }
+
+    /// O(1) adjacency test between alive vertices.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(v)
+    }
+
+    /// Number of eliminations that can currently be undone.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Eliminates `v`: its neighbours become a clique and `v` is removed.
+    /// Returns the degree of `v` at elimination time (the size of the bucket
+    /// label minus one, i.e. the width contribution of this step).
+    pub fn eliminate(&mut self, v: usize) -> usize {
+        debug_assert!(self.is_alive(v), "eliminating a dead vertex");
+        let neighbors = self.adj[v].to_vec();
+        let deg = neighbors.len();
+        let mut fill = Vec::new();
+        for (i, &u) in neighbors.iter().enumerate() {
+            for &w in &neighbors[i + 1..] {
+                if !self.adj[u].contains(w) {
+                    self.adj[u].insert(w);
+                    self.adj[w].insert(u);
+                    fill.push((u, w));
+                }
+            }
+        }
+        for &u in &neighbors {
+            self.adj[u].remove(v);
+        }
+        self.alive.remove(v);
+        self.n_alive -= 1;
+        self.stack.push(Step {
+            vertex: v,
+            neighbors,
+            fill,
+        });
+        deg
+    }
+
+    /// Undoes the most recent elimination; returns the restored vertex.
+    ///
+    /// # Panics
+    /// Panics if nothing has been eliminated.
+    pub fn restore(&mut self) -> usize {
+        let step = self.stack.pop().expect("restore with empty stack");
+        for &(u, w) in &step.fill {
+            self.adj[u].remove(w);
+            self.adj[w].remove(u);
+        }
+        for &u in &step.neighbors {
+            self.adj[u].insert(step.vertex);
+        }
+        // `adj[step.vertex]` was never modified while dead, so it still holds
+        // exactly `step.neighbors`.
+        self.alive.insert(step.vertex);
+        self.n_alive += 1;
+        step.vertex
+    }
+
+    /// Number of fill edges the elimination of `v` would create right now.
+    pub fn fill_in_count(&self, v: usize) -> usize {
+        debug_assert!(self.is_alive(v));
+        let nb = self.adj[v].to_vec();
+        let mut missing = 0;
+        for (i, &u) in nb.iter().enumerate() {
+            for &w in &nb[i + 1..] {
+                if !self.adj[u].contains(w) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    /// `true` iff alive vertex `v` is *simplicial*: its neighbourhood is a
+    /// clique (Definition 22).
+    pub fn is_simplicial(&self, v: usize) -> bool {
+        self.fill_in_count(v) == 0
+    }
+
+    /// `true` iff alive vertex `v` is *almost simplicial*: all but one of its
+    /// neighbours induce a clique (Definition 23).
+    pub fn is_almost_simplicial(&self, v: usize) -> bool {
+        let nb = self.adj[v].to_vec();
+        if nb.len() <= 1 {
+            return true;
+        }
+        // v is almost simplicial iff there is a neighbour z such that
+        // N(v) \ {z} is a clique.
+        'outer: for &z in &nb {
+            for (i, &u) in nb.iter().enumerate() {
+                if u == z {
+                    continue;
+                }
+                for &w in &nb[i + 1..] {
+                    if w == z {
+                        continue;
+                    }
+                    if !self.adj[u].contains(w) {
+                        continue 'outer;
+                    }
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Materialises the current residual graph as a static [`Graph`] over the
+    /// same vertex indices (dead vertices become isolated).
+    pub fn to_graph(&self) -> Graph {
+        let n = self.adj.len();
+        let mut g = Graph::new(n);
+        for u in self.alive.iter() {
+            for v in self.adj[u].iter() {
+                if v > u {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 6-vertex hypergraph primal graph of thesis Fig. 2.11:
+    /// hyperedges {1,2,3}, {1,5,6}, {3,4,5} (0-indexed: {0,1,2},{0,4,5},{2,3,4}).
+    fn fig_2_11_primal() -> Graph {
+        Graph::from_edges(
+            6,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (0, 4),
+                (0, 5),
+                (4, 5),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn eliminate_adds_fill_and_removes_vertex() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]); // star
+        let mut eg = EliminationGraph::new(&g);
+        let deg = eg.eliminate(0);
+        assert_eq!(deg, 3);
+        // neighbours 1,2,3 now form a triangle
+        assert!(eg.has_edge(1, 2) && eg.has_edge(1, 3) && eg.has_edge(2, 3));
+        assert!(!eg.is_alive(0));
+        assert_eq!(eg.num_alive(), 3);
+    }
+
+    #[test]
+    fn restore_is_exact_inverse() {
+        let g = fig_2_11_primal();
+        let mut eg = EliminationGraph::new(&g);
+        let before = eg.to_graph();
+        eg.eliminate(5);
+        eg.eliminate(4);
+        eg.eliminate(3);
+        assert_eq!(eg.restore(), 3);
+        assert_eq!(eg.restore(), 4);
+        assert_eq!(eg.restore(), 5);
+        assert_eq!(eg.to_graph(), before);
+        assert_eq!(eg.num_alive(), 6);
+    }
+
+    #[test]
+    fn thesis_fig_2_11_elimination_widths() {
+        // σ = (x6..x1) eliminated in reverse listing order: x6 first is the
+        // *last* position; Bucket Elimination processes buckets from the end.
+        // Eliminating 5(=x6): N={0,4} → label {x6,x1,x5} (size 3).
+        let g = fig_2_11_primal();
+        let mut eg = EliminationGraph::new(&g);
+        assert_eq!(eg.eliminate(5), 2);
+        assert!(eg.has_edge(0, 4)); // already there
+        assert_eq!(eg.eliminate(4), 3); // N = {0,2,3}
+        assert!(eg.has_edge(0, 3) && eg.has_edge(0, 2) && eg.has_edge(2, 3));
+        assert_eq!(eg.eliminate(3), 2); // N = {0,2}
+        assert_eq!(eg.eliminate(2), 2); // N = {0,1}
+        assert_eq!(eg.eliminate(1), 1);
+        assert_eq!(eg.eliminate(0), 0);
+    }
+
+    #[test]
+    fn simplicial_detection() {
+        let g = fig_2_11_primal();
+        let eg = EliminationGraph::new(&g);
+        // vertex 1 (x2) has neighbours {0,2} which are adjacent → simplicial
+        assert!(eg.is_simplicial(1));
+        // vertex 0 (x1) has neighbours {1,2,4,5}; 1-4 not adjacent → not
+        assert!(!eg.is_simplicial(0));
+        // vertex 2 (x3): neighbours {0,1,3,4}; dropping 3 leaves {0,1,4}:
+        // 1-4 not adjacent; dropping 1 leaves {0,3,4}: 0-3 not adjacent; not AS
+        assert!(!eg.is_almost_simplicial(2));
+        // vertex 5: neighbours {0,4} adjacent → simplicial (hence almost too)
+        assert!(eg.is_almost_simplicial(5));
+    }
+
+    #[test]
+    fn interleaved_eliminate_restore_random_walk() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut edges = Vec::new();
+        for u in 0..12usize {
+            for v in (u + 1)..12 {
+                if rng.random_range(0..3) == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(12, edges);
+        let mut eg = EliminationGraph::new(&g);
+        let snapshot = eg.to_graph();
+        // random walk of eliminations/restores, returning to the root
+        let mut depth = 0usize;
+        for _ in 0..200 {
+            if depth > 0 && (depth == 12 || rng.random_bool(0.5)) {
+                eg.restore();
+                depth -= 1;
+            } else {
+                let alive = eg.alive().to_vec();
+                let v = alive[rng.random_range(0..alive.len())];
+                eg.eliminate(v);
+                depth += 1;
+            }
+        }
+        while depth > 0 {
+            eg.restore();
+            depth -= 1;
+        }
+        assert_eq!(eg.to_graph(), snapshot);
+    }
+}

@@ -1,0 +1,266 @@
+//! Deterministic and seeded-random graph families used in the thesis'
+//! evaluation (Tables 5.1, 5.2, 6.x).
+//!
+//! `grid`, `queen` and `mycielski` are exact mathematical constructions and
+//! regenerate the DIMACS instances of the same name bit-for-bit in size.
+//! `gnm_random` and `random_geometric` are the *distributional* substitutes
+//! documented in DESIGN.md for instances whose raw data is not shippable
+//! (DSJC*, miles*, book graphs, …).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// The n×n grid graph (`grid{n}` in Table 5.2). Its treewidth is exactly `n`
+/// for n ≥ 2 ("it is folklore that the treewidth of an n×n-grid is n").
+pub fn grid(n: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * n + c;
+    let mut g = Graph::new(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < n {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The n×n×n cubic grid graph.
+pub fn grid3d(n: usize) -> Graph {
+    let idx = |x: usize, y: usize, z: usize| (x * n + y) * n + z;
+    let mut g = Graph::new(n * n * n);
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                if x + 1 < n {
+                    g.add_edge(idx(x, y, z), idx(x + 1, y, z));
+                }
+                if y + 1 < n {
+                    g.add_edge(idx(x, y, z), idx(x, y + 1, z));
+                }
+                if z + 1 < n {
+                    g.add_edge(idx(x, y, z), idx(x, y, z + 1));
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The n-queens graph (`queen{n}_{n}` in DIMACS): one vertex per square of an
+/// n×n board, edges between squares sharing a row, column or diagonal.
+pub fn queen(n: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * n + c;
+    let mut g = Graph::new(n * n);
+    for r1 in 0..n {
+        for c1 in 0..n {
+            for r2 in 0..n {
+                for c2 in 0..n {
+                    if (r1, c1) >= (r2, c2) {
+                        continue;
+                    }
+                    let same_row = r1 == r2;
+                    let same_col = c1 == c2;
+                    let same_diag =
+                        r1 as isize - r2 as isize == c1 as isize - c2 as isize
+                            || r1 as isize - r2 as isize == c2 as isize - c1 as isize;
+                    if same_row || same_col || same_diag {
+                        g.add_edge(idx(r1, c1), idx(r2, c2));
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The Mycielski transformation M(G): for G with vertices `0..n` produce a
+/// triangle-free-preserving graph on `2n+1` vertices with chromatic number
+/// χ(G)+1.
+pub fn mycielski_step(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let mut out = Graph::new(2 * n + 1);
+    let w = 2 * n; // the apex
+    for (u, v) in g.edges() {
+        out.add_edge(u, v);
+        out.add_edge(u, n + v); // u — v'
+        out.add_edge(v, n + u); // v — u'
+    }
+    for u in 0..n {
+        out.add_edge(n + u, w);
+    }
+    out
+}
+
+/// The DIMACS `myciel{k}` family: `myciel2` is C₅… more precisely, DIMACS
+/// defines `myciel3` as the Mycielskian of C₅ (the Grötzsch graph, 11
+/// vertices / 20 edges) and `myciel{k+1} = M(myciel{k})`.
+///
+/// # Panics
+/// Panics for `k < 3`.
+pub fn mycielski(k: usize) -> Graph {
+    assert!(k >= 3, "myciel_k defined for k >= 3");
+    let mut g = cycle(5);
+    for _ in 3..=k {
+        g = mycielski_step(&g);
+    }
+    g
+}
+
+/// The complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))))
+}
+
+/// The cycle C_n.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// The path P_n (n vertices, n−1 edges).
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// A uniformly random graph with exactly `m` distinct edges (Erdős–Rényi
+/// G(n, m)), drawn reproducibly from `seed`. Substitutes the DSJC/le450/…
+/// random DIMACS instances (see DESIGN.md).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of vertex pairs.
+pub fn gnm_random(n: usize, m: usize, seed: u64) -> Graph {
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    if m > max / 2 {
+        // dense case: shuffle all pairs and take a prefix
+        let mut pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        pairs.shuffle(&mut rng);
+        for &(u, v) in pairs.iter().take(m) {
+            g.add_edge(u, v);
+        }
+    } else {
+        // sparse case: rejection sampling
+        while g.num_edges() < m {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                g.add_edge(u.min(v), u.max(v));
+            }
+        }
+    }
+    g
+}
+
+/// A random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs within distance `radius`. Substitutes the `miles*` DIMACS
+/// instances (road-distance graphs), which are geometric in nature.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let r2 = radius * radius;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random geometric graph tuned by bisection on the radius to have
+/// approximately `target_m` edges (within ~2 %).
+pub fn random_geometric_with_edges(n: usize, target_m: usize, seed: u64) -> Graph {
+    let (mut lo, mut hi) = (0.0f64, std::f64::consts::SQRT_2);
+    let mut best = random_geometric(n, hi, seed);
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        let g = random_geometric(n, mid, seed);
+        let m = g.num_edges();
+        if m.abs_diff(target_m) * 50 <= target_m.max(1) {
+            return g;
+        }
+        if m < target_m {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if m.abs_diff(target_m) < best.num_edges().abs_diff(target_m) {
+            best = g;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes_match_table_5_2() {
+        for (n, v, e) in [(2, 4, 4), (3, 9, 12), (4, 16, 24), (5, 25, 40), (6, 36, 60), (7, 49, 84), (8, 64, 112)] {
+            let g = grid(n);
+            assert_eq!((g.num_vertices(), g.num_edges()), (v, e), "grid{n}");
+        }
+    }
+
+    #[test]
+    fn queen_sizes_match_table_5_1() {
+        // Table 5.1 reports the DIMACS *edge line* counts, which list every
+        // edge in both directions; the simple graph has half as many.
+        for (n, v, e2) in [(5, 25, 320), (6, 36, 580), (7, 49, 952), (8, 64, 1456)] {
+            let g = queen(n);
+            assert_eq!((g.num_vertices(), 2 * g.num_edges()), (v, e2), "queen{n}_{n}");
+        }
+    }
+
+    #[test]
+    fn mycielski_sizes_match_dimacs() {
+        for (k, v, e) in [(3, 11, 20), (4, 23, 71), (5, 47, 236), (6, 95, 755), (7, 191, 2360)] {
+            let g = mycielski(k);
+            assert_eq!((g.num_vertices(), g.num_edges()), (v, e), "myciel{k}");
+        }
+    }
+
+    #[test]
+    fn basic_families() {
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(cycle(7).num_edges(), 7);
+        assert_eq!(path(7).num_edges(), 6);
+        assert_eq!(grid3d(3).num_vertices(), 27);
+        assert_eq!(grid3d(3).num_edges(), 54);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count_and_determinism() {
+        let g1 = gnm_random(50, 300, 42);
+        let g2 = gnm_random(50, 300, 42);
+        assert_eq!(g1.num_edges(), 300);
+        assert_eq!(g1, g2);
+        let dense = gnm_random(20, 180, 1);
+        assert_eq!(dense.num_edges(), 180);
+        let g3 = gnm_random(50, 300, 43);
+        assert_ne!(g1, g3); // different seed, almost surely different graph
+    }
+
+    #[test]
+    fn geometric_edge_targeting() {
+        let g = random_geometric_with_edges(128, 774, 9); // miles250 shape
+        let m = g.num_edges();
+        assert!(m.abs_diff(774) * 10 <= 774, "got {m} edges");
+    }
+}

@@ -1,0 +1,350 @@
+//! Generators for the CSP-hypergraph-library families used in the thesis'
+//! Tables 7.1–9.2 (DaimlerChrysler circuits, grids, cliques) and synthetic
+//! substitutes for the ISCAS circuit instances (see DESIGN.md).
+
+use crate::hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{RngExt, SeedableRng};
+
+/// An `n`-bit ripple-carry adder circuit hypergraph (`adder_{n}`).
+///
+/// Per full-adder cell `i` there are five variables `a_i, b_i, x_i, s_i, c_i`
+/// and seven constraints (two primary inputs, one primary output, two XOR
+/// gates, the carry majority and the carry link), chained through the carry
+/// `c_{i-1} → c_i`; plus the global carry-in `c_0`. Sizes match the
+/// DaimlerChrysler instances: |V| = 5n+1, |H| = 7n+1 (adder_75: 376/526,
+/// adder_99: 496/694). Its generalized hypertree width is a small constant
+/// (the thesis reports ghw upper bound 2).
+pub fn adder(n: usize) -> Hypergraph {
+    assert!(n >= 1);
+    let mut h = Hypergraph::new(5 * n + 1);
+    let c0 = 5 * n; // global carry-in, last index
+    h.set_vertex_name(c0, "c0");
+    h.add_named_edge("carry_in", [c0]);
+    for i in 0..n {
+        let (a, b, x, s, c) = (5 * i, 5 * i + 1, 5 * i + 2, 5 * i + 3, 5 * i + 4);
+        let c_prev = if i == 0 { c0 } else { 5 * (i - 1) + 4 };
+        for (v, tag) in [(a, "a"), (b, "b"), (x, "x"), (s, "s"), (c, "c")] {
+            h.set_vertex_name(v, format!("{tag}{}", i + 1));
+        }
+        h.add_named_edge(format!("in_a{}", i + 1), [a]);
+        h.add_named_edge(format!("in_b{}", i + 1), [b]);
+        h.add_named_edge(format!("out_s{}", i + 1), [s]);
+        h.add_named_edge(format!("xor1_{}", i + 1), [a, b, x]);
+        h.add_named_edge(format!("xor2_{}", i + 1), [x, c_prev, s]);
+        h.add_named_edge(format!("maj_{}", i + 1), [a, b, c_prev, c]);
+        h.add_named_edge(format!("lnk_{}", i + 1), [x, c_prev, c]);
+    }
+    h
+}
+
+/// A chained "bridge" circuit hypergraph (`bridge_{n}`): `n` Wheatstone-
+/// bridge-shaped cells of nine variables and nine constraints each, linked
+/// through an output port, plus a global source and sink. Sizes match the
+/// DaimlerChrysler instances: |V| = |H| = 9n+2 (bridge_50: 452/452).
+pub fn bridge(n: usize) -> Hypergraph {
+    assert!(n >= 1);
+    let nv = 9 * n + 2;
+    let mut h = Hypergraph::new(nv);
+    let src = 9 * n;
+    let sink = 9 * n + 1;
+    h.set_vertex_name(src, "src");
+    h.set_vertex_name(sink, "sink");
+    h.add_named_edge("source", [src]);
+    let mut port = src;
+    for i in 0..n {
+        let base = 9 * i;
+        // a,b: upper branch; c,d: lower branch; e: crossbar midpoint;
+        // f,g,h2: recombination chain; o: output port.
+        let [a, b, c, d, e, f, g, h2, o] =
+            [0, 1, 2, 3, 4, 5, 6, 7, 8].map(|k| base + k);
+        for (v, tag) in [(a, "a"), (b, "b"), (c, "c"), (d, "d"), (e, "e"), (f, "f"), (g, "g"), (h2, "h"), (o, "o")] {
+            h.set_vertex_name(v, format!("{tag}{}", i + 1));
+        }
+        h.add_named_edge(format!("up1_{}", i + 1), [port, a]);
+        h.add_named_edge(format!("up2_{}", i + 1), [a, b]);
+        h.add_named_edge(format!("lo1_{}", i + 1), [port, c]);
+        h.add_named_edge(format!("lo2_{}", i + 1), [c, d]);
+        h.add_named_edge(format!("xbar_{}", i + 1), [a, c, e]);
+        h.add_named_edge(format!("re1_{}", i + 1), [b, e, f]);
+        h.add_named_edge(format!("re2_{}", i + 1), [d, e, g]);
+        h.add_named_edge(format!("re3_{}", i + 1), [f, g, h2]);
+        h.add_named_edge(format!("out_{}", i + 1), [h2, o]);
+        port = o;
+    }
+    h.add_named_edge("sink", [port, sink]);
+    h
+}
+
+/// `clique_{n}`: the complete graph K_n viewed as a hypergraph (one binary
+/// hyperedge per vertex pair). |V| = n, |H| = n(n−1)/2 (clique_20: 20/190).
+/// Its generalized hypertree width is ⌈n/2⌉.
+pub fn clique(n: usize) -> Hypergraph {
+    Hypergraph::from_edges(
+        n,
+        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| [u, v])),
+    )
+}
+
+/// `grid2d_{n}`: the checkerboard hypergraph of an n×n board. Black squares
+/// (even coordinate sum) are the variables; each white square is a hyperedge
+/// over its (up to four) black orthogonal neighbours. For even n this yields
+/// |V| = |H| = n²/2 (grid2d_20: 200/200).
+pub fn grid2d(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let mut black_ids = vec![usize::MAX; n * n];
+    let mut count = 0;
+    for r in 0..n {
+        for c in 0..n {
+            if (r + c) % 2 == 0 {
+                black_ids[r * n + c] = count;
+                count += 1;
+            }
+        }
+    }
+    let mut h = Hypergraph::new(count);
+    for r in 0..n {
+        for c in 0..n {
+            if (r + c) % 2 == 0 {
+                h.set_vertex_name(black_ids[r * n + c], format!("b{r}_{c}"));
+            }
+        }
+    }
+    for r in 0..n {
+        for c in 0..n {
+            if (r + c) % 2 == 1 {
+                let mut vs = Vec::new();
+                if r > 0 {
+                    vs.push(black_ids[(r - 1) * n + c]);
+                }
+                if r + 1 < n {
+                    vs.push(black_ids[(r + 1) * n + c]);
+                }
+                if c > 0 {
+                    vs.push(black_ids[r * n + c - 1]);
+                }
+                if c + 1 < n {
+                    vs.push(black_ids[r * n + c + 1]);
+                }
+                h.add_named_edge(format!("w{r}_{c}"), vs);
+            }
+        }
+    }
+    h
+}
+
+/// `grid3d_{n}`: the 3-dimensional checkerboard hypergraph of an n×n×n cube
+/// (parity of the coordinate sum splits cells into variables and
+/// hyperedges). For even n: |V| = |H| = n³/2 (grid3d_8: 256/256).
+pub fn grid3d(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let cell = |x: usize, y: usize, z: usize| (x * n + y) * n + z;
+    let mut black_ids = vec![usize::MAX; n * n * n];
+    let mut count = 0;
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                if (x + y + z) % 2 == 0 {
+                    black_ids[cell(x, y, z)] = count;
+                    count += 1;
+                }
+            }
+        }
+    }
+    let mut h = Hypergraph::new(count);
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                if (x + y + z) % 2 == 1 {
+                    let mut vs = Vec::new();
+                    if x > 0 {
+                        vs.push(black_ids[cell(x - 1, y, z)]);
+                    }
+                    if x + 1 < n {
+                        vs.push(black_ids[cell(x + 1, y, z)]);
+                    }
+                    if y > 0 {
+                        vs.push(black_ids[cell(x, y - 1, z)]);
+                    }
+                    if y + 1 < n {
+                        vs.push(black_ids[cell(x, y + 1, z)]);
+                    }
+                    if z > 0 {
+                        vs.push(black_ids[cell(x, y, z - 1)]);
+                    }
+                    if z + 1 < n {
+                        vs.push(black_ids[cell(x, y, z + 1)]);
+                    }
+                    h.add_named_edge(format!("w{x}_{y}_{z}"), vs);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// A seeded synthetic gate-level circuit with exactly `n_vertices` signals
+/// and `n_edges` constraints — the substitute for the ISCAS `b0x`/`c499`/
+/// `c880` instances (DESIGN.md). A random DAG of gates is built over a set
+/// of primary inputs; every gate contributes one hyperedge
+/// `{output} ∪ inputs`, and the remaining edge budget becomes unary
+/// input/output constraints, exactly the structure of gate-level CNF
+/// hypergraphs.
+///
+/// # Panics
+/// Panics unless `n_edges ≥ n_vertices / 4` (enough edges to cover signals)
+/// and `n_vertices ≥ 8`.
+pub fn random_circuit(n_vertices: usize, n_edges: usize, seed: u64) -> Hypergraph {
+    assert!(n_vertices >= 8);
+    assert!(n_edges * 4 >= n_vertices, "edge budget too small");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Number of unary "stitch" edges needed so gates + stitches = n_edges,
+    // with gates = n_vertices - inputs. Choose inputs so stitches ≥ 1.
+    let inputs = if n_edges >= n_vertices {
+        (n_vertices / 6).max(2)
+    } else {
+        // fewer edges than vertices: need more primary inputs
+        (n_vertices - n_edges + (n_vertices / 6).max(2)).min(n_vertices - 1)
+    };
+    let gates = n_vertices - inputs;
+    let stitches = n_edges - gates;
+    let mut h = Hypergraph::new(n_vertices);
+    for v in 0..inputs {
+        h.set_vertex_name(v, format!("pi{v}"));
+    }
+    for g in 0..gates {
+        let out = inputs + g;
+        h.set_vertex_name(out, format!("g{g}"));
+        let fanin = rng.random_range(2..=4.min(out));
+        let srcs = sample(&mut rng, out, fanin);
+        let mut vs: Vec<usize> = srcs.into_iter().collect();
+        vs.push(out);
+        h.add_named_edge(format!("gate{g}"), vs);
+    }
+    // Unary stitches on primary inputs first (they would otherwise be
+    // uncovered when their fan-out gates miss them), then random signals.
+    let mut uncovered: Vec<usize> =
+        (0..n_vertices).filter(|&v| h.edges_containing(v).is_empty()).collect();
+    assert!(
+        uncovered.len() <= stitches,
+        "not enough stitch edges to cover all signals"
+    );
+    let mut s = 0;
+    while let Some(v) = uncovered.pop() {
+        h.add_named_edge(format!("io{s}"), [v]);
+        s += 1;
+    }
+    while s < stitches {
+        let v = rng.random_range(0..n_vertices);
+        h.add_named_edge(format!("io{s}"), [v]);
+        s += 1;
+    }
+    h
+}
+
+/// A uniformly random hypergraph: `m` hyperedges of cardinality in
+/// `2..=max_arity`, with every vertex covered (vertices left uncovered by the
+/// random draw are appended round-robin to existing edges).
+pub fn random_hypergraph(n: usize, m: usize, max_arity: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2 && m >= 1 && max_arity >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge_sets: Vec<Vec<usize>> = (0..m)
+        .map(|_| {
+            let k = rng.random_range(2..=max_arity.min(n));
+            sample(&mut rng, n, k).into_iter().collect()
+        })
+        .collect();
+    let mut covered = vec![false; n];
+    for e in &edge_sets {
+        for &v in e {
+            covered[v] = true;
+        }
+    }
+    let mut next_edge = 0;
+    for (v, &cov) in covered.iter().enumerate() {
+        if !cov {
+            edge_sets[next_edge % m].push(v);
+            next_edge += 1;
+        }
+    }
+    Hypergraph::from_edges(n, edge_sets)
+}
+
+/// An acyclic "caterpillar" hypergraph: a chain of `m` hyperedges of
+/// cardinality `arity`, consecutive edges sharing `overlap` vertices. Its
+/// generalized hypertree width is 1 (it has a join tree), making it the
+/// canonical sanity instance.
+pub fn acyclic_chain(m: usize, arity: usize, overlap: usize) -> Hypergraph {
+    assert!(m >= 1 && arity >= 2 && overlap < arity);
+    let step = arity - overlap;
+    let n = arity + step * (m - 1);
+    Hypergraph::from_edges(n, (0..m).map(|i| (i * step)..(i * step + arity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_sizes_match_daimler_chrysler() {
+        for (n, v, e) in [(75, 376, 526), (99, 496, 694)] {
+            let h = adder(n);
+            assert_eq!((h.num_vertices(), h.num_edges()), (v, e), "adder_{n}");
+            assert!(h.covers_all_vertices());
+        }
+    }
+
+    #[test]
+    fn bridge_sizes_match_daimler_chrysler() {
+        let h = bridge(50);
+        assert_eq!((h.num_vertices(), h.num_edges()), (452, 452));
+        assert!(h.covers_all_vertices());
+    }
+
+    #[test]
+    fn clique_and_grids() {
+        let h = clique(20);
+        assert_eq!((h.num_vertices(), h.num_edges()), (20, 190));
+        let g2 = grid2d(20);
+        assert_eq!((g2.num_vertices(), g2.num_edges()), (200, 200));
+        let g3 = grid3d(8);
+        assert_eq!((g3.num_vertices(), g3.num_edges()), (256, 256));
+        assert!(g2.covers_all_vertices() && g3.covers_all_vertices());
+    }
+
+    #[test]
+    fn random_circuit_hits_requested_sizes() {
+        for (v, e, seed) in [(48, 50, 1), (170, 179, 2), (168, 169, 3), (189, 200, 4), (202, 243, 5), (383, 443, 6)] {
+            let h = random_circuit(v, e, seed);
+            assert_eq!((h.num_vertices(), h.num_edges()), (v, e));
+            assert!(h.covers_all_vertices());
+        }
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic() {
+        let a = random_circuit(100, 110, 9);
+        let b = random_circuit(100, 110, 9);
+        for e in 0..a.num_edges() {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+    }
+
+    #[test]
+    fn random_hypergraph_covers_everything() {
+        let h = random_hypergraph(40, 15, 5, 3);
+        assert_eq!(h.num_edges(), 15);
+        assert!(h.covers_all_vertices());
+    }
+
+    #[test]
+    fn acyclic_chain_shape() {
+        let h = acyclic_chain(5, 3, 1);
+        assert_eq!(h.num_vertices(), 3 + 2 * 4);
+        assert_eq!(h.num_edges(), 5);
+        // consecutive edges intersect, non-consecutive don't
+        assert_eq!(h.edge(0).intersection_len(h.edge(1)), 1);
+        assert_eq!(h.edge(0).intersection_len(h.edge(2)), 0);
+    }
+}

@@ -1,0 +1,5 @@
+//! Benchmark-instance generators (see DESIGN.md for the mapping onto the
+//! thesis' DIMACS and CSP-hypergraph-library suites).
+
+pub mod graphs;
+pub mod hypergraphs;

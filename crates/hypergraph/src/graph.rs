@@ -1,0 +1,229 @@
+//! Simple undirected graphs ("regular graphs" in the thesis, Definition 1).
+//!
+//! Vertices are dense indices `0..n`. The adjacency structure is a bit
+//! matrix (one [`BitSet`] row per vertex), giving O(1) edge tests and
+//! word-parallel neighbourhood operations — the same representation the
+//! thesis uses for its elimination machinery (§5.2.1).
+
+use crate::bitset::BitSet;
+
+/// An undirected graph without self-loops or parallel edges.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<BitSet>,
+    m: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![BitSet::new(n); n],
+            m: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list. Duplicate edges and self-loops are
+    /// ignored.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Adds the undirected edge `{u, v}`; returns `true` if it is new.
+    /// Self-loops are ignored and return `false`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if u == v || self.adj[u].contains(v) {
+            return false;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        self.m += 1;
+        true
+    }
+
+    /// Removes the edge `{u, v}`; returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v || !self.adj[u].contains(v) {
+            return false;
+        }
+        self.adj[u].remove(v);
+        self.adj[v].remove(u);
+        self.m -= 1;
+        true
+    }
+
+    /// O(1) edge test.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(v)
+    }
+
+    /// The neighbourhood of `v` as a bit set.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &BitSet {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterates over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.adj[u]
+                .iter()
+                .filter(move |&v| v > u)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// `true` iff the vertices of `set` are pairwise adjacent.
+    pub fn is_clique(&self, set: &BitSet) -> bool {
+        set.iter().all(|u| {
+            // every other member of `set` must be a neighbour of u
+            let mut others = set.clone();
+            others.remove(u);
+            others.is_subset(&self.adj[u])
+        })
+    }
+
+    /// Turns `set` into a clique, returning the number of edges added.
+    pub fn make_clique(&mut self, set: &BitSet) -> usize {
+        let vs = set.to_vec();
+        let mut added = 0;
+        for (i, &u) in vs.iter().enumerate() {
+            for &v in &vs[i + 1..] {
+                if self.add_edge(u, v) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Number of *missing* edges among the neighbours of `v` — the fill-in
+    /// count used by the min-fill heuristic (§4.4.2).
+    pub fn fill_in_count(&self, v: usize) -> usize {
+        let nb = self.adj[v].to_vec();
+        let mut missing = 0;
+        for (i, &u) in nb.iter().enumerate() {
+            for &w in &nb[i + 1..] {
+                if !self.adj[u].contains(w) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    /// Connected components, each as a sorted vertex list.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = BitSet::new(self.n);
+        let mut comps = Vec::new();
+        for s in 0..self.n {
+            if seen.contains(s) {
+                continue;
+            }
+            let mut stack = vec![s];
+            let mut comp = Vec::new();
+            seen.insert(s);
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for v in self.adj[u].iter() {
+                    if seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1-2 triangle, 3 pendant on 0
+        Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+    }
+
+    #[test]
+    fn edge_bookkeeping() {
+        let mut g = triangle_plus_pendant();
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.add_edge(0, 1)); // duplicate
+        assert!(!g.add_edge(2, 2)); // self loop
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.remove_edge(0, 3));
+        assert!(!g.remove_edge(0, 3));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all_once() {
+        let g = triangle_plus_pendant();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn clique_detection_and_fill() {
+        let mut g = triangle_plus_pendant();
+        let tri = BitSet::from_iter(4, [0, 1, 2]);
+        assert!(g.is_clique(&tri));
+        let all = BitSet::full(4);
+        assert!(!g.is_clique(&all));
+        assert_eq!(g.make_clique(&all), 2); // 1-3 and 2-3 added
+        assert!(g.is_clique(&all));
+    }
+
+    #[test]
+    fn fill_in_count_matches_definition() {
+        let g = triangle_plus_pendant();
+        // neighbours of 0 are {1,2,3}: pairs (1,2) adjacent, (1,3),(2,3) not
+        assert_eq!(g.fill_in_count(0), 2);
+        // neighbours of 1 are {0,2}: adjacent
+        assert_eq!(g.fill_in_count(1), 0);
+        assert_eq!(g.fill_in_count(3), 0);
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Parsers and writers for the two benchmark formats used by the thesis:
+//! DIMACS graph-coloring files (`.col`) and the CSP hypergraph library's
+//! edge-list format (`name(v1,v2,...),`).
+
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// An error produced while parsing a benchmark file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the problem was found (0 = whole file).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a DIMACS `.col` graph. Recognises `c` comments, one `p edge N M`
+/// problem line and `e u v` edge lines with 1-based vertex indices.
+/// Duplicate and mirrored edges are tolerated (they appear in some DIMACS
+/// files).
+pub fn parse_dimacs(input: &str) -> Result<Graph, ParseError> {
+    let mut graph: Option<Graph> = None;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                if graph.is_some() {
+                    return Err(err(lineno, "duplicate problem line"));
+                }
+                let fmt = it.next().ok_or_else(|| err(lineno, "missing format"))?;
+                if fmt != "edge" && fmt != "col" {
+                    return Err(err(lineno, format!("unsupported format `{fmt}`")));
+                }
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad vertex count"))?;
+                let _m = it.next(); // edge count: informative only
+                graph = Some(Graph::new(n));
+            }
+            Some("e") => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge before problem line"))?;
+                let u: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad edge endpoint"))?;
+                let v: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad edge endpoint"))?;
+                if u == 0 || v == 0 || u > g.num_vertices() || v > g.num_vertices() {
+                    return Err(err(lineno, "edge endpoint out of range"));
+                }
+                g.add_edge(u - 1, v - 1);
+            }
+            Some(other) => return Err(err(lineno, format!("unknown line type `{other}`"))),
+            None => unreachable!(),
+        }
+    }
+    graph.ok_or_else(|| err(0, "no problem line found"))
+}
+
+/// Serialises a graph in DIMACS `.col` format (1-based vertices).
+pub fn write_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p edge {} {}", g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {} {}", u + 1, v + 1);
+    }
+    out
+}
+
+/// Parses a PACE-2017-style `.gr` graph: `c` comments, one
+/// `p tw <N> <M>` problem line, and one `u v` pair per edge line (1-based).
+pub fn parse_pace_gr(input: &str) -> Result<Graph, ParseError> {
+    let mut graph: Option<Graph> = None;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            if graph.is_some() {
+                return Err(err(lineno, "duplicate problem line"));
+            }
+            let mut it = rest.split_whitespace();
+            let fmt = it.next().ok_or_else(|| err(lineno, "missing descriptor"))?;
+            if fmt != "tw" {
+                return Err(err(lineno, format!("unsupported descriptor `{fmt}`")));
+            }
+            let n: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, "bad vertex count"))?;
+            graph = Some(Graph::new(n));
+            continue;
+        }
+        let g = graph
+            .as_mut()
+            .ok_or_else(|| err(lineno, "edge before problem line"))?;
+        let mut it = line.split_whitespace();
+        let u: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(lineno, "bad edge endpoint"))?;
+        let v: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(lineno, "bad edge endpoint"))?;
+        if u == 0 || v == 0 || u > g.num_vertices() || v > g.num_vertices() {
+            return Err(err(lineno, "edge endpoint out of range"));
+        }
+        g.add_edge(u - 1, v - 1);
+    }
+    graph.ok_or_else(|| err(0, "no problem line found"))
+}
+
+/// Serialises a graph in PACE `.gr` format.
+pub fn write_pace_gr(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p tw {} {}", g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u + 1, v + 1);
+    }
+    out
+}
+
+/// Parses the CSP hypergraph library format: a comma-separated sequence of
+/// `edgename(v1,v2,...)` atoms, optionally terminated by `.`; `%` or `#`
+/// start comments. Vertex names are arbitrary identifiers and are assigned
+/// indices in order of first appearance.
+pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
+    // Strip comments line by line, then tokenize the rest as one stream.
+    let mut text = String::new();
+    for line in input.lines() {
+        let line = match line.find(['%', '#']) {
+            Some(p) => &line[..p],
+            None => line,
+        };
+        text.push_str(line);
+        text.push('\n');
+    }
+
+    let mut vertex_ids: HashMap<String, usize> = HashMap::new();
+    let mut edges: Vec<(String, Vec<usize>)> = Vec::new();
+
+    let mut chars = text.char_indices().peekable();
+    let bytes = &text;
+    while let Some(&(start, c)) = chars.peek() {
+        if c.is_whitespace() || c == ',' || c == '.' {
+            chars.next();
+            continue;
+        }
+        // read edge name up to '('
+        let mut name_end = start;
+        for &(i, ch) in chars.clone().collect::<Vec<_>>().iter() {
+            if ch == '(' {
+                name_end = i;
+                break;
+            }
+            if ch == ')' || ch == ',' {
+                return Err(err(0, "expected `(` after edge name"));
+            }
+            name_end = i + ch.len_utf8();
+        }
+        let name = bytes[start..name_end].trim().to_string();
+        if name.is_empty() {
+            return Err(err(0, "empty edge name"));
+        }
+        // advance past name and '('
+        while let Some(&(_, ch)) = chars.peek() {
+            chars.next();
+            if ch == '(' {
+                break;
+            }
+        }
+        // read vertices up to ')'
+        let mut vs = Vec::new();
+        let mut cur = String::new();
+        let mut closed = false;
+        for (_, ch) in chars.by_ref() {
+            match ch {
+                ')' => {
+                    closed = true;
+                    break;
+                }
+                ',' => {
+                    let v = cur.trim().to_string();
+                    if v.is_empty() {
+                        return Err(err(0, format!("empty vertex in edge `{name}`")));
+                    }
+                    vs.push(v);
+                    cur.clear();
+                }
+                _ => cur.push(ch),
+            }
+        }
+        if !closed {
+            return Err(err(0, format!("unterminated edge `{name}`")));
+        }
+        let last = cur.trim().to_string();
+        if !last.is_empty() {
+            vs.push(last);
+        }
+        if vs.is_empty() {
+            return Err(err(0, format!("edge `{name}` has no vertices")));
+        }
+        let mut ids = Vec::with_capacity(vs.len());
+        for v in vs {
+            let next = vertex_ids.len();
+            ids.push(*vertex_ids.entry(v).or_insert(next));
+        }
+        edges.push((name, ids));
+    }
+
+    let mut h = Hypergraph::new(vertex_ids.len());
+    let mut names: Vec<(String, usize)> = vertex_ids.into_iter().collect();
+    names.sort_by_key(|&(_, id)| id);
+    for (name, id) in names {
+        h.set_vertex_name(id, name);
+    }
+    for (name, ids) in edges {
+        h.add_named_edge(name, ids);
+    }
+    Ok(h)
+}
+
+/// Serialises a hypergraph in the CSP hypergraph library format.
+pub fn write_hypergraph(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    for e in 0..h.num_edges() {
+        if e > 0 {
+            out.push_str(",\n");
+        }
+        let vars: Vec<&str> = h.edge(e).iter().map(|v| h.vertex_name(v)).collect();
+        let _ = write!(out, "{}({})", h.edge_name(e), vars.join(","));
+    }
+    out.push_str(".\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let text = write_dimacs(&g);
+        let g2 = parse_dimacs(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dimacs_tolerates_comments_and_duplicates() {
+        let text = "c a comment\np edge 3 2\ne 1 2\ne 2 1\ne 2 3\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(parse_dimacs("e 1 2\n").is_err()); // edge before p
+        assert!(parse_dimacs("p edge 2 1\ne 1 5\n").is_err()); // out of range
+        assert!(parse_dimacs("p edge x 1\n").is_err());
+        assert!(parse_dimacs("").is_err());
+    }
+
+    #[test]
+    fn pace_gr_roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let text = write_pace_gr(&g);
+        assert!(text.starts_with("p tw 5 3"));
+        let g2 = parse_pace_gr(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn pace_gr_rejects_malformed() {
+        assert!(parse_pace_gr("p cep 3 1\n1 2\n").is_err());
+        assert!(parse_pace_gr("1 2\n").is_err());
+        assert!(parse_pace_gr("p tw 2 1\n1 9\n").is_err());
+    }
+
+    #[test]
+    fn hypergraph_roundtrip() {
+        let text = "C1(x1,x2,x3),\nC2(x1,x5,x6),\nC3(x3,x4,x5).\n";
+        let h = parse_hypergraph(text).unwrap();
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.vertex_name(0), "x1");
+        assert_eq!(h.edge_name(2), "C3");
+        let text2 = write_hypergraph(&h);
+        let h2 = parse_hypergraph(&text2).unwrap();
+        assert_eq!(h2.num_vertices(), h.num_vertices());
+        assert_eq!(h2.num_edges(), h.num_edges());
+        for e in 0..h.num_edges() {
+            assert_eq!(h2.edge(e), h.edge(e));
+        }
+    }
+
+    #[test]
+    fn hypergraph_comments_and_whitespace() {
+        let text = "% header\nA( x , y ),\n# trailing\nB(y,z).";
+        let h = parse_hypergraph(text).unwrap();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.vertex_by_name("y"), Some(1));
+    }
+
+    #[test]
+    fn hypergraph_rejects_malformed() {
+        assert!(parse_hypergraph("A(x").is_err());
+        assert!(parse_hypergraph("A()").is_err());
+        assert!(parse_hypergraph("(x,y)").is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! Graphs, hypergraphs, benchmark I/O and instance generators.
+//!
+//! This crate is the structural substrate of the workspace: everything the
+//! decomposition, bound, search and GA crates operate on. The central types
+//! are [`Graph`] (a regular graph with bit-matrix adjacency), [`Hypergraph`]
+//! (Definition 2 of the thesis, with primal- and dual-graph construction)
+//! and [`EliminationGraph`] (the eliminate/restore machinery of §5.2.1 that
+//! the branch-and-bound and A\* searches are built on).
+
+pub mod bitset;
+pub mod elimination;
+pub mod generators;
+pub mod graph;
+pub mod hypergraph;
+pub mod io;
+
+pub use bitset::BitSet;
+pub use elimination::EliminationGraph;
+pub use graph::Graph;
+pub use hypergraph::Hypergraph;

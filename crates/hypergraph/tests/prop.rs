@@ -1,0 +1,63 @@
+//! Property tests for the structural substrate: the elimination graph's
+//! restore is an exact inverse under arbitrary interleavings, and primal
+//! graph construction is stable under edge order.
+
+use ghd_hypergraph::generators::graphs;
+use ghd_hypergraph::{EliminationGraph, Graph, Hypergraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=14).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..=n * 2)
+            .prop_map(move |pairs| Graph::from_edges(n, pairs))
+    })
+}
+
+proptest! {
+    /// Any eliminate/restore walk that returns to depth 0 restores the
+    /// original graph exactly.
+    #[test]
+    fn eliminate_restore_walk_is_identity(g in arb_graph(), script in proptest::collection::vec(any::<u32>(), 0..60)) {
+        let mut eg = EliminationGraph::new(&g);
+        let before = eg.to_graph();
+        for step in script {
+            if step % 3 == 0 && eg.depth() > 0 {
+                eg.restore();
+            } else if eg.num_alive() > 0 {
+                let alive = eg.alive().to_vec();
+                let v = alive[(step as usize) % alive.len()];
+                eg.eliminate(v);
+            }
+        }
+        while eg.depth() > 0 {
+            eg.restore();
+        }
+        prop_assert_eq!(eg.to_graph(), before);
+    }
+
+    /// Eliminating a vertex makes its former neighbourhood a clique.
+    #[test]
+    fn elimination_clique_property(g in arb_graph(), pick in any::<u32>()) {
+        let mut eg = EliminationGraph::new(&g);
+        let alive = eg.alive().to_vec();
+        let v = alive[(pick as usize) % alive.len()];
+        let nb = eg.neighbors(v).clone();
+        eg.eliminate(v);
+        let nbs = nb.to_vec();
+        for (i, &a) in nbs.iter().enumerate() {
+            for &b in &nbs[i + 1..] {
+                prop_assert!(eg.has_edge(a, b));
+            }
+        }
+    }
+
+    /// The primal graph of a hypergraph built from a graph's edges is the
+    /// graph itself, for every generated family member.
+    #[test]
+    fn primal_of_graph_hypergraph_roundtrip(n in 2usize..10, seed in 0u64..50) {
+        let m = (n * (n - 1) / 2).min(2 * n);
+        let g = graphs::gnm_random(n, m, seed);
+        let h = Hypergraph::from_graph(&g);
+        prop_assert_eq!(h.primal_graph(), g);
+    }
+}

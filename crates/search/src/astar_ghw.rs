@@ -1,0 +1,243 @@
+//! Algorithm A\*-ghw (Chapter 9, Fig 9.1): best-first search for the
+//! generalized hypertree width, built from the BB-ghw cost and heuristic
+//! functions on the A\*-tw state machinery.
+
+use crate::astar_tw::{path_of, transform, HeapEntry, Node};
+use crate::bb_ghw::{bag_cover_size, residual_ghw_lb};
+use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
+use ghd_bounds::ksc::ghw_lower_bound;
+use ghd_bounds::upper::ghw_upper_bound;
+use ghd_core::setcover::{greedy_cover_size, CoverMethod};
+use ghd_hypergraph::{EliminationGraph, Hypergraph};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Computes the generalized hypertree width of `h` with A\*. Exact when it
+/// terminates within limits; otherwise the maximum visited f-value is
+/// reported as an anytime lower bound (the thesis notes A\*-ghw "returned
+/// improved lower bounds" for several instances).
+pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
+    let n = h.num_vertices();
+    let mut ticker = Ticker::new(limits);
+    let root_lb = ghw_lower_bound::<rand::rngs::StdRng>(h, None);
+    let (ub, ub_order) = ghw_upper_bound::<rand::rngs::StdRng>(h, None);
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: ticker.elapsed(),
+        };
+    }
+
+    let primal = h.primal_graph();
+    let covered = h.covered_vertices();
+    let mut eg = EliminationGraph::new(&primal);
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut lb = root_lb;
+    // duplicate detection, as in A*-tw (see DESIGN.md)
+    let mut seen: HashMap<Box<[u64]>, u32> = HashMap::new();
+
+    let root_children: Vec<u32> = match find_simplicial(&eg) {
+        Some(w) => vec![w as u32],
+        None => eg.alive().iter().map(|v| v as u32).collect(),
+    };
+    let root_reduced = root_children.len() == 1 && n > 1;
+    nodes.push(Node {
+        parent: 0,
+        vertex: u32::MAX,
+        g: 0,
+        f: root_lb as u32,
+        depth: 0,
+        reduced: root_reduced,
+        children: root_children,
+    });
+    queue.push(HeapEntry {
+        f: root_lb as u32,
+        depth: 0,
+        id: 0,
+    });
+
+    let mut current_path: Vec<u32> = Vec::new();
+    let mut degraded = false;
+
+    while let Some(entry) = queue.pop() {
+        if !ticker.tick() {
+            return SearchResult {
+                upper_bound: ub,
+                lower_bound: if degraded { root_lb.min(ub) } else { lb.max(entry.f as usize).min(ub) },
+                exact: !degraded && lb.max(entry.f as usize) >= ub,
+                ordering: Some(ub_order.into_vec()),
+                nodes_expanded: ticker.nodes(),
+                elapsed: ticker.elapsed(),
+            };
+        }
+        let s_id = entry.id as usize;
+        let target_path = path_of(&nodes, entry.id);
+        transform(&mut eg, &mut current_path, &target_path);
+        lb = lb.max(nodes[s_id].f as usize);
+
+        // goal: the residual vertex set is coverable within g, so finishing
+        // in any order realises exactly g
+        let s_g = nodes[s_id].g as usize;
+        let done = eg.num_alive() == 0 || {
+            let mut target = eg.alive().clone();
+            target.intersect_with(&covered);
+            greedy_cover_size::<rand::rngs::StdRng>(&target, h, None) <= s_g
+        };
+        if done {
+            let in_path: std::collections::HashSet<u32> = target_path.iter().copied().collect();
+            let mut order: Vec<usize> =
+                (0..n).filter(|&v| !in_path.contains(&(v as u32))).collect();
+            order.extend(target_path.iter().rev().map(|&v| v as usize));
+            let width = s_g.max(1);
+            return SearchResult {
+                upper_bound: width,
+                lower_bound: if degraded { root_lb.min(width) } else { width },
+                exact: !degraded,
+                ordering: Some(order),
+                nodes_expanded: ticker.nodes(),
+                elapsed: ticker.elapsed(),
+            };
+        }
+
+        let s_children = std::mem::take(&mut nodes[s_id].children);
+        let s_reduced = nodes[s_id].reduced;
+        let (s_g, s_f, s_depth) = (nodes[s_id].g, nodes[s_id].f, nodes[s_id].depth);
+        for &v in &s_children {
+            let v_us = v as usize;
+            let pr2_set = if !s_reduced {
+                Some(pr2_allowed_children(&eg, v_us, swappable_ghw))
+            } else {
+                None
+            };
+            let mut bag = eg.neighbors(v_us).clone();
+            bag.insert(v_us);
+            let (k, cover_exact) = bag_cover_size(h, &covered, &bag, CoverMethod::Exact, ub);
+            if !cover_exact {
+                degraded = true;
+            }
+            let k = k as u32;
+            eg.eliminate(v_us);
+            let t_g = s_g.max(k);
+            let mut t_f = t_g.max(s_f);
+            if (t_f as usize) < ub {
+                t_f = t_f.max(residual_ghw_lb(h, &eg) as u32);
+            }
+            let dominated = (t_f as usize) < ub && {
+                match seen.get_mut(eg.alive().blocks()) {
+                    Some(best) if *best <= t_g => true,
+                    Some(best) => {
+                        *best = t_g;
+                        false
+                    }
+                    None => {
+                        seen.insert(eg.alive().blocks().into(), t_g);
+                        false
+                    }
+                }
+            };
+            if (t_f as usize) < ub && !dominated {
+                let (children, reduced) = match find_simplicial(&eg) {
+                    Some(w) => (vec![w as u32], true),
+                    None => {
+                        let set: Vec<u32> = match &pr2_set {
+                            Some(s) => s.iter().map(|x| x as u32).collect(),
+                            None => eg.alive().iter().map(|x| x as u32).collect(),
+                        };
+                        (set, false)
+                    }
+                };
+                let id = nodes.len() as u32;
+                nodes.push(Node {
+                    parent: entry.id,
+                    vertex: v,
+                    g: t_g,
+                    f: t_f,
+                    depth: s_depth + 1,
+                    reduced,
+                    children,
+                });
+                queue.push(HeapEntry {
+                    f: t_f,
+                    depth: s_depth + 1,
+                    id,
+                });
+            }
+            eg.restore();
+        }
+    }
+
+    SearchResult {
+        upper_bound: ub,
+        lower_bound: if degraded { root_lb } else { ub },
+        exact: !degraded,
+        ordering: Some(ub_order.into_vec()),
+        nodes_expanded: ticker.nodes(),
+        elapsed: ticker.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bb_ghw::{bb_ghw, BbGhwConfig};
+    use ghd_core::bucket::ghd_from_ordering;
+    use ghd_core::EliminationOrdering;
+    use ghd_hypergraph::generators::hypergraphs;
+
+    fn exact_ghw(h: &Hypergraph) -> usize {
+        let r = astar_ghw(h, SearchLimits::unlimited());
+        assert!(r.exact, "A*-ghw did not complete");
+        r.upper_bound
+    }
+
+    #[test]
+    fn acyclic_and_clique_families() {
+        assert_eq!(exact_ghw(&hypergraphs::acyclic_chain(4, 3, 1)), 1);
+        assert_eq!(exact_ghw(&hypergraphs::clique(6)), 3);
+        assert_eq!(exact_ghw(&hypergraphs::clique(5)), 3);
+    }
+
+    #[test]
+    fn example5_has_ghw_2() {
+        let h = Hypergraph::from_edges(6, [vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        assert_eq!(exact_ghw(&h), 2);
+    }
+
+    #[test]
+    fn agrees_with_bb_ghw_on_random_hypergraphs() {
+        for seed in 0..8u64 {
+            let h = hypergraphs::random_hypergraph(11, 7, 3, seed);
+            let a = astar_ghw(&h, SearchLimits::unlimited());
+            let b = bb_ghw(&h, &BbGhwConfig::default());
+            assert!(a.exact && b.exact);
+            assert_eq!(a.upper_bound, b.upper_bound, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn goal_ordering_is_a_valid_witness() {
+        let h = hypergraphs::clique(5);
+        let r = astar_ghw(&h, SearchLimits::unlimited());
+        if r.nodes_expanded > 0 {
+            let sigma = EliminationOrdering::new(r.ordering.clone().unwrap()).unwrap();
+            let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+            ghd.verify(&h).unwrap();
+            assert_eq!(ghd.width(), r.upper_bound);
+        }
+    }
+
+    #[test]
+    fn anytime_lower_bound_is_sound() {
+        let h = hypergraphs::grid2d(6);
+        let r = astar_ghw(&h, SearchLimits::with_nodes(50));
+        let full = bb_ghw(&h, &BbGhwConfig::default());
+        if full.exact {
+            assert!(r.lower_bound <= full.upper_bound);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Algorithm A\*-tw (Chapter 5, Fig 5.1): best-first search over the
+//! elimination-ordering tree, with min-fill upper bound, the combined
+//! minor-min-width / minor-γ_R lower bound, reductions and PR2.
+//!
+//! The search state machinery follows §5.2: a single elimination graph is
+//! transformed between visited states by restoring to the common prefix of
+//! the two elimination paths (§5.2.1); visited states keep only their parent
+//! link and vertex for path reconstruction, and their child lists are freed
+//! after expansion (§5.2.3). Visiting order is (f ascending, depth
+//! descending) per §5.3, and the maximum f-value of visited states is an
+//! anytime treewidth lower bound.
+
+use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
+use ghd_bounds::lower::tw_lower_bound;
+use ghd_bounds::upper::tw_upper_bound;
+use ghd_hypergraph::{EliminationGraph, Graph};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+
+pub(crate) struct Node {
+    pub parent: u32,
+    pub vertex: u32,
+    pub g: u32,
+    pub f: u32,
+    pub depth: u32,
+    pub reduced: bool,
+    /// Candidate vertices to eliminate next; freed after expansion (§5.2.3).
+    pub children: Vec<u32>,
+}
+
+/// Max-heap entry ordered so that `pop` yields minimum f, ties broken by
+/// maximum depth (deeper states are closer to a goal, §5.3).
+#[derive(PartialEq, Eq)]
+pub(crate) struct HeapEntry {
+    pub f: u32,
+    pub depth: u32,
+    pub id: u32,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .f
+            .cmp(&self.f)
+            .then(self.depth.cmp(&other.depth))
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Rebuilds the elimination path (root → node) of `id`.
+pub(crate) fn path_of(nodes: &[Node], mut id: u32) -> Vec<u32> {
+    let mut path = Vec::new();
+    while id != 0 {
+        path.push(nodes[id as usize].vertex);
+        id = nodes[id as usize].parent;
+    }
+    path.reverse();
+    path
+}
+
+/// Transforms `eg` from the state reached via `current` to the state of
+/// `target` by restoring to the common prefix and eliminating the rest.
+pub(crate) fn transform(eg: &mut EliminationGraph, current: &mut Vec<u32>, target: &[u32]) {
+    let common = current
+        .iter()
+        .zip(target)
+        .take_while(|(a, b)| a == b)
+        .count();
+    while current.len() > common {
+        eg.restore();
+        current.pop();
+    }
+    for &v in &target[common..] {
+        eg.eliminate(v as usize);
+        current.push(v);
+    }
+}
+
+/// Computes the treewidth of `g` with A\*. Exact when it terminates within
+/// limits; otherwise an anytime lower bound (§5.3) plus the heuristic upper
+/// bound are reported.
+pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
+    let n = g.num_vertices();
+    let mut ticker = Ticker::new(limits);
+    let root_lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: ticker.elapsed(),
+        };
+    }
+
+    let mut eg = EliminationGraph::new(g);
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut lb = root_lb;
+    // duplicate detection: two states with the same eliminated set have the
+    // same residual graph; the one with smaller g dominates (an improvement
+    // over the thesis' A*, see DESIGN.md)
+    let mut seen: HashMap<Box<[u64]>, u32> = HashMap::new();
+
+    // root state
+    let root_children: Vec<u32> = match find_reduction_tw(&eg, root_lb) {
+        Some(w) => vec![w as u32],
+        None => eg.alive().iter().map(|v| v as u32).collect(),
+    };
+    let root_reduced = root_children.len() == 1 && n > 1;
+    nodes.push(Node {
+        parent: 0,
+        vertex: u32::MAX,
+        g: 0,
+        f: root_lb as u32,
+        depth: 0,
+        reduced: root_reduced,
+        children: root_children,
+    });
+    queue.push(HeapEntry {
+        f: root_lb as u32,
+        depth: 0,
+        id: 0,
+    });
+
+    let mut current_path: Vec<u32> = Vec::new();
+
+    while let Some(entry) = queue.pop() {
+        if !ticker.tick() {
+            // anytime: report the best proven lower bound (§5.3)
+            return SearchResult {
+                upper_bound: ub,
+                lower_bound: lb.max(entry.f as usize).min(ub),
+                exact: lb.max(entry.f as usize) >= ub,
+                ordering: Some(ub_order.into_vec()),
+                nodes_expanded: ticker.nodes(),
+                elapsed: ticker.elapsed(),
+            };
+        }
+        let s_id = entry.id as usize;
+        let target_path = path_of(&nodes, entry.id);
+        transform(&mut eg, &mut current_path, &target_path);
+
+        // new lower bound found: the visited f-sequence is nondecreasing
+        lb = lb.max(nodes[s_id].f as usize);
+
+        // goal: the partial solution already dominates the rest
+        if nodes[s_id].g as usize >= eg.num_alive().saturating_sub(1) {
+            let mut order: Vec<usize> = {
+                let in_path: std::collections::HashSet<u32> = target_path.iter().copied().collect();
+                (0..n).filter(|&v| !in_path.contains(&(v as u32))).collect()
+            };
+            order.extend(target_path.iter().rev().map(|&v| v as usize));
+            let width = nodes[s_id].g as usize;
+            return SearchResult {
+                upper_bound: width,
+                lower_bound: width,
+                exact: true,
+                ordering: Some(order),
+                nodes_expanded: ticker.nodes(),
+                elapsed: ticker.elapsed(),
+            };
+        }
+
+        // expand: evaluate children of s
+        let s_children = std::mem::take(&mut nodes[s_id].children); // §5.2.3
+        let s_reduced = nodes[s_id].reduced;
+        let (s_g, s_f, s_depth) = (nodes[s_id].g, nodes[s_id].f, nodes[s_id].depth);
+        for &v in &s_children {
+            let v_us = v as usize;
+            // PR2 grandchild filter evaluated in G^s (before eliminating v)
+            let pr2_set = if !s_reduced {
+                Some(pr2_allowed_children(&eg, v_us, swappable_tw))
+            } else {
+                None
+            };
+            let d = eg.eliminate(v_us) as u32;
+            let t_g = s_g.max(d);
+            let mut t_f = t_g.max(s_f);
+            if (t_f as usize) < ub {
+                let h = tw_lower_bound::<rand::rngs::StdRng>(&eg.to_graph(), None) as u32;
+                t_f = t_f.max(h);
+            }
+            let dominated = (t_f as usize) < ub && {
+                match seen.get_mut(eg.alive().blocks()) {
+                    Some(best) if *best <= t_g => true,
+                    Some(best) => {
+                        *best = t_g;
+                        false
+                    }
+                    None => {
+                        seen.insert(eg.alive().blocks().into(), t_g);
+                        false
+                    }
+                }
+            };
+            if (t_f as usize) < ub && !dominated {
+                let (children, reduced) = match find_reduction_tw(&eg, t_f as usize) {
+                    Some(w) => (vec![w as u32], true),
+                    None => {
+                        let set: Vec<u32> = match &pr2_set {
+                            Some(s) => s.iter().map(|x| x as u32).collect(),
+                            None => eg.alive().iter().map(|x| x as u32).collect(),
+                        };
+                        (set, false)
+                    }
+                };
+                let id = nodes.len() as u32;
+                nodes.push(Node {
+                    parent: entry.id,
+                    vertex: v,
+                    g: t_g,
+                    f: t_f,
+                    depth: s_depth + 1,
+                    reduced,
+                    children,
+                });
+                queue.push(HeapEntry {
+                    f: t_f,
+                    depth: s_depth + 1,
+                    id,
+                });
+            }
+            eg.restore();
+        }
+    }
+
+    // queue exhausted: every state with f < ub was visited → tw = ub
+    SearchResult {
+        upper_bound: ub,
+        lower_bound: ub,
+        exact: true,
+        ordering: Some(ub_order.into_vec()),
+        nodes_expanded: ticker.nodes(),
+        elapsed: ticker.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bb_tw::{bb_tw, BbConfig};
+    use ghd_core::eval::TwEvaluator;
+    use ghd_core::EliminationOrdering;
+    use ghd_hypergraph::generators::graphs;
+
+    fn exact_tw(g: &Graph) -> usize {
+        let r = astar_tw(g, SearchLimits::unlimited());
+        assert!(r.exact, "A* did not complete");
+        r.upper_bound
+    }
+
+    #[test]
+    fn basic_families() {
+        assert_eq!(exact_tw(&graphs::path(8)), 1);
+        assert_eq!(exact_tw(&graphs::cycle(9)), 2);
+        assert_eq!(exact_tw(&graphs::complete(7)), 6);
+        assert_eq!(exact_tw(&graphs::mycielski(3)), 5); // Table 5.1: myciel3
+    }
+
+    #[test]
+    fn grids_match_table_5_2() {
+        for n in 2..=4 {
+            assert_eq!(exact_tw(&graphs::grid(n)), n, "grid{n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = graphs::gnm_random(13, 30, seed);
+            let a = astar_tw(&g, SearchLimits::unlimited());
+            let b = bb_tw(&g, &BbConfig::default());
+            assert!(a.exact && b.exact);
+            assert_eq!(a.upper_bound, b.upper_bound, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn goal_ordering_realises_width() {
+        let g = graphs::grid(4);
+        let r = astar_tw(&g, SearchLimits::unlimited());
+        if let Some(o) = r.ordering {
+            let sigma = EliminationOrdering::new(o).unwrap();
+            let w = TwEvaluator::new(&g).width(&sigma);
+            assert!(w <= r.upper_bound);
+        }
+    }
+
+    #[test]
+    fn anytime_lower_bound_is_sound() {
+        let g = graphs::queen(5); // tw = 18, too hard for 200 expansions
+        let r = astar_tw(&g, SearchLimits::with_nodes(200));
+        assert!(r.lower_bound <= 18);
+        assert!(r.lower_bound >= 1);
+        assert!(r.upper_bound >= 18);
+    }
+
+    #[test]
+    fn transform_walks_between_arbitrary_states() {
+        let g = graphs::grid(3);
+        let mut eg = EliminationGraph::new(&g);
+        let snapshot = eg.to_graph();
+        let mut cur: Vec<u32> = Vec::new();
+        transform(&mut eg, &mut cur, &[0, 1, 2]);
+        assert_eq!(eg.num_alive(), 6);
+        transform(&mut eg, &mut cur, &[0, 5]);
+        assert_eq!(eg.num_alive(), 7);
+        assert_eq!(cur, vec![0, 5]);
+        transform(&mut eg, &mut cur, &[]);
+        assert_eq!(eg.to_graph(), snapshot);
+    }
+}

@@ -1,0 +1,326 @@
+//! Algorithm BB-ghw (Chapter 8, Fig 8.3): branch and bound over elimination
+//! orderings for the generalized hypertree width, justified by Theorem 3
+//! (some ordering attains `ghw` under exact set covering).
+//!
+//! Per state the cost is the largest *exact* set cover of a bucket bag so
+//! far; the heuristic is tw-ksc-width (Fig 8.1) on the residual graph; the
+//! reductions of §8.2 (simplicial vertices) and the GHW-safe part of pruning
+//! rule 2 (§8.3, non-adjacent swaps) shrink the tree, and the GHW analogue
+//! of PR1 closes subtrees whose residual vertex set is already coverable
+//! within the current cost.
+
+use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
+use ghd_bounds::ksc::tw_ksc_width;
+use ghd_bounds::lower::tw_lower_bound;
+use ghd_bounds::upper::ghw_upper_bound;
+use ghd_core::setcover::{exact_cover_size_capped, greedy_cover_size, CoverMethod};
+use ghd_hypergraph::{BitSet, EliminationGraph, Hypergraph};
+
+/// Configuration for [`bb_ghw`].
+#[derive(Clone, Debug)]
+pub struct BbGhwConfig {
+    /// Resource limits.
+    pub limits: SearchLimits,
+    /// Apply the simplicial-vertex reduction (§8.2).
+    pub use_reductions: bool,
+    /// Apply the non-adjacent-swap pruning rule (§8.3).
+    pub use_pr2: bool,
+    /// Bag cover solver. Exactness of the search requires
+    /// [`CoverMethod::Exact`] (Theorem 3); `Greedy` turns this into a fast
+    /// upper-bound heuristic.
+    pub cover: CoverMethod,
+}
+
+impl Default for BbGhwConfig {
+    fn default() -> Self {
+        BbGhwConfig {
+            limits: SearchLimits::unlimited(),
+            use_reductions: true,
+            use_pr2: true,
+            cover: CoverMethod::Exact,
+        }
+    }
+}
+
+/// Cover size of a bag, capped at `cap` (any value ≥ `cap` prunes the
+/// child identically, so `min(true, cap)` is all the search needs — and the
+/// cap prunes the set-cover branch and bound enormously). The second
+/// component is `false` iff the cover search exhausted its internal budget
+/// and the size is only an upper estimate.
+pub(crate) fn bag_cover_size(
+    h: &Hypergraph,
+    covered: &BitSet,
+    bag: &BitSet,
+    method: CoverMethod,
+    cap: usize,
+) -> (usize, bool) {
+    // vertices in no hyperedge are unconstrained and need no cover support
+    let mut bag = bag.clone();
+    bag.intersect_with(covered);
+    match method {
+        CoverMethod::Exact => exact_cover_size_capped(&bag, h, cap),
+        CoverMethod::Greedy => (
+            greedy_cover_size::<rand::rngs::StdRng>(&bag, h, None),
+            true,
+        ),
+    }
+}
+
+/// Residual lower bound: treewidth bound on the current graph lifted through
+/// the k-set-cover bound (Fig 8.1).
+pub(crate) fn residual_ghw_lb(h: &Hypergraph, eg: &EliminationGraph) -> usize {
+    if eg.num_alive() == 0 {
+        return 0;
+    }
+    let residual = eg.to_graph();
+    let tw_lb = tw_lower_bound::<rand::rngs::StdRng>(&residual, None);
+    tw_ksc_width(h, &residual, tw_lb)
+}
+
+struct Dfs<'a> {
+    h: &'a Hypergraph,
+    covered: BitSet,
+    eg: EliminationGraph,
+    cfg: &'a BbGhwConfig,
+    ticker: Ticker,
+    ub: usize,
+    best_suffix: Vec<usize>,
+    suffix: Vec<usize>,
+    bag_scratch: BitSet,
+    /// Set when a capped cover exhausted its budget: the result may no
+    /// longer be proven optimal.
+    degraded: bool,
+}
+
+impl Dfs<'_> {
+    fn search(&mut self, g: usize, f: usize, allowed: Option<&BitSet>) -> bool {
+        if !self.ticker.tick() {
+            return false;
+        }
+        // PR1 analogue: any completion's bags sit inside the alive set, so
+        // its exact-cover width is ≤ cover(alive); greedy gives a safe bound.
+        if self.eg.num_alive() == 0 {
+            if g < self.ub {
+                self.ub = g.max(1);
+                self.best_suffix = self.suffix.clone();
+            }
+            return true;
+        }
+        let alive_cover = {
+            let mut target = self.eg.alive().clone();
+            target.intersect_with(&self.covered);
+            greedy_cover_size::<rand::rngs::StdRng>(&target, self.h, None)
+        };
+        let w = g.max(alive_cover);
+        if w < self.ub {
+            self.ub = w;
+            self.best_suffix = self.suffix.clone();
+        }
+        if alive_cover <= g {
+            return true; // completing in any order already achieves g
+        }
+
+        let forced = if self.cfg.use_reductions {
+            find_simplicial(&self.eg)
+        } else {
+            None
+        };
+        let mut children: Vec<usize> = match forced {
+            Some(v) => vec![v],
+            None => match allowed {
+                Some(set) => set.iter().collect(),
+                None => self.eg.alive().to_vec(),
+            },
+        };
+        children.sort_by_key(|&v| self.eg.degree(v));
+
+        for v in children {
+            let grandchildren = if self.cfg.use_pr2 && forced.is_none() {
+                Some(pr2_allowed_children(&self.eg, v, swappable_ghw))
+            } else {
+                None
+            };
+            self.bag_scratch = self.eg.neighbors(v).clone();
+            self.bag_scratch.insert(v);
+            let (k, cover_exact) =
+                bag_cover_size(self.h, &self.covered, &self.bag_scratch, self.cfg.cover, self.ub);
+            if !cover_exact {
+                self.degraded = true;
+            }
+            self.eg.eliminate(v);
+            self.suffix.push(v);
+            let child_g = g.max(k);
+            let mut child_f = child_g.max(f);
+            if child_f < self.ub {
+                child_f = child_f.max(residual_ghw_lb(self.h, &self.eg));
+            }
+            let ok = if child_f < self.ub {
+                self.search(child_g, child_f, grandchildren.as_ref())
+            } else {
+                true
+            };
+            self.suffix.pop();
+            self.eg.restore();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Computes the generalized hypertree width of `h` by branch and bound
+/// (Fig 8.3). With [`CoverMethod::Exact`] and no limits the result is exact;
+/// anytime otherwise.
+pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
+    let n = h.num_vertices();
+    let ticker = Ticker::new(cfg.limits);
+    let root_lb = ghd_bounds::ksc::ghw_lower_bound::<rand::rngs::StdRng>(h, None);
+    let (ub, ub_order) = ghw_upper_bound::<rand::rngs::StdRng>(h, None);
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: ticker.elapsed(),
+        };
+    }
+    let primal = h.primal_graph();
+    let mut dfs = Dfs {
+        h,
+        covered: h.covered_vertices(),
+        eg: EliminationGraph::new(&primal),
+        cfg,
+        ticker,
+        ub,
+        best_suffix: Vec::new(),
+        suffix: Vec::new(),
+        bag_scratch: BitSet::new(n),
+        degraded: false,
+    };
+    let completed = dfs.search(0, root_lb, None);
+    let ordering = if dfs.best_suffix.is_empty() {
+        Some(ub_order.into_vec())
+    } else {
+        let mut in_suffix = vec![false; n];
+        for &v in &dfs.best_suffix {
+            in_suffix[v] = true;
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
+        order.extend(dfs.best_suffix.iter().rev());
+        Some(order)
+    };
+    let exact =
+        (completed && cfg.cover == CoverMethod::Exact && !dfs.degraded) || root_lb >= dfs.ub;
+    SearchResult {
+        upper_bound: dfs.ub,
+        lower_bound: if exact { dfs.ub } else { root_lb.min(dfs.ub) },
+        exact,
+        ordering,
+        nodes_expanded: dfs.ticker.nodes(),
+        elapsed: dfs.ticker.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghd_core::bucket::ghd_from_ordering;
+    use ghd_core::EliminationOrdering;
+    use ghd_hypergraph::generators::hypergraphs;
+
+    fn exact_ghw(h: &Hypergraph) -> usize {
+        let r = bb_ghw(h, &BbGhwConfig::default());
+        assert!(r.exact, "BB-ghw did not complete");
+        r.upper_bound
+    }
+
+    #[test]
+    fn acyclic_hypergraphs_have_ghw_1() {
+        let h = hypergraphs::acyclic_chain(5, 3, 1);
+        assert_eq!(exact_ghw(&h), 1);
+    }
+
+    #[test]
+    fn clique_hypergraph_ghw_is_ceil_half() {
+        for n in [4, 5, 6] {
+            let h = hypergraphs::clique(n);
+            assert_eq!(exact_ghw(&h), n.div_ceil(2), "clique_{n}");
+        }
+    }
+
+    #[test]
+    fn fig_2_11_hypergraph_has_ghw_2() {
+        // Example 5: a cyclic join of three ternary edges; ghw = 2
+        // (not acyclic, so > 1; Fig 2.7 exhibits width 2).
+        let h = Hypergraph::from_edges(6, [vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        assert_eq!(exact_ghw(&h), 2);
+    }
+
+    #[test]
+    fn small_adder_ghw_is_at_most_2() {
+        let h = hypergraphs::adder(4);
+        let w = exact_ghw(&h);
+        assert!((1..=2).contains(&w), "adder ghw = {w}");
+    }
+
+    #[test]
+    fn returned_ordering_realises_the_width() {
+        let h = hypergraphs::clique(6);
+        let r = bb_ghw(&h, &BbGhwConfig::default());
+        let sigma = EliminationOrdering::new(r.ordering.clone().unwrap()).unwrap();
+        let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+        ghd.verify(&h).unwrap();
+        assert_eq!(ghd.width(), r.upper_bound);
+    }
+
+    #[test]
+    fn ablations_agree_on_optimum() {
+        for seed in 0..5u64 {
+            let h = hypergraphs::random_hypergraph(10, 7, 3, seed);
+            let base = exact_ghw(&h);
+            for (red, pr2) in [(false, true), (true, false), (false, false)] {
+                let cfg = BbGhwConfig {
+                    use_reductions: red,
+                    use_pr2: pr2,
+                    ..BbGhwConfig::default()
+                };
+                let r = bb_ghw(&h, &cfg);
+                assert!(r.exact);
+                assert_eq!(r.upper_bound, base, "seed {seed} red={red} pr2={pr2}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_cover_mode_upper_bounds_exact() {
+        for seed in 0..5u64 {
+            let h = hypergraphs::random_hypergraph(12, 8, 4, seed);
+            let exact = exact_ghw(&h);
+            let r = bb_ghw(
+                &h,
+                &BbGhwConfig {
+                    cover: CoverMethod::Greedy,
+                    ..BbGhwConfig::default()
+                },
+            );
+            assert!(r.upper_bound >= exact, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn anytime_mode_reports_consistent_bounds() {
+        let h = hypergraphs::grid2d(6);
+        let r = bb_ghw(
+            &h,
+            &BbGhwConfig {
+                limits: SearchLimits::with_nodes(100),
+                ..BbGhwConfig::default()
+            },
+        );
+        assert!(r.lower_bound <= r.upper_bound);
+    }
+}

@@ -1,0 +1,260 @@
+//! Branch and bound for treewidth (§4.4.1) — the baseline exact algorithm
+//! in the style of QuickBB \[24\] / BB-tw \[5\], searching the elimination-
+//! ordering tree depth-first with reductions, PR1 and PR2.
+
+use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
+use ghd_bounds::lower::{minor_min_width, tw_lower_bound};
+use ghd_bounds::upper::tw_upper_bound;
+use ghd_hypergraph::{BitSet, EliminationGraph, Graph};
+
+/// Per-node lower bound heuristic selection (for the ablation benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LbMode {
+    /// No per-node bound (PR1 and the incumbent still prune).
+    None,
+    /// minor-min-width only (QuickBB's choice).
+    Mmw,
+    /// max(minor-min-width, minor-γ_R) (the thesis' A\*-tw choice).
+    #[default]
+    MmwGammaR,
+}
+
+/// Configuration for [`bb_tw`].
+#[derive(Clone, Debug)]
+pub struct BbConfig {
+    /// Resource limits.
+    pub limits: SearchLimits,
+    /// Apply the simplicial / strongly-almost-simplicial reductions.
+    pub use_reductions: bool,
+    /// Apply pruning rule 2.
+    pub use_pr2: bool,
+    /// Per-node lower bound heuristic.
+    pub lb_mode: LbMode,
+}
+
+impl Default for BbConfig {
+    fn default() -> Self {
+        BbConfig {
+            limits: SearchLimits::unlimited(),
+            use_reductions: true,
+            use_pr2: true,
+            lb_mode: LbMode::default(),
+        }
+    }
+}
+
+struct Dfs<'a> {
+    eg: EliminationGraph,
+    cfg: &'a BbConfig,
+    ticker: Ticker,
+    ub: usize,
+    /// Elimination order (first-eliminated first) realising `ub`; completed
+    /// to a full ordering lazily.
+    best_suffix: Vec<usize>,
+    suffix: Vec<usize>,
+    root_lb: usize,
+}
+
+impl Dfs<'_> {
+    fn node_lb(&self) -> usize {
+        match self.cfg.lb_mode {
+            LbMode::None => 0,
+            LbMode::Mmw => minor_min_width::<rand::rngs::StdRng>(&self.eg.to_graph(), None),
+            LbMode::MmwGammaR => tw_lower_bound::<rand::rngs::StdRng>(&self.eg.to_graph(), None),
+        }
+    }
+
+    /// Depth-first search below the current state. `g` is the width of the
+    /// partial ordering, `f` the inherited bound, `allowed` the PR2-filtered
+    /// candidate set (`None` = all alive). Returns `false` when the budget
+    /// expired (result no longer guaranteed exact).
+    fn search(&mut self, g: usize, f: usize, allowed: Option<&BitSet>) -> bool {
+        if !self.ticker.tick() {
+            return false;
+        }
+        let n_alive = self.eg.num_alive();
+        // PR1 (§4.4.5): completing in any order yields width ≤ max(g, n'−1).
+        let w = g.max(n_alive.saturating_sub(1));
+        if w < self.ub {
+            self.ub = w;
+            self.best_suffix = self.suffix.clone();
+        }
+        if n_alive <= g + 1 {
+            return true; // subtree solved optimally at width g
+        }
+
+        // child candidates: reduction rule first, then PR2 filter
+        let forced = if self.cfg.use_reductions {
+            find_reduction_tw(&self.eg, f)
+        } else {
+            None
+        };
+        let children: Vec<usize> = match forced {
+            Some(v) => vec![v],
+            None => match allowed {
+                Some(set) => set.iter().collect(),
+                None => self.eg.alive().to_vec(),
+            },
+        };
+        // explore low-degree vertices first: finds good orderings earlier
+        let mut children = children;
+        children.sort_by_key(|&v| self.eg.degree(v));
+
+        for v in children {
+            // grandchild PR2 filter must look at the *current* graph
+            let grandchildren = if self.cfg.use_pr2 && forced.is_none() {
+                Some(pr2_allowed_children(&self.eg, v, swappable_tw))
+            } else {
+                None
+            };
+            let d = self.eg.eliminate(v);
+            self.suffix.push(v);
+            let child_g = g.max(d);
+            let mut child_f = child_g.max(f);
+            if child_f < self.ub {
+                // h only matters if g alone does not already prune
+                child_f = child_f.max(self.node_lb()).max(f);
+            }
+            let ok = if child_f < self.ub {
+                self.search(child_g, child_f, grandchildren.as_ref())
+            } else {
+                true
+            };
+            self.suffix.pop();
+            self.eg.restore();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Computes the treewidth of `g` by branch and bound. Anytime: with limits,
+/// returns the best upper bound found (`exact == false` unless proven).
+pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
+    let n = g.num_vertices();
+    let ticker = Ticker::new(cfg.limits);
+    let root_lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: ticker.elapsed(),
+        };
+    }
+    let mut dfs = Dfs {
+        eg: EliminationGraph::new(g),
+        cfg,
+        ticker,
+        ub,
+        best_suffix: Vec::new(),
+        suffix: Vec::new(),
+        root_lb,
+    };
+    let completed = dfs.search(0, root_lb, None);
+    let ordering = if dfs.best_suffix.is_empty() {
+        Some(ub_order.into_vec())
+    } else {
+        // front: not-yet-eliminated vertices (any order), back: suffix reversed
+        let mut in_suffix = vec![false; n];
+        for &v in &dfs.best_suffix {
+            in_suffix[v] = true;
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
+        order.extend(dfs.best_suffix.iter().rev());
+        Some(order)
+    };
+    let exact = completed;
+    SearchResult {
+        upper_bound: dfs.ub,
+        lower_bound: if exact { dfs.ub } else { dfs.root_lb },
+        exact,
+        ordering,
+        nodes_expanded: dfs.ticker.nodes(),
+        elapsed: dfs.ticker.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghd_core::eval::TwEvaluator;
+    use ghd_core::EliminationOrdering;
+    use ghd_hypergraph::generators::graphs;
+
+    fn exact_tw(g: &Graph) -> usize {
+        let r = bb_tw(g, &BbConfig::default());
+        assert!(r.exact, "search did not complete");
+        r.upper_bound
+    }
+
+    #[test]
+    fn treewidth_of_basic_families() {
+        assert_eq!(exact_tw(&graphs::path(8)), 1);
+        assert_eq!(exact_tw(&graphs::cycle(8)), 2);
+        assert_eq!(exact_tw(&graphs::complete(6)), 5);
+    }
+
+    #[test]
+    fn treewidth_of_grids_matches_table_5_2() {
+        for n in 2..=4 {
+            assert_eq!(exact_tw(&graphs::grid(n)), n, "grid{n}");
+        }
+    }
+
+    #[test]
+    fn returned_ordering_realises_the_width() {
+        let g = graphs::grid(4);
+        let r = bb_tw(&g, &BbConfig::default());
+        let sigma = EliminationOrdering::new(r.ordering.clone().unwrap()).unwrap();
+        let w = TwEvaluator::new(&g).width(&sigma);
+        assert_eq!(w, r.upper_bound);
+    }
+
+    #[test]
+    fn ablations_agree_on_the_optimum() {
+        let g = graphs::queen(4); // tw(queen4_4) = 11
+        let base = bb_tw(&g, &BbConfig::default());
+        for (red, pr2, lb) in [
+            (false, true, LbMode::MmwGammaR),
+            (true, false, LbMode::Mmw),
+            (false, false, LbMode::None),
+        ] {
+            let cfg = BbConfig {
+                use_reductions: red,
+                use_pr2: pr2,
+                lb_mode: lb,
+                limits: SearchLimits::unlimited(),
+            };
+            let r = bb_tw(&g, &cfg);
+            assert!(r.exact);
+            assert_eq!(r.upper_bound, base.upper_bound, "red={red} pr2={pr2} lb={lb:?}");
+        }
+    }
+
+    #[test]
+    fn anytime_mode_returns_bounds() {
+        let g = graphs::queen(5);
+        let r = bb_tw(
+            &g,
+            &BbConfig {
+                limits: SearchLimits::with_nodes(200),
+                ..BbConfig::default()
+            },
+        );
+        assert!(r.lower_bound <= r.upper_bound);
+        assert!(r.upper_bound <= 25);
+    }
+
+    #[test]
+    fn singleton_and_empty_edge_graphs() {
+        assert_eq!(exact_tw(&Graph::new(1)), 0);
+        assert_eq!(exact_tw(&Graph::new(5)), 0);
+    }
+}

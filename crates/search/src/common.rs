@@ -1,0 +1,170 @@
+//! Shared plumbing for the exact anytime algorithms: resource limits and the
+//! uniform result type.
+
+use std::time::{Duration, Instant};
+
+/// Resource limits for a search run. Both algorithms in the thesis are
+/// *anytime*: when a limit is hit they report the best upper bound found and
+/// a proven lower bound (§5.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchLimits {
+    /// Wall-clock budget (the thesis used one hour per run).
+    pub time_limit: Option<Duration>,
+    /// Cap on search-state expansions (deterministic alternative to time).
+    pub max_nodes: Option<u64>,
+}
+
+impl SearchLimits {
+    /// No limits: run to completion (exact result guaranteed).
+    pub fn unlimited() -> Self {
+        SearchLimits::default()
+    }
+
+    /// Wall-clock limit only.
+    pub fn with_time(d: Duration) -> Self {
+        SearchLimits {
+            time_limit: Some(d),
+            max_nodes: None,
+        }
+    }
+
+    /// Node-expansion limit only.
+    pub fn with_nodes(n: u64) -> Self {
+        SearchLimits {
+            time_limit: None,
+            max_nodes: Some(n),
+        }
+    }
+}
+
+/// Internal ticking clock; checks the wall clock only every few hundred
+/// events to keep `Instant::now` off the hot path.
+pub(crate) struct Ticker {
+    start: Instant,
+    limits: SearchLimits,
+    nodes: u64,
+    check_mask: u64,
+    expired: bool,
+}
+
+impl Ticker {
+    pub fn new(limits: SearchLimits) -> Self {
+        Ticker {
+            start: Instant::now(),
+            limits,
+            nodes: 0,
+            check_mask: 0xF,
+            expired: false,
+        }
+    }
+
+    /// Registers one expansion; returns `true` while within budget.
+    pub fn tick(&mut self) -> bool {
+        self.nodes += 1;
+        if let Some(max) = self.limits.max_nodes {
+            if self.nodes > max {
+                self.expired = true;
+            }
+        }
+        if !self.expired && self.nodes & self.check_mask == 0 {
+            if let Some(t) = self.limits.time_limit {
+                if self.start.elapsed() >= t {
+                    self.expired = true;
+                }
+            }
+        }
+        !self.expired
+    }
+
+    #[allow(dead_code)]
+    pub fn expired(&self) -> bool {
+        self.expired
+    }
+
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// The outcome of a width search (treewidth or generalized hypertree width).
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Best width achieved by a complete elimination ordering.
+    pub upper_bound: usize,
+    /// Proven lower bound on the optimal width.
+    pub lower_bound: usize,
+    /// `true` iff `upper_bound == lower_bound` was *proven* (search finished
+    /// or the bounds met) — then `upper_bound` is the exact width.
+    pub exact: bool,
+    /// An elimination ordering realising `upper_bound`, when one was
+    /// materialised.
+    pub ordering: Option<Vec<usize>>,
+    /// Search states expanded.
+    pub nodes_expanded: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl SearchResult {
+    /// The exact width if proven.
+    pub fn width(&self) -> Option<usize> {
+        self.exact.then_some(self.upper_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_limit_expires() {
+        let mut t = Ticker::new(SearchLimits::with_nodes(3));
+        assert!(t.tick());
+        assert!(t.tick());
+        assert!(t.tick());
+        assert!(!t.tick());
+        assert!(t.expired());
+        assert_eq!(t.nodes(), 4);
+    }
+
+    #[test]
+    fn unlimited_never_expires_quickly() {
+        let mut t = Ticker::new(SearchLimits::unlimited());
+        for _ in 0..10_000 {
+            assert!(t.tick());
+        }
+    }
+
+    #[test]
+    fn zero_time_budget_expires() {
+        let mut t = Ticker::new(SearchLimits::with_time(Duration::ZERO));
+        // expiry is detected on a check boundary
+        let mut ok = true;
+        for _ in 0..1000 {
+            ok = t.tick();
+            if !ok {
+                break;
+            }
+        }
+        assert!(!ok);
+    }
+
+    #[test]
+    fn width_only_when_exact() {
+        let r = SearchResult {
+            upper_bound: 5,
+            lower_bound: 4,
+            exact: false,
+            ordering: None,
+            nodes_expanded: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.width(), None);
+        let r2 = SearchResult { exact: true, lower_bound: 5, ..r };
+        assert_eq!(r2.width(), Some(5));
+    }
+}

@@ -1,0 +1,24 @@
+//! Exact anytime algorithms for treewidth and generalized hypertree width:
+//! branch and bound (§4.4, Ch 8) and A\* (Ch 5, Ch 9), with the reduction
+//! and pruning rules of §4.4.3–§4.4.5 and §8.2–§8.3.
+//!
+//! All four searches walk the elimination-ordering tree (vertices eliminated
+//! from the back of σ) over a single incrementally-maintained
+//! [`ghd_hypergraph::EliminationGraph`], and are *anytime*: given a
+//! [`SearchLimits`] budget they report the best upper bound found plus a
+//! proven lower bound.
+
+pub mod astar_ghw;
+pub mod astar_tw;
+pub mod bb_ghw;
+pub mod bb_tw;
+pub mod common;
+pub mod preprocess;
+pub mod rules;
+
+pub use astar_ghw::astar_ghw;
+pub use astar_tw::astar_tw;
+pub use bb_ghw::{bb_ghw, BbGhwConfig};
+pub use bb_tw::{bb_tw, BbConfig, LbMode};
+pub use common::{SearchLimits, SearchResult};
+pub use preprocess::{preprocess_tw, tw_with_preprocessing, Preprocessed};

@@ -1,0 +1,183 @@
+//! Standalone preprocessing with the reduction rules of §4.4.3 (after
+//! Bodlaender et al. \[8\]): repeatedly eliminate simplicial and strongly
+//! almost simplicial vertices *before* any search. For such a vertex `v`,
+//! `tw(G) = max(deg(v), tw(G'))` where `G'` is the graph after eliminating
+//! `v`, so the search only ever sees the irreducible core.
+
+use crate::rules::find_reduction_tw;
+use ghd_bounds::lower::tw_lower_bound;
+use ghd_hypergraph::{EliminationGraph, Graph};
+
+/// The result of reduction preprocessing.
+#[derive(Clone, Debug)]
+pub struct Preprocessed {
+    /// The irreducible core, reindexed to dense vertices `0..k`.
+    pub core: Graph,
+    /// `original_of_core[i]` = the original vertex index of core vertex `i`.
+    pub original_of_core: Vec<usize>,
+    /// Width contributed by the eliminated vertices: the treewidth of the
+    /// original graph is `max(base_width, tw(core))`.
+    pub base_width: usize,
+    /// The eliminated vertices in elimination order (original indices).
+    /// Appending them *behind* any elimination ordering of the core (in
+    /// reverse) yields an ordering of the original graph: they are
+    /// eliminated first.
+    pub eliminated: Vec<usize>,
+}
+
+/// Exhaustively applies the simplicial / strongly-almost-simplicial
+/// reductions (§4.4.3). The almost-simplicial degree threshold is the
+/// combined treewidth lower bound of the original graph, as in BB-tw \[5\].
+pub fn preprocess_tw(g: &Graph) -> Preprocessed {
+    let lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
+    let mut eg = EliminationGraph::new(g);
+    let mut eliminated = Vec::new();
+    let mut base_width = 0;
+    while eg.num_alive() > 0 {
+        // once few vertices remain, finishing here is exact
+        if eg.num_alive() <= base_width.max(lb) + 1 {
+            let rest = eg.alive().to_vec();
+            for v in rest {
+                base_width = base_width.max(eg.eliminate(v));
+                eliminated.push(v);
+            }
+            break;
+        }
+        match find_reduction_tw(&eg, lb.max(base_width)) {
+            Some(v) => {
+                base_width = base_width.max(eg.eliminate(v));
+                eliminated.push(v);
+            }
+            None => break,
+        }
+    }
+    // compact the residual graph
+    let original_of_core = eg.alive().to_vec();
+    let mut new_of_old = vec![usize::MAX; g.num_vertices()];
+    for (i, &v) in original_of_core.iter().enumerate() {
+        new_of_old[v] = i;
+    }
+    let mut core = Graph::new(original_of_core.len());
+    for &v in &original_of_core {
+        for u in eg.neighbors(v).iter() {
+            if u > v {
+                core.add_edge(new_of_old[v], new_of_old[u]);
+            }
+        }
+    }
+    Preprocessed {
+        core,
+        original_of_core,
+        base_width,
+        eliminated,
+    }
+}
+
+/// Treewidth with preprocessing: reduce, search only the core, combine.
+pub fn tw_with_preprocessing(
+    g: &Graph,
+    limits: crate::common::SearchLimits,
+) -> crate::common::SearchResult {
+    let pre = preprocess_tw(g);
+    if pre.core.num_vertices() == 0 {
+        // fully reduced: the reductions alone were exact
+        let mut ordering: Vec<usize> = pre.eliminated.clone();
+        ordering.reverse(); // eliminated-first ⇒ back of σ
+        return crate::common::SearchResult {
+            upper_bound: pre.base_width,
+            lower_bound: pre.base_width,
+            exact: true,
+            ordering: Some(ordering),
+            nodes_expanded: 0,
+            elapsed: std::time::Duration::ZERO,
+        };
+    }
+    let mut r = crate::astar_tw(&pre.core, limits);
+    // lift core ordering to original indices and append eliminated suffix
+    r.ordering = r.ordering.map(|core_order| {
+        let mut order: Vec<usize> = core_order
+            .into_iter()
+            .map(|v| pre.original_of_core[v])
+            .collect();
+        order.extend(pre.eliminated.iter().rev());
+        order
+    });
+    r.upper_bound = r.upper_bound.max(pre.base_width);
+    r.lower_bound = r.lower_bound.max(if r.exact { r.upper_bound } else { 0 });
+    if r.exact {
+        r.lower_bound = r.upper_bound;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::SearchLimits;
+    use crate::{astar_tw, bb_tw, BbConfig};
+    use ghd_core::eval::TwEvaluator;
+    use ghd_core::EliminationOrdering;
+    use ghd_hypergraph::generators::graphs;
+
+    #[test]
+    fn trees_reduce_completely() {
+        let g = graphs::path(20);
+        let pre = preprocess_tw(&g);
+        assert_eq!(pre.core.num_vertices(), 0);
+        assert_eq!(pre.base_width, 1);
+        let r = tw_with_preprocessing(&g, SearchLimits::unlimited());
+        assert_eq!(r.width(), Some(1));
+        // the assembled ordering must actually realise the width
+        let sigma = EliminationOrdering::new(r.ordering.unwrap()).unwrap();
+        assert_eq!(TwEvaluator::new(&g).width(&sigma), 1);
+    }
+
+    #[test]
+    fn chordal_graphs_reduce_completely() {
+        // complete graphs are chordal: everything is simplicial
+        let g = graphs::complete(8);
+        let pre = preprocess_tw(&g);
+        assert_eq!(pre.core.num_vertices(), 0);
+        assert_eq!(pre.base_width, 7);
+    }
+
+    #[test]
+    fn grids_keep_an_irreducible_core_but_combine_correctly() {
+        for n in 3..=5 {
+            let g = graphs::grid(n);
+            let r = tw_with_preprocessing(&g, SearchLimits::unlimited());
+            assert!(r.exact);
+            assert_eq!(r.upper_bound, n, "grid{n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_plain_search_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = graphs::gnm_random(14, 30, seed);
+            let plain = astar_tw(&g, SearchLimits::unlimited());
+            let pre = tw_with_preprocessing(&g, SearchLimits::unlimited());
+            assert!(plain.exact && pre.exact);
+            assert_eq!(plain.upper_bound, pre.upper_bound, "seed {seed}");
+            // orderings lift correctly
+            let sigma = EliminationOrdering::new(pre.ordering.unwrap()).unwrap();
+            let w = TwEvaluator::new(&g).width(&sigma);
+            assert_eq!(w, pre.upper_bound, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn preprocessing_only_shrinks() {
+        let g = graphs::queen(5);
+        let pre = preprocess_tw(&g);
+        assert!(pre.core.num_vertices() <= g.num_vertices());
+        assert_eq!(
+            pre.core.num_vertices() + pre.eliminated.len(),
+            g.num_vertices()
+        );
+        // the combined answer still matches plain BB
+        let r = tw_with_preprocessing(&g, SearchLimits::unlimited());
+        let b = bb_tw(&g, &BbConfig::default());
+        assert_eq!(r.upper_bound, b.upper_bound);
+    }
+}

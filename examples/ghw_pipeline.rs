@@ -1,0 +1,87 @@
+//! The full generalized-hypertree-width pipeline on a circuit instance:
+//! bounds → genetic upper bounds (GA-ghw, SAIGA-ghw) → exact search
+//! (BB-ghw, A\*-ghw) → Theorem-2 round trip through the leaf normal form.
+//!
+//! Run with `cargo run --release --example ghw_pipeline`.
+
+use ghd::bounds::{ghw_lower_bound, ghw_upper_bound};
+use ghd::core::bucket::ghd_from_ordering;
+use ghd::core::lnf::{leaf_normal_form, ordering_from_lnf, verify_lnf};
+use ghd::core::{CoverMethod, EliminationOrdering};
+use ghd::ga::{ga_ghw, saiga_ghw, GaConfig, SaigaConfig};
+use ghd::hypergraph::generators::hypergraphs;
+use ghd::search::{astar_ghw, bb_ghw, BbGhwConfig, SearchLimits};
+use std::time::Duration;
+
+fn main() {
+    // a 20-cell ripple-carry adder circuit (DaimlerChrysler family)
+    let h = hypergraphs::adder(20);
+    println!(
+        "adder_20: {} signals, {} constraints, rank {}",
+        h.num_vertices(),
+        h.num_edges(),
+        h.rank()
+    );
+
+    // 1. cheap bounds: min-fill + greedy cover above, tw-ksc below (Fig 8.1)
+    let lb = ghw_lower_bound::<rand::rngs::StdRng>(&h, None);
+    let (ub, _) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+    println!("heuristic bounds: {lb} ≤ ghw ≤ {ub}");
+
+    // 2. genetic upper bounds
+    let ga = ga_ghw(
+        &h,
+        &GaConfig {
+            population: 60,
+            generations: 40,
+            seed: 1,
+            ..GaConfig::default()
+        },
+    );
+    println!("GA-ghw upper bound: {}", ga.best_width);
+    let saiga = saiga_ghw(&h, &SaigaConfig::small(1));
+    println!(
+        "SAIGA-ghw upper bound: {} (self-adapted rates: {})",
+        saiga.result.best_width,
+        saiga
+            .final_parameters
+            .iter()
+            .map(|(pc, pm)| format!("({pc:.2},{pm:.2})"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // 3. exact search (both should settle the width quickly here)
+    let budget = SearchLimits::with_time(Duration::from_secs(20));
+    let bb = bb_ghw(
+        &h,
+        &BbGhwConfig {
+            limits: budget,
+            ..BbGhwConfig::default()
+        },
+    );
+    let astar = astar_ghw(&h, budget);
+    println!(
+        "BB-ghw: width {} (exact: {}), A*-ghw: width {} (exact: {})",
+        bb.upper_bound, bb.exact, astar.upper_bound, astar.exact
+    );
+
+    // 4. Theorem 2 round trip: take the best GHD found, normalise it to
+    // leaf normal form (Fig 3.1), extract the depth ordering (§3.3) and
+    // rebuild — the width may only shrink or stay equal.
+    let witness = bb.ordering.clone().expect("search produces a witness");
+    let sigma = EliminationOrdering::new(witness).expect("permutation");
+    let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+    ghd.verify(&h).expect("valid GHD");
+    let lnf = leaf_normal_form(&h, ghd.tree());
+    assert!(verify_lnf(&h, &lnf), "leaf normal form conditions hold");
+    let sigma2 = ordering_from_lnf(&h, &lnf);
+    let rebuilt = ghd_from_ordering(&h, &sigma2, CoverMethod::Exact);
+    rebuilt.verify(&h).expect("valid GHD");
+    println!(
+        "Theorem 2 round trip: width {} → leaf normal form → width {}",
+        ghd.width(),
+        rebuilt.width()
+    );
+    assert!(rebuilt.width() <= ghd.width());
+}

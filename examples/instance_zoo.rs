@@ -1,0 +1,69 @@
+//! A tour of the benchmark instance generators: sizes, heuristic bounds and
+//! file-format round trips for every family the evaluation uses.
+//!
+//! Run with `cargo run --release --example instance_zoo`.
+
+use ghd::bounds::{ghw_lower_bound, ghw_upper_bound, tw_lower_bound, tw_upper_bound};
+use ghd::hypergraph::generators::{graphs, hypergraphs};
+use ghd::hypergraph::io;
+
+fn main() {
+    println!("{:<22} {:>5} {:>6} {:>6} {:>6}   family", "graph", "V", "E", "tw-lb", "tw-ub");
+    let graph_zoo = [
+        ("grid6", graphs::grid(6), "exact construction"),
+        ("queen6_6", graphs::queen(6), "exact construction"),
+        ("myciel5", graphs::mycielski(5), "exact construction"),
+        ("complete(12)", graphs::complete(12), "exact construction"),
+        ("gnm(60, 240)", graphs::gnm_random(60, 240, 7), "seeded Erdős–Rényi"),
+        (
+            "geometric(64, ~200)",
+            graphs::random_geometric_with_edges(64, 200, 7),
+            "seeded geometric (miles-like)",
+        ),
+    ];
+    for (name, g, family) in graph_zoo {
+        let lb = tw_lower_bound::<rand::rngs::StdRng>(&g, None);
+        let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+        println!(
+            "{:<22} {:>5} {:>6} {:>6} {:>6}   {}",
+            name,
+            g.num_vertices(),
+            g.num_edges(),
+            lb,
+            ub,
+            family
+        );
+        // every graph round-trips through DIMACS
+        assert_eq!(io::parse_dimacs(&io::write_dimacs(&g)).unwrap(), g);
+    }
+
+    println!();
+    println!("{:<22} {:>5} {:>6} {:>7} {:>7}   family", "hypergraph", "V", "H", "ghw-lb", "ghw-ub");
+    let hyper_zoo = [
+        ("adder_20", hypergraphs::adder(20), "ripple-carry adder circuit"),
+        ("bridge_10", hypergraphs::bridge(10), "chained bridge circuit"),
+        ("clique_12", hypergraphs::clique(12), "K_n as binary edges"),
+        ("grid2d_12", hypergraphs::grid2d(12), "checkerboard grid"),
+        ("grid3d_4", hypergraphs::grid3d(4), "3-d checkerboard grid"),
+        ("circuit(80, 90)", hypergraphs::random_circuit(80, 90, 7), "seeded gate DAG (ISCAS-like)"),
+        ("random(40, 25, ≤5)", hypergraphs::random_hypergraph(40, 25, 5, 7), "uniform random"),
+        ("acyclic_chain(8,4,2)", hypergraphs::acyclic_chain(8, 4, 2), "join-tree caterpillar (ghw 1)"),
+    ];
+    for (name, h, family) in hyper_zoo {
+        let lb = ghw_lower_bound::<rand::rngs::StdRng>(&h, None);
+        let (ub, _) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+        println!(
+            "{:<22} {:>5} {:>6} {:>7} {:>7}   {}",
+            name,
+            h.num_vertices(),
+            h.num_edges(),
+            lb,
+            ub,
+            family
+        );
+        assert!(lb <= ub);
+        // every hypergraph round-trips through the library format
+        let parsed = io::parse_hypergraph(&io::write_hypergraph(&h)).unwrap();
+        assert_eq!(parsed.num_edges(), h.num_edges());
+    }
+}

@@ -1,0 +1,42 @@
+//! Facade crate re-exporting the full workspace API.
+//!
+//! * [`hypergraph`] — graphs, hypergraphs, I/O, instance generators.
+//! * [`core`] — decompositions, bucket/vertex elimination, set cover,
+//!   leaf normal form, decomposition serialisation.
+//! * [`csp`] — the CSP substrate and decomposition-based solving.
+//! * [`bounds`] — upper/lower bound heuristics.
+//! * [`search`] — exact anytime algorithms (BB, A\*) and preprocessing.
+//! * [`ga`] — genetic algorithms, the self-adaptive island GA, simulated
+//!   annealing.
+//!
+//! See README.md for a tour and DESIGN.md for the paper mapping.
+
+pub use ghd_bounds as bounds;
+pub use ghd_core as core;
+pub use ghd_csp as csp;
+pub use ghd_ga as ga;
+pub use ghd_hypergraph as hypergraph;
+pub use ghd_search as search;
+
+/// One-stop imports for typical use.
+///
+/// ```
+/// use ghd::prelude::*;
+///
+/// let h = Hypergraph::from_edges(4, [vec![0, 1, 2], vec![2, 3]]);
+/// let r = astar_ghw(&h, SearchLimits::unlimited());
+/// assert_eq!(r.width(), Some(1)); // acyclic
+/// ```
+pub mod prelude {
+    pub use ghd_bounds::{ghw_lower_bound, ghw_upper_bound, tw_lower_bound, tw_upper_bound};
+    pub use ghd_core::bucket::{bucket_elimination, ghd_from_ordering, vertex_elimination};
+    pub use ghd_core::{
+        CoverMethod, EliminationOrdering, GeneralizedHypertreeDecomposition, TreeDecomposition,
+    };
+    pub use ghd_csp::{solve_with_ghd, solve_with_tree_decomposition, Csp, Relation};
+    pub use ghd_ga::{ga_ghw, ga_tw, saiga_ghw, GaConfig, SaigaConfig};
+    pub use ghd_hypergraph::{BitSet, EliminationGraph, Graph, Hypergraph};
+    pub use ghd_search::{
+        astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits, SearchResult,
+    };
+}

@@ -1,0 +1,97 @@
+//! Anytime-soundness tests: interrupted searches must report bounds that
+//! bracket the true optimum, for every algorithm and every budget.
+
+use ghd::hypergraph::generators::{graphs, hypergraphs};
+use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+
+#[test]
+fn truncated_tw_searches_bracket_the_optimum() {
+    for seed in 0..5u64 {
+        let g = graphs::gnm_random(16, 45, seed);
+        let truth = astar_tw(&g, SearchLimits::unlimited());
+        assert!(truth.exact);
+        for budget in [1u64, 5, 25, 100] {
+            let a = astar_tw(&g, SearchLimits::with_nodes(budget));
+            assert!(
+                a.lower_bound <= truth.upper_bound && a.upper_bound >= truth.upper_bound,
+                "A* seed {seed} budget {budget}: [{}, {}] vs {}",
+                a.lower_bound,
+                a.upper_bound,
+                truth.upper_bound
+            );
+            if a.exact {
+                assert_eq!(a.upper_bound, truth.upper_bound);
+            }
+            let b = bb_tw(
+                &g,
+                &BbConfig {
+                    limits: SearchLimits::with_nodes(budget),
+                    ..BbConfig::default()
+                },
+            );
+            assert!(
+                b.lower_bound <= truth.upper_bound && b.upper_bound >= truth.upper_bound,
+                "BB seed {seed} budget {budget}"
+            );
+            if b.exact {
+                assert_eq!(b.upper_bound, truth.upper_bound);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_ghw_searches_bracket_the_optimum() {
+    for seed in 0..4u64 {
+        let h = hypergraphs::random_hypergraph(11, 8, 3, seed);
+        let truth = bb_ghw(&h, &BbGhwConfig::default());
+        assert!(truth.exact);
+        for budget in [1u64, 10, 50] {
+            let a = astar_ghw(&h, SearchLimits::with_nodes(budget));
+            assert!(
+                a.lower_bound <= truth.upper_bound && a.upper_bound >= truth.upper_bound,
+                "A*-ghw seed {seed} budget {budget}: [{}, {}] vs {}",
+                a.lower_bound,
+                a.upper_bound,
+                truth.upper_bound
+            );
+            if a.exact {
+                assert_eq!(a.upper_bound, truth.upper_bound);
+            }
+            let b = bb_ghw(
+                &h,
+                &BbGhwConfig {
+                    limits: SearchLimits::with_nodes(budget),
+                    ..BbGhwConfig::default()
+                },
+            );
+            assert!(
+                b.lower_bound <= truth.upper_bound && b.upper_bound >= truth.upper_bound,
+                "BB-ghw seed {seed} budget {budget}"
+            );
+            if b.exact {
+                assert_eq!(b.upper_bound, truth.upper_bound);
+            }
+        }
+    }
+}
+
+/// Larger budgets never worsen the bracket (monotone anytime behaviour of
+/// the branch and bound upper bound).
+#[test]
+fn bb_upper_bounds_improve_monotonically_with_budget() {
+    let g = graphs::queen(5);
+    let mut last_ub = usize::MAX;
+    for budget in [10u64, 100, 1_000, 10_000] {
+        let r = bb_tw(
+            &g,
+            &BbConfig {
+                limits: SearchLimits::with_nodes(budget),
+                ..BbConfig::default()
+            },
+        );
+        assert!(r.upper_bound <= last_ub, "budget {budget}");
+        last_ub = r.upper_bound;
+    }
+    assert!(last_ub >= 18); // never below the true treewidth
+}

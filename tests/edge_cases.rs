@@ -1,0 +1,145 @@
+//! Failure-injection and degenerate-input tests across the public API:
+//! every structure validator must reject what it should, and every
+//! algorithm must behave sensibly on trivial or pathological instances.
+
+use ghd::core::bucket::{bucket_elimination, ghd_from_ordering};
+use ghd::core::{
+    CoverMethod, DecompositionError, EliminationOrdering, GeneralizedHypertreeDecomposition,
+    TreeDecomposition,
+};
+use ghd::hypergraph::{BitSet, Graph, Hypergraph};
+use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+
+#[test]
+fn single_vertex_and_single_edge_hypergraphs() {
+    // one vertex, one unary edge: ghw = 1, tw = 0
+    let h = Hypergraph::from_edges(1, [vec![0]]);
+    let r = bb_ghw(&h, &BbGhwConfig::default());
+    assert!(r.exact);
+    assert_eq!(r.upper_bound, 1);
+    let t = astar_tw(&h.primal_graph(), SearchLimits::unlimited());
+    assert_eq!(t.width(), Some(0));
+
+    // a hyperedge covering the whole vertex set: ghw = 1 regardless of size
+    let h = Hypergraph::from_edges(8, [vec![0, 1, 2, 3, 4, 5, 6, 7], vec![1, 3], vec![2, 6]]);
+    let r = astar_ghw(&h, SearchLimits::unlimited());
+    assert_eq!(r.width(), Some(1));
+}
+
+#[test]
+fn duplicate_hyperedges_are_harmless() {
+    let h = Hypergraph::from_edges(4, [vec![0, 1, 2], vec![0, 1, 2], vec![2, 3]]);
+    let r = bb_ghw(&h, &BbGhwConfig::default());
+    assert!(r.exact);
+    assert_eq!(r.upper_bound, 1); // still acyclic
+    let sigma = EliminationOrdering::identity(4);
+    let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+    ghd.verify(&h).unwrap();
+}
+
+#[test]
+fn empty_graph_families() {
+    let g = Graph::new(3); // no edges at all
+    let r = bb_tw(&g, &BbConfig::default());
+    assert_eq!(r.width(), Some(0));
+    let a = astar_tw(&g, SearchLimits::unlimited());
+    assert_eq!(a.width(), Some(0));
+}
+
+#[test]
+fn ghd_validator_rejects_wrong_lambda() {
+    let h = Hypergraph::from_edges(4, [vec![0, 1], vec![1, 2], vec![2, 3]]);
+    let td = TreeDecomposition::single_bag(4, BitSet::full(4));
+    // λ misses vertex 3
+    let bad = GeneralizedHypertreeDecomposition::new(td, vec![vec![0, 1]]);
+    assert_eq!(
+        bad.verify(&h),
+        Err(DecompositionError::ChiNotCovered { node: 0 })
+    );
+}
+
+#[test]
+fn td_validator_rejects_size_mismatch() {
+    let h = Hypergraph::from_edges(2, [vec![0, 1]]);
+    let mut td = TreeDecomposition::new(3); // built for 3 vertices, h has 2
+    td.add_root(BitSet::from_iter(3, [0, 1]));
+    assert_eq!(td.verify(&h), Err(DecompositionError::SizeMismatch));
+}
+
+#[test]
+fn bucket_elimination_on_all_orderings_of_a_triangle() {
+    // every one of the 6 orderings of K3 yields the same single-clique
+    // decomposition of width 2
+    let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]);
+    let perms: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for p in perms {
+        let sigma = EliminationOrdering::new(p.to_vec()).unwrap();
+        let td = bucket_elimination(&h, &sigma);
+        td.verify(&h).unwrap();
+        assert_eq!(td.width(), 2, "{p:?}");
+    }
+}
+
+#[test]
+fn search_limits_zero_nodes_still_reports_sound_bounds() {
+    let h = ghd::hypergraph::generators::hypergraphs::random_hypergraph(10, 7, 3, 3);
+    let r = bb_ghw(
+        &h,
+        &BbGhwConfig {
+            limits: SearchLimits::with_nodes(0),
+            ..BbGhwConfig::default()
+        },
+    );
+    assert!(r.lower_bound <= r.upper_bound);
+    let exact = bb_ghw(&h, &BbGhwConfig::default());
+    assert!(exact.exact);
+    assert!(r.lower_bound <= exact.upper_bound);
+    assert!(r.upper_bound >= exact.upper_bound);
+}
+
+#[test]
+fn disconnected_hypergraph_end_to_end() {
+    // two independent components; decomposition must still be one tree and
+    // the exact ghw is the max of the components' widths
+    let mut edges = vec![vec![0, 1], vec![1, 2], vec![0, 2]]; // triangle: ghw 2
+    edges.push(vec![3, 4]); // isolated edge: ghw 1
+    let h = Hypergraph::from_edges(5, edges);
+    let r = astar_ghw(&h, SearchLimits::unlimited());
+    assert_eq!(r.width(), Some(2));
+    let sigma = EliminationOrdering::identity(5);
+    let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+    ghd.verify(&h).unwrap();
+}
+
+#[test]
+fn evaluators_accept_repeated_and_reversed_orderings() {
+    use ghd::core::eval::TwEvaluator;
+    let g = ghd::hypergraph::generators::graphs::queen(4);
+    let mut eval = TwEvaluator::new(&g);
+    let fwd = EliminationOrdering::identity(16);
+    let rev = EliminationOrdering::new((0..16).rev().collect()).unwrap();
+    let a = eval.width(&fwd);
+    let b = eval.width(&rev);
+    let a2 = eval.width(&fwd);
+    assert_eq!(a, a2, "evaluator state leaks between runs");
+    assert!(a >= 1 && b >= 1);
+}
+
+#[test]
+fn ordering_rejects_and_accepts_properly() {
+    assert!(EliminationOrdering::new(vec![1, 1, 0]).is_none());
+    assert!(EliminationOrdering::new(vec![0, 1, 3]).is_none());
+    let o = EliminationOrdering::new(vec![]).unwrap();
+    assert_eq!(o.len(), 0);
+    // empty hypergraph + empty ordering round trip
+    let h = Hypergraph::new(0);
+    let td = bucket_elimination(&h, &o);
+    assert_eq!(td.num_nodes(), 0);
+}

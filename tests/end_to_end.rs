@@ -1,0 +1,156 @@
+//! Integration tests spanning all crates: CSP → constraint hypergraph →
+//! heuristic/exact decomposition → decomposition-based solving, checked
+//! against brute force.
+
+use ghd::bounds::min_fill_ordering;
+use ghd::core::bucket::{ghd_from_ordering, vertex_elimination};
+use ghd::core::{CoverMethod, EliminationOrdering};
+use ghd::csp::{examples, solve_with_ghd, solve_with_tree_decomposition, Csp, Relation};
+use ghd::ga::{ga_ghw, ga_tw, GaConfig};
+use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{RngExt, SeedableRng};
+
+/// A reproducible random CSP over `n` ternary-domain variables.
+fn random_csp(n: usize, constraints: usize, seed: u64) -> Csp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut csp = Csp::with_uniform_domain(n, vec![0, 1, 2]);
+    for _ in 0..constraints {
+        let arity = rng.random_range(2..=3usize.min(n));
+        let scope: Vec<usize> = sample(&mut rng, n, arity).into_iter().collect();
+        let total = 3u32.pow(arity as u32);
+        let tuples: Vec<Vec<u32>> = (0..total)
+            .filter(|_| rng.random_bool(0.65))
+            .map(|mut m| {
+                let mut t = vec![0u32; arity];
+                for slot in t.iter_mut() {
+                    *slot = m % 3;
+                    m /= 3;
+                }
+                t
+            })
+            .collect();
+        csp.add_constraint(Relation::new(scope, tuples));
+    }
+    csp
+}
+
+/// The headline pipeline of the thesis: GA-ghw finds a good ordering, the
+/// ordering becomes a complete GHD, and the GHD solves the CSP. Verified
+/// against brute force on many random instances.
+#[test]
+fn ga_ordering_to_ghd_to_solution() {
+    for seed in 0..12u64 {
+        let csp = random_csp(8, 6, seed);
+        let h = csp.constraint_hypergraph();
+        let ga = ga_ghw(&h, &GaConfig::small(seed));
+        let sigma = EliminationOrdering::new(ga.best_ordering.clone()).expect("permutation");
+        let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+        ghd.verify(&h).unwrap();
+        assert!(ghd.width() <= ga.best_width, "exact covers only improve");
+
+        let via_ghd = solve_with_ghd(&csp, &ghd).expect("valid decomposition");
+        let brute = csp.solve_brute_force();
+        assert_eq!(via_ghd.is_some(), brute.is_some(), "seed {seed}");
+        if let Some(s) = via_ghd {
+            assert!(csp.is_solution(&s), "seed {seed}");
+        }
+    }
+}
+
+/// Tree-decomposition solving with the min-fill ordering, against brute
+/// force, including unsatisfiable instances.
+#[test]
+fn min_fill_td_solving_matches_brute_force() {
+    for seed in 100..112u64 {
+        let csp = random_csp(7, 7, seed);
+        let h = csp.constraint_hypergraph();
+        let sigma = min_fill_ordering::<StdRng>(&h.primal_graph(), None);
+        let td = vertex_elimination(&h.primal_graph(), &sigma);
+        let via_td = solve_with_tree_decomposition(&csp, &td).expect("valid decomposition");
+        let brute = csp.solve_brute_force();
+        assert_eq!(via_td.is_some(), brute.is_some(), "seed {seed}");
+        if let Some(s) = via_td {
+            assert!(csp.is_solution(&s), "seed {seed}");
+        }
+    }
+}
+
+/// All four exact searches agree pairwise (tw on the primal graph, ghw on
+/// the hypergraph) and the GA results are valid upper bounds of both.
+#[test]
+fn all_algorithms_are_mutually_consistent() {
+    for seed in 0..6u64 {
+        let h = ghd::hypergraph::generators::hypergraphs::random_hypergraph(10, 7, 3, seed);
+        let g = h.primal_graph();
+
+        let tw_a = astar_tw(&g, SearchLimits::unlimited());
+        let tw_b = bb_tw(&g, &BbConfig::default());
+        assert!(tw_a.exact && tw_b.exact);
+        assert_eq!(tw_a.upper_bound, tw_b.upper_bound, "tw seed {seed}");
+
+        let ghw_a = astar_ghw(&h, SearchLimits::unlimited());
+        let ghw_b = bb_ghw(&h, &BbGhwConfig::default());
+        assert!(ghw_a.exact && ghw_b.exact);
+        assert_eq!(ghw_a.upper_bound, ghw_b.upper_bound, "ghw seed {seed}");
+
+        // ghw ≤ tw (the thesis: ghw(H) ≤ hw(H) ≤ tw(H)); ghw counts edges
+        // covering a bag of tw+1 vertices, so also ghw ≤ tw + 1 trivially —
+        // assert the meaningful direction:
+        assert!(
+            ghw_a.upper_bound <= tw_a.upper_bound + 1,
+            "seed {seed}: ghw {} vs tw {}",
+            ghw_a.upper_bound,
+            tw_a.upper_bound
+        );
+
+        let ga_t = ga_tw(&g, &GaConfig::small(seed));
+        assert!(ga_t.best_width >= tw_a.upper_bound);
+        let ga_g = ga_ghw(&h, &GaConfig::small(seed));
+        assert!(ga_g.best_width >= ghw_a.upper_bound);
+    }
+}
+
+/// The thesis' worked examples hold end to end.
+#[test]
+fn thesis_worked_examples() {
+    // Example 5: tw = 2, ghw = 2 (Figs 2.6, 2.7); satisfiable.
+    let csp = examples::example5();
+    let h = csp.constraint_hypergraph();
+    let tw = astar_tw(&h.primal_graph(), SearchLimits::unlimited());
+    assert_eq!(tw.width(), Some(2));
+    let ghw = astar_ghw(&h, SearchLimits::unlimited());
+    assert_eq!(ghw.width(), Some(2));
+
+    // SAT example (Ex. 2) is acyclic: ghw = 1.
+    let sat = examples::sat_formula();
+    let ghw_sat = astar_ghw(&sat.constraint_hypergraph(), SearchLimits::unlimited());
+    assert_eq!(ghw_sat.width(), Some(1));
+    assert!(ghd::csp::is_acyclic(&sat));
+
+    // Australia (Ex. 1): the mainland graph eliminates WA, V, NSW, Q, NT
+    // with clique neighbourhoods, so the treewidth is 2.
+    let aus = examples::australia();
+    let tw_aus = astar_tw(&aus.constraint_hypergraph().primal_graph(), SearchLimits::unlimited());
+    assert_eq!(tw_aus.width(), Some(2));
+}
+
+/// Round-trip through the benchmark file formats.
+#[test]
+fn io_round_trips_preserve_decomposition_widths() {
+    use ghd::hypergraph::io;
+    let h = ghd::hypergraph::generators::hypergraphs::adder(6);
+    let text = io::write_hypergraph(&h);
+    let h2 = io::parse_hypergraph(&text).expect("own output parses");
+    let r1 = bb_ghw(&h, &BbGhwConfig::default());
+    let r2 = bb_ghw(&h2, &BbGhwConfig::default());
+    assert_eq!(r1.upper_bound, r2.upper_bound);
+
+    let g = ghd::hypergraph::generators::graphs::queen(4);
+    let text = io::write_dimacs(&g);
+    let g2 = io::parse_dimacs(&text).expect("own output parses");
+    let t1 = astar_tw(&g, SearchLimits::unlimited());
+    let t2 = astar_tw(&g2, SearchLimits::unlimited());
+    assert_eq!(t1.upper_bound, t2.upper_bound);
+}

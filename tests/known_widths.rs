@@ -1,0 +1,75 @@
+//! Known exact widths across the generator families — the ground-truth
+//! anchor points of the evaluation chapters, as fast tests.
+
+use ghd::hypergraph::generators::{graphs, hypergraphs};
+use ghd::search::{astar_ghw, astar_tw, SearchLimits};
+
+fn tw(g: &ghd::hypergraph::Graph) -> usize {
+    let r = astar_tw(g, SearchLimits::unlimited());
+    assert!(r.exact);
+    r.upper_bound
+}
+
+fn ghw(h: &ghd::hypergraph::Hypergraph) -> usize {
+    let r = astar_ghw(h, SearchLimits::unlimited());
+    assert!(r.exact);
+    r.upper_bound
+}
+
+#[test]
+fn treewidth_of_grids_is_n() {
+    for n in 2..=5 {
+        assert_eq!(tw(&graphs::grid(n)), n, "grid{n}");
+    }
+}
+
+#[test]
+fn treewidth_of_small_dimacs_families() {
+    assert_eq!(tw(&graphs::mycielski(3)), 5); // Table 5.1
+    assert_eq!(tw(&graphs::mycielski(4)), 10); // Table 5.1
+    assert_eq!(tw(&graphs::queen(4)), 11);
+    assert_eq!(tw(&graphs::queen(5)), 18); // Table 5.1
+}
+
+#[test]
+fn treewidth_of_structured_families() {
+    assert_eq!(tw(&graphs::complete(9)), 8);
+    assert_eq!(tw(&graphs::cycle(15)), 2);
+    assert_eq!(tw(&graphs::path(15)), 1);
+    // K_{3,3}-ish: queen(3) is K9 minus nothing? queen(3): every pair of
+    // squares on a 3×3 board shares a line or diagonal except knight-moves.
+    assert_eq!(tw(&graphs::grid3d(2)), 3); // the cube graph Q3 has tw 3
+}
+
+#[test]
+fn ghw_of_clique_hypergraphs_is_ceil_half() {
+    for n in 3..=7 {
+        assert_eq!(ghw(&hypergraphs::clique(n)), n.div_ceil(2), "clique_{n}");
+    }
+}
+
+#[test]
+fn ghw_of_circuit_families_is_two() {
+    // ripple-carry adders have constant ghw 2 (Tables 7.1/8.x)
+    for n in [2, 4, 8] {
+        assert_eq!(ghw(&hypergraphs::adder(n)), 2, "adder_{n}");
+    }
+}
+
+#[test]
+fn ghw_of_acyclic_families_is_one() {
+    for (m, arity, overlap) in [(3, 3, 1), (4, 4, 2), (6, 2, 1)] {
+        assert_eq!(ghw(&hypergraphs::acyclic_chain(m, arity, overlap)), 1);
+    }
+}
+
+#[test]
+fn small_checkerboard_grids() {
+    // grid2d_4: 8 variables, 8 four-ish-ary edges; small constant width
+    let h = hypergraphs::grid2d(4);
+    let w = ghw(&h);
+    assert!((1..=3).contains(&w), "grid2d_4 ghw = {w}");
+    let b = hypergraphs::bridge(3);
+    let w = ghw(&b);
+    assert!((1..=3).contains(&w), "bridge_3 ghw = {w}");
+}
