@@ -1,19 +1,20 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md: the
-//! effect of the reduction rules, pruning rule 2 and the per-node lower
-//! bound heuristic on the exact searches, and greedy vs exact covering in
-//! BB-ghw. Wall-clock per configuration on a fixed instance — lower is
-//! better, and the full configuration should win.
+//! effect of the reduction rules, pruning rule 2, the per-node lower bound
+//! heuristic and the cover cache on the exact searches, and greedy vs exact
+//! covering in BB-ghw. Wall-clock per configuration on a fixed instance —
+//! lower is better, and the full configuration should win.
+//!
+//! Driven by the dependency-free median-of-N harness in
+//! `ghd_bench::timer` (the offline build has no criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ghd_bench::timer::Harness;
 use ghd_core::setcover::CoverMethod;
 use ghd_hypergraph::generators::{graphs, hypergraphs};
 use ghd_search::{bb_ghw, bb_tw, BbConfig, BbGhwConfig, LbMode, SearchLimits};
 use std::hint::black_box;
 
-fn bench_bb_tw_ablations(c: &mut Criterion) {
+fn bench_bb_tw_ablations(hn: &mut Harness) {
     let g = graphs::queen(5); // tw = 18, nontrivial but fast with pruning
-    let mut group = c.benchmark_group("bb_tw_queen5_5");
-    group.sample_size(10);
     let configs: [(&str, BbConfig); 4] = [
         ("full", BbConfig::default()),
         (
@@ -38,23 +39,25 @@ fn bench_bb_tw_ablations(c: &mut Criterion) {
             },
         ),
     ];
-    for (name, cfg) in configs {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let r = bb_tw(black_box(&g), &cfg);
-                assert_eq!(r.upper_bound, 18);
-            })
+    for (name, cfg) in &configs {
+        hn.bench(&format!("bb_tw_queen5_5/{name}"), || {
+            let r = bb_tw(black_box(&g), cfg);
+            assert_eq!(r.upper_bound, 18);
         });
     }
-    group.finish();
 }
 
-fn bench_bb_ghw_ablations(c: &mut Criterion) {
+fn bench_bb_ghw_ablations(hn: &mut Harness) {
     let h = hypergraphs::random_hypergraph(13, 9, 3, 1);
-    let mut group = c.benchmark_group("bb_ghw_random_13_9");
-    group.sample_size(10);
-    let configs: [(&str, BbGhwConfig); 4] = [
+    let configs: [(&str, BbGhwConfig); 5] = [
         ("full-exact-cover", BbGhwConfig::default()),
+        (
+            "no-cover-cache",
+            BbGhwConfig {
+                use_cover_cache: false,
+                ..BbGhwConfig::default()
+            },
+        ),
         (
             "no-pr2",
             BbGhwConfig {
@@ -77,32 +80,29 @@ fn bench_bb_ghw_ablations(c: &mut Criterion) {
             },
         ),
     ];
-    for (name, cfg) in configs {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(bb_ghw(black_box(&h), &cfg)))
+    for (name, cfg) in &configs {
+        hn.bench(&format!("bb_ghw_random_13_9/{name}"), || {
+            black_box(bb_ghw(black_box(&h), cfg));
         });
     }
-    group.finish();
 }
 
-fn bench_astar_vs_bb(c: &mut Criterion) {
+fn bench_astar_vs_bb(hn: &mut Harness) {
     let g = graphs::grid(5);
-    let mut group = c.benchmark_group("exact_tw_grid5");
-    group.sample_size(10);
-    group.bench_function("astar_tw", |b| {
-        b.iter(|| {
-            let r = ghd_search::astar_tw(black_box(&g), SearchLimits::unlimited());
-            assert_eq!(r.upper_bound, 5);
-        })
+    hn.bench("exact_tw_grid5/astar_tw", || {
+        let r = ghd_search::astar_tw(black_box(&g), SearchLimits::unlimited());
+        assert_eq!(r.upper_bound, 5);
     });
-    group.bench_function("bb_tw", |b| {
-        b.iter(|| {
-            let r = bb_tw(black_box(&g), &BbConfig::default());
-            assert_eq!(r.upper_bound, 5);
-        })
+    hn.bench("exact_tw_grid5/bb_tw", || {
+        let r = bb_tw(black_box(&g), &BbConfig::default());
+        assert_eq!(r.upper_bound, 5);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_bb_tw_ablations, bench_bb_ghw_ablations, bench_astar_vs_bb);
-criterion_main!(benches);
+fn main() {
+    let mut hn = Harness::from_env();
+    bench_bb_tw_ablations(&mut hn);
+    bench_bb_ghw_ablations(&mut hn);
+    bench_astar_vs_bb(&mut hn);
+    hn.finish();
+}

@@ -1,178 +1,182 @@
-//! Criterion micro-benchmarks over the workspace's hot operations: the
+//! Micro-benchmarks over the workspace's hot operations: the
 //! eliminate/restore machinery (§5.2.1), ordering evaluation (Figs 6.2 and
-//! 7.1), set covering, the lower-bound heuristics and the GA operators.
+//! 7.1), set covering (plain and memoized), the lower-bound heuristics and
+//! the GA operators.
+//!
+//! Driven by the dependency-free median-of-N harness in
+//! `ghd_bench::timer` (the offline build has no criterion). Pass a
+//! substring to filter: `cargo bench --bench micro -- set_cover`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ghd_bench::timer::Harness;
 use ghd_bounds::lower::{degeneracy, minor_gamma_r, minor_min_width};
 use ghd_bounds::upper::min_fill_ordering;
 use ghd_core::bucket::{bucket_elimination, vertex_elimination};
 use ghd_core::eval::{GhwEvaluator, TwEvaluator};
-use ghd_core::setcover::{exact_cover, greedy_cover};
+use ghd_core::setcover::{exact_cover, greedy_cover, CoverCache};
 use ghd_core::EliminationOrdering;
 use ghd_ga::{CrossoverOp, MutationOp};
 use ghd_hypergraph::generators::{graphs, hypergraphs};
 use ghd_hypergraph::{BitSet, EliminationGraph, Hypergraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ghd_prng::rngs::StdRng;
 use std::hint::black_box;
 
-fn bench_eliminate_restore(c: &mut Criterion) {
+fn bench_eliminate_restore(h: &mut Harness) {
     let g = graphs::queen(8);
     let mut eg = EliminationGraph::new(&g);
-    c.bench_function("eliminate_restore/queen8_8", |b| {
-        b.iter(|| {
-            for v in 0..16 {
-                eg.eliminate(black_box(v));
-            }
-            for _ in 0..16 {
-                eg.restore();
-            }
-        })
+    h.bench("eliminate_restore/queen8_8", || {
+        for v in 0..16 {
+            eg.eliminate(black_box(v));
+        }
+        for _ in 0..16 {
+            eg.restore();
+        }
     });
 }
 
-fn bench_bucket_vs_vertex_elimination(c: &mut Criterion) {
+fn bench_bucket_vs_vertex_elimination(hn: &mut Harness) {
     let h = hypergraphs::grid2d(14);
     let g = h.primal_graph();
     let sigma = EliminationOrdering::identity(h.num_vertices());
-    c.bench_function("bucket_elimination/grid2d_14", |b| {
-        b.iter(|| bucket_elimination(black_box(&h), &sigma))
+    hn.bench("bucket_elimination/grid2d_14", || {
+        black_box(bucket_elimination(black_box(&h), &sigma));
     });
-    c.bench_function("vertex_elimination/grid2d_14", |b| {
-        b.iter(|| vertex_elimination(black_box(&g), &sigma))
+    hn.bench("vertex_elimination/grid2d_14", || {
+        black_box(vertex_elimination(black_box(&g), &sigma));
     });
 }
 
-fn bench_evaluators(c: &mut Criterion) {
+fn bench_evaluators(hn: &mut Harness) {
     let g = graphs::queen(8);
     let mut tw_eval = TwEvaluator::new(&g);
     let mut rng = StdRng::seed_from_u64(1);
     let sigma = EliminationOrdering::random(64, &mut rng);
-    c.bench_function("tw_eval/queen8_8 (Fig 6.2)", |b| {
-        b.iter(|| tw_eval.width(black_box(&sigma)))
+    hn.bench("tw_eval/queen8_8 (Fig 6.2)", || {
+        black_box(tw_eval.width(black_box(&sigma)));
     });
 
     let h = hypergraphs::grid2d(12);
     let mut ghw_eval = GhwEvaluator::new(&h);
     let sigma_h = EliminationOrdering::random(h.num_vertices(), &mut rng);
-    c.bench_function("ghw_eval/grid2d_12 (Fig 7.1)", |b| {
-        b.iter(|| ghw_eval.width::<StdRng>(black_box(&sigma_h), None))
+    hn.bench("ghw_eval/grid2d_12 (Fig 7.1)", || {
+        black_box(ghw_eval.width::<StdRng>(black_box(&sigma_h), None));
+    });
+    let mut cache = CoverCache::new();
+    hn.bench("ghw_eval_cached/grid2d_12 (warm cover cache)", || {
+        black_box(ghw_eval.width_cached(black_box(&sigma_h), &mut cache));
     });
 }
 
-fn bench_set_cover(c: &mut Criterion) {
+fn bench_set_cover(hn: &mut Harness) {
     let h = hypergraphs::random_hypergraph(60, 40, 5, 3);
     let target = BitSet::from_iter(60, (0..30).map(|i| i * 2));
-    c.bench_function("set_cover/greedy (Fig 7.2)", |b| {
-        b.iter(|| greedy_cover::<StdRng>(black_box(&target), &h, None))
+    hn.bench("set_cover/greedy (Fig 7.2)", || {
+        black_box(greedy_cover::<StdRng>(black_box(&target), &h, None));
     });
-    c.bench_function("set_cover/exact (BnB, IP-solver substitute)", |b| {
-        b.iter(|| exact_cover(black_box(&target), &h))
+    hn.bench("set_cover/exact (BnB, IP-solver substitute)", || {
+        black_box(exact_cover(black_box(&target), &h));
+    });
+    let mut cache = CoverCache::new();
+    hn.bench("set_cover/exact_cached (warm transposition hit)", || {
+        black_box(cache.exact_cover_size_capped(black_box(&target), &h, usize::MAX));
     });
 }
 
-fn bench_lower_bounds(c: &mut Criterion) {
+fn bench_lower_bounds(hn: &mut Harness) {
     let g = graphs::queen(8);
-    c.bench_function("lb/degeneracy/queen8_8", |b| {
-        b.iter(|| degeneracy(black_box(&g)))
+    hn.bench("lb/degeneracy/queen8_8", || {
+        black_box(degeneracy(black_box(&g)));
     });
-    c.bench_function("lb/minor_min_width/queen8_8 (Fig 4.7)", |b| {
-        b.iter(|| minor_min_width::<StdRng>(black_box(&g), None))
+    hn.bench("lb/minor_min_width/queen8_8 (Fig 4.7)", || {
+        black_box(minor_min_width::<StdRng>(black_box(&g), None));
     });
-    c.bench_function("lb/minor_gamma_r/queen8_8 (Fig 4.8)", |b| {
-        b.iter(|| minor_gamma_r::<StdRng>(black_box(&g), None))
+    hn.bench("lb/minor_gamma_r/queen8_8 (Fig 4.8)", || {
+        black_box(minor_gamma_r::<StdRng>(black_box(&g), None));
     });
 }
 
-fn bench_upper_bounds(c: &mut Criterion) {
+fn bench_upper_bounds(hn: &mut Harness) {
     let g = graphs::queen(8);
-    c.bench_function("ub/min_fill/queen8_8", |b| {
-        b.iter(|| min_fill_ordering::<StdRng>(black_box(&g), None))
+    hn.bench("ub/min_fill/queen8_8", || {
+        black_box(min_fill_ordering::<StdRng>(black_box(&g), None));
     });
 }
 
-fn bench_ga_operators(c: &mut Criterion) {
+fn bench_ga_operators(hn: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(5);
     let p1: Vec<usize> = (0..200).collect();
     let p2: Vec<usize> = (0..200).rev().collect();
-    let mut group = c.benchmark_group("crossover_n200");
     for op in CrossoverOp::ALL {
-        group.bench_function(op.name(), |b| {
-            b.iter(|| op.apply(black_box(&p1), black_box(&p2), &mut rng))
+        hn.bench(&format!("crossover_n200/{}", op.name()), || {
+            black_box(op.apply(black_box(&p1), black_box(&p2), &mut rng));
         });
     }
-    group.finish();
-    let mut group = c.benchmark_group("mutation_n200");
     for op in MutationOp::ALL {
-        group.bench_function(op.name(), |b| {
-            b.iter_batched(
-                || p1.clone(),
-                |mut p| op.apply(&mut p, &mut rng),
-                BatchSize::SmallInput,
-            )
+        // clone cost is part of the loop body (mutation is in-place)
+        hn.bench(&format!("mutation_n200/{} (incl. clone)", op.name()), || {
+            let mut p = p1.clone();
+            op.apply(&mut p, &mut rng);
+            black_box(p);
         });
     }
-    group.finish();
 }
 
-fn bench_csp_joins(c: &mut Criterion) {
+fn bench_csp_joins(hn: &mut Harness) {
     use ghd_csp::Relation;
     let tuples_a: Vec<Vec<u32>> = (0..500u32).map(|i| vec![i % 50, i % 7]).collect();
     let tuples_b: Vec<Vec<u32>> = (0..500u32).map(|i| vec![i % 7, i % 11]).collect();
     let a = Relation::new(vec![0, 1], tuples_a);
     let b2 = Relation::new(vec![1, 2], tuples_b);
-    c.bench_function("csp/natural_join_500x500", |bch| {
-        bch.iter(|| black_box(&a).join(black_box(&b2)))
+    hn.bench("csp/natural_join_500x500", || {
+        black_box(black_box(&a).join(black_box(&b2)));
     });
-    c.bench_function("csp/semijoin_500x500", |bch| {
-        bch.iter_batched(
-            || a.clone(),
-            |mut x| x.semijoin(black_box(&b2)),
-            BatchSize::SmallInput,
-        )
+    // clone cost is part of the loop body (semijoin is in-place)
+    hn.bench("csp/semijoin_500x500 (incl. clone)", || {
+        let mut x = a.clone();
+        x.semijoin(black_box(&b2));
+        black_box(x);
     });
 }
 
-fn bench_preprocess_and_adaptive(c: &mut Criterion) {
+fn bench_preprocess_and_adaptive(hn: &mut Harness) {
     let g = graphs::queen(6);
-    c.bench_function("preprocess_tw/queen6_6", |b| {
-        b.iter(|| ghd_search::preprocess_tw(black_box(&g)))
+    hn.bench("preprocess_tw/queen6_6", || {
+        black_box(ghd_search::preprocess_tw(black_box(&g)));
     });
     let csp = ghd_csp::examples::australia();
     let sigma = EliminationOrdering::identity(csp.num_variables());
-    c.bench_function("csp/adaptive_consistency/australia", |b| {
-        b.iter(|| ghd_csp::adaptive_consistency(black_box(&csp), &sigma))
+    hn.bench("csp/adaptive_consistency/australia", || {
+        black_box(ghd_csp::adaptive_consistency(black_box(&csp), &sigma));
     });
     let h = csp.constraint_hypergraph();
     let ghd = ghd_core::bucket::ghd_from_ordering(&h, &sigma, ghd_core::CoverMethod::Exact);
-    c.bench_function("csp/count_solutions/australia", |b| {
-        b.iter(|| ghd_csp::count_solutions_with_ghd(black_box(&csp), &ghd).unwrap())
+    hn.bench("csp/count_solutions/australia", || {
+        black_box(ghd_csp::count_solutions_with_ghd(black_box(&csp), &ghd).unwrap());
     });
 }
 
-fn bench_primal_and_lnf(c: &mut Criterion) {
+fn bench_primal_and_lnf(hn: &mut Harness) {
     let h: Hypergraph = hypergraphs::grid2d(14);
-    c.bench_function("hypergraph/primal_graph/grid2d_14", |b| {
-        b.iter(|| black_box(&h).primal_graph())
+    hn.bench("hypergraph/primal_graph/grid2d_14", || {
+        black_box(black_box(&h).primal_graph());
     });
     let sigma = EliminationOrdering::identity(h.num_vertices());
     let td = vertex_elimination(&h.primal_graph(), &sigma);
-    c.bench_function("lnf/transform/grid2d_14 (Fig 3.1)", |b| {
-        b.iter(|| ghd_core::lnf::leaf_normal_form(black_box(&h), &td))
+    hn.bench("lnf/transform/grid2d_14 (Fig 3.1)", || {
+        black_box(ghd_core::lnf::leaf_normal_form(black_box(&h), &td));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_eliminate_restore,
-    bench_bucket_vs_vertex_elimination,
-    bench_evaluators,
-    bench_set_cover,
-    bench_lower_bounds,
-    bench_upper_bounds,
-    bench_ga_operators,
-    bench_csp_joins,
-    bench_preprocess_and_adaptive,
-    bench_primal_and_lnf,
-);
-criterion_main!(benches);
+fn main() {
+    let mut hn = Harness::from_env();
+    bench_eliminate_restore(&mut hn);
+    bench_bucket_vs_vertex_elimination(&mut hn);
+    bench_evaluators(&mut hn);
+    bench_set_cover(&mut hn);
+    bench_lower_bounds(&mut hn);
+    bench_upper_bounds(&mut hn);
+    bench_ga_operators(&mut hn);
+    bench_csp_joins(&mut hn);
+    bench_preprocess_and_adaptive(&mut hn);
+    bench_primal_and_lnf(&mut hn);
+    hn.finish();
+}

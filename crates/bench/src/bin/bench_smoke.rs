@@ -1,0 +1,159 @@
+//! Smoke benchmark for the search runtime: times BB-ghw with the set-cover
+//! transposition cache **on vs off**, checks the widths agree, and emits a
+//! machine-readable `BENCH_search.json` next to the console table.
+//!
+//! The instances are chosen so the search *completes* well inside the
+//! budget — a budget-capped run burns the whole budget either way, hiding
+//! the cache's effect; on completing instances the node count is identical
+//! by construction and the wall-clock difference is purely the memoized
+//! covers.
+//!
+//! ```text
+//! cargo run --release -p ghd-bench --bin bench_smoke -- \
+//!     --time 30 --runs 3 --out BENCH_search.json
+//! ```
+
+use ghd_bench::instances::HypergraphInstance;
+use ghd_bench::table::{Args, Table};
+use ghd_hypergraph::generators::hypergraphs;
+use ghd_hypergraph::Hypergraph;
+use ghd_search::{bb_ghw, BbGhwConfig, SearchLimits};
+use std::time::{Duration, Instant};
+
+/// BB-ghw completes on each of these in well under a second, so cache
+/// on/off is an apples-to-apples wall-clock comparison.
+fn smoke_suite() -> Vec<HypergraphInstance> {
+    let hi = |name: &str, h: Hypergraph| HypergraphInstance {
+        name: name.to_string(),
+        hypergraph: h,
+        reference_ub: None,
+    };
+    vec![
+        hi("adder_15", hypergraphs::adder(15)),
+        hi("clique_10", hypergraphs::clique(10)),
+        hi("grid2d_6", hypergraphs::grid2d(6)),
+        hi("grid2d_7", hypergraphs::grid2d(7)),
+        hi("syn-circuit_30", hypergraphs::random_circuit(30, 32, 0xA)),
+    ]
+}
+
+struct Row {
+    instance: String,
+    vertices: usize,
+    edges: usize,
+    width_off: usize,
+    width_on: usize,
+    exact: bool,
+    wall_off: f64,
+    wall_on: f64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let secs: f64 = args.get("time").unwrap_or(30.0);
+    let runs: usize = args.get::<usize>("runs").unwrap_or(3).max(1);
+    let out: String = args.get("out").unwrap_or_else(|| "BENCH_search.json".to_string());
+
+    println!("bench_smoke — BB-ghw cover cache on/off ({secs}s safety budget, best of {runs})\n");
+    let mut t = Table::new(&[
+        "Hypergraph", "width", "status", "t_off[s]", "t_on[s]", "speedup", "hits", "hit%",
+    ]);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for inst in smoke_suite() {
+        let h = &inst.hypergraph;
+        let variant = |use_cache: bool| {
+            let cfg = BbGhwConfig {
+                limits: SearchLimits::with_time(Duration::from_secs_f64(secs)),
+                use_cover_cache: use_cache,
+                ..BbGhwConfig::default()
+            };
+            let mut best_wall = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let r = bb_ghw(h, &cfg);
+                best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+                last = Some(r);
+            }
+            (best_wall, last.expect("runs >= 1"))
+        };
+        let (wall_off, r_off) = variant(false);
+        let (wall_on, r_on) = variant(true);
+        assert_eq!(
+            r_off.upper_bound, r_on.upper_bound,
+            "{}: cache changed the width",
+            inst.name
+        );
+        assert_eq!(r_off.exact, r_on.exact, "{}: cache changed exactness", inst.name);
+        let stats = r_on.cover_cache.unwrap_or_default();
+        let row = Row {
+            instance: inst.name.clone(),
+            vertices: h.num_vertices(),
+            edges: h.num_edges(),
+            width_off: r_off.upper_bound,
+            width_on: r_on.upper_bound,
+            exact: r_on.exact,
+            wall_off,
+            wall_on,
+            hits: stats.hits,
+            misses: stats.misses,
+            hit_rate: stats.hit_rate(),
+        };
+        t.row(vec![
+            row.instance.clone(),
+            row.width_on.to_string(),
+            if row.exact { "exact" } else { "ub *" }.to_string(),
+            format!("{:.3}", row.wall_off),
+            format!("{:.3}", row.wall_on),
+            format!("{:.2}x", row.wall_off / row.wall_on.max(1e-9)),
+            row.hits.to_string(),
+            format!("{:.0}%", row.hit_rate * 100.0),
+        ]);
+        rows.push(row);
+    }
+    t.print();
+
+    let total_off: f64 = rows.iter().map(|r| r.wall_off).sum();
+    let total_on: f64 = rows.iter().map(|r| r.wall_on).sum();
+    println!(
+        "\ntotal wall: cache off {:.3}s, cache on {:.3}s ({:.2}x)",
+        total_off,
+        total_on,
+        total_off / total_on.max(1e-9)
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"bb_ghw_cover_cache\",\n");
+    json.push_str(&format!("  \"time_budget_s\": {secs},\n"));
+    json.push_str(&format!("  \"runs\": {runs},\n"));
+    json.push_str(&format!("  \"total_wall_s_cache_off\": {total_off:.6},\n"));
+    json.push_str(&format!("  \"total_wall_s_cache_on\": {total_on:.6},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+             \"width\": {}, \"width_cache_off\": {}, \"exact\": {}, \
+             \"wall_s_cache_off\": {:.6}, \"wall_s_cache_on\": {:.6}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}{}\n",
+            r.instance,
+            r.vertices,
+            r.edges,
+            r.width_on,
+            r.width_off,
+            r.exact,
+            r.wall_off,
+            r.wall_on,
+            r.hits,
+            r.misses,
+            r.hit_rate,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write BENCH_search.json");
+    println!("wrote {out}");
+}

@@ -18,22 +18,25 @@ fn main() {
         .and_then(|s| Scale::parse(&s))
         .unwrap_or(Scale::Tiny);
     let secs: f64 = args.get("time").unwrap_or(5.0);
+    let threads: usize = args.get("threads").unwrap_or(0);
     let limits = SearchLimits::with_time(Duration::from_secs_f64(secs));
 
     println!("Table 5.1 — A*-tw on DIMACS graph coloring benchmarks");
     println!("(scale {scale:?}, {secs}s/instance; thesis budget was 1h/instance)\n");
     let mut t = Table::new(&["Graph", "V", "E", "lb", "ub", "A*-tw", "status", "time[s]"]);
-    for inst in dimacs_suite(scale) {
+    // instances run in parallel; rows come back in suite order
+    let instances = dimacs_suite(scale);
+    let rows = ghd_par::parallel_map(&instances, threads, |inst| {
         let g = &inst.graph;
-        let lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
-        let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+        let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+        let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
         let r = astar_tw(g, limits);
         let (value, status) = if r.exact {
             (r.upper_bound, "exact")
         } else {
             (r.lower_bound, "lb *")
         };
-        t.row(vec![
+        vec![
             inst.name.clone(),
             g.num_vertices().to_string(),
             g.num_edges().to_string(),
@@ -42,7 +45,10 @@ fn main() {
             value.to_string(),
             status.to_string(),
             format!("{:.2}", r.elapsed.as_secs_f64()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
 }

@@ -17,8 +17,8 @@ fn main() {
     let mut t = Table::new(&["Graph", "V", "E", "lb", "ub", "A*-tw", "status", "time[s]"]);
     for inst in grid_suite(max_n) {
         let g = &inst.graph;
-        let lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
-        let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+        let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+        let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
         let r = astar_tw(g, limits);
         let (value, status) = if r.exact {
             (r.upper_bound, "exact")

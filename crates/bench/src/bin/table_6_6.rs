@@ -26,7 +26,7 @@ fn main() {
         "Graph", "V", "E", "ub(min-fill)", "ref-ub", "min", "max", "avg", "std.dev", "avg-time[s]",
     ]);
     for inst in dimacs_suite(scale) {
-        let (mf, _) = tw_upper_bound::<rand::rngs::StdRng>(&inst.graph, None);
+        let (mf, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&inst.graph, None);
         let mut widths = Vec::new();
         let start = Instant::now();
         for seed in 0..runs {

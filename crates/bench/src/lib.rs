@@ -1,7 +1,7 @@
 //! Benchmark harness: the instance registry, a plain-text table renderer and
 //! shared helpers for the table-regeneration binaries (`src/bin/table_*`),
-//! one per evaluation table of the thesis. Criterion micro-benchmarks live
-//! in `benches/`.
+//! one per evaluation table of the thesis. Dependency-free micro-benchmarks
+//! (driven by [`timer`]) live in `benches/`.
 //!
 //! Every binary accepts `--scale tiny|small|full` (instance sizes),
 //! `--time <seconds>` (per-instance budget for the exact searches),
@@ -11,3 +11,4 @@
 pub mod instances;
 pub mod stats;
 pub mod table;
+pub mod timer;

@@ -1,0 +1,162 @@
+//! Dependency-free micro-benchmark harness for the `harness = false`
+//! benches.
+//!
+//! The offline build has no `criterion`, so timing is done with a plain
+//! calibrate-then-sample loop: a short warm-up estimates the cost of one
+//! iteration, the iteration count per sample is chosen so a sample lasts a
+//! few milliseconds, and the reported figure is the **median over N
+//! samples** (robust against scheduler noise, unlike the mean).
+//!
+//! Environment knobs: `GHD_BENCH_SAMPLES` (default 9) and
+//! `GHD_BENCH_SAMPLE_MS` (default 5) trade precision for wall time.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark: all figures are nanoseconds per
+/// iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Median over the collected samples.
+    pub median_ns: f64,
+    /// Fastest sample (lower bound on the true cost).
+    pub min_ns: f64,
+    /// Iterations per sample chosen by calibration.
+    pub iters: u64,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Measures `f` with the calibrate-then-sample loop described in the
+/// module docs and returns the per-iteration summary.
+pub fn measure<F: FnMut()>(mut f: F) -> Sample {
+    // calibration: run for ~10 ms (at least once) to estimate cost/iter
+    let cal_start = Instant::now();
+    let mut cal_iters = 0u64;
+    while cal_iters == 0 || (cal_start.elapsed() < Duration::from_millis(10) && cal_iters < 1 << 20)
+    {
+        f();
+        cal_iters += 1;
+    }
+    let per_iter = (cal_start.elapsed().as_nanos() as f64 / cal_iters as f64).max(1.0);
+
+    let sample_ms = env_usize("GHD_BENCH_SAMPLE_MS", 5) as f64;
+    let iters = ((sample_ms * 1e6 / per_iter).ceil() as u64).clamp(1, 1 << 20);
+    let samples = env_usize("GHD_BENCH_SAMPLES", 9).max(1);
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        times.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    Sample {
+        median_ns: times[samples / 2],
+        min_ns: times[0],
+        iters,
+        samples,
+    }
+}
+
+/// Renders nanoseconds with an auto-scaled unit (`ns`, `µs`, `ms`, `s`).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Named-benchmark driver: registers results as they run and prints one
+/// aligned line per benchmark, criterion-style.
+///
+/// A single non-flag command-line argument acts as a substring filter
+/// (`cargo bench --bench micro -- set_cover` runs only the cover benches).
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::from_env()
+    }
+}
+
+impl Harness {
+    /// Builds a harness, reading the optional name filter from `argv`.
+    /// Flags (anything starting with `-`, e.g. cargo's `--bench`) are
+    /// ignored.
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter, ran: 0 }
+    }
+
+    /// Times `f` under `name` (unless filtered out) and prints the result.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) {
+                return;
+            }
+        }
+        let s = measure(f);
+        println!(
+            "{name:<52} {:>12}/iter   (min {:>10}, {}×{} iters)",
+            format_ns(s.median_ns),
+            format_ns(s.min_ns),
+            s.samples,
+            s.iters
+        );
+        self.ran += 1;
+    }
+
+    /// Prints the closing line; warns when a filter matched nothing.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            if let Some(fil) = &self.filter {
+                println!("no benchmarks matched filter {fil:?}");
+            }
+        }
+        println!("\n{} benchmark(s) done", self.ran);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_times() {
+        let mut x = 0u64;
+        let s = measure(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.iters >= 1);
+        assert!(s.samples >= 1);
+    }
+
+    #[test]
+    fn units_scale() {
+        assert_eq!(format_ns(512.0), "512 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 µs");
+        assert_eq!(format_ns(3_450_000.0), "3.45 ms");
+        assert_eq!(format_ns(1_200_000_000.0), "1.20 s");
+    }
+}

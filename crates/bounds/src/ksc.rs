@@ -14,7 +14,7 @@
 
 use crate::lower::tw_lower_bound;
 use ghd_hypergraph::{Graph, Hypergraph};
-use rand::Rng;
+use ghd_prng::Rng;
 
 /// A lower bound on the k-set cover problem: the minimum number of
 /// hyperedges whose union can reach `k` vertices. Since `t` hyperedges cover
@@ -64,8 +64,8 @@ mod tests {
     use super::*;
     use crate::upper::ghw_upper_bound;
     use ghd_hypergraph::generators::hypergraphs;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::SeedableRng;
 
     #[test]
     fn ksc_with_uniform_sizes_is_ceiling_division() {

@@ -6,7 +6,7 @@
 //! along the way lower-bounds the treewidth of the original graph.
 
 use ghd_hypergraph::{BitSet, Graph};
-use rand::{Rng, RngExt};
+use ghd_prng::{Rng, RngExt};
 
 /// A scratch graph supporting edge contraction, used by the minor-based
 /// lower bounds.
@@ -174,8 +174,8 @@ mod tests {
     use super::*;
     use crate::upper::tw_upper_bound;
     use ghd_hypergraph::generators::graphs;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::SeedableRng;
 
     #[test]
     fn exact_on_cliques() {

@@ -5,7 +5,7 @@
 use ghd_core::eval::{GhwEvaluator, TwEvaluator};
 use ghd_core::EliminationOrdering;
 use ghd_hypergraph::{EliminationGraph, Graph, Hypergraph};
-use rand::{Rng, RngExt};
+use ghd_prng::{Rng, RngExt};
 
 /// Picks, among indices with the minimum key, either the first or a random
 /// one.
@@ -109,8 +109,7 @@ pub fn tw_upper_bound<R: Rng + ?Sized>(g: &Graph, rng: Option<&mut R>) -> (usize
 /// (the thesis exploits min-fill's random tie-breaking by reporting the
 /// best of ten runs per instance).
 pub fn tw_upper_bound_multistart(g: &Graph, k: usize, seed: u64) -> (usize, EliminationOrdering) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
     assert!(k >= 1);
     let mut eval = TwEvaluator::new(g);
     let mut best: Option<(usize, EliminationOrdering)> = None;
@@ -137,12 +136,55 @@ pub fn ghw_upper_bound<R: Rng + ?Sized>(
     (w, sigma)
 }
 
+/// [`ghw_upper_bound`] with the per-bag greedy covers routed through a
+/// [`CoverCache`](ghd_core::setcover::CoverCache) shared with the caller's
+/// search: the heuristic warms the cache with every root bag, and multistart
+/// restarts hit covers computed by earlier starts. Deterministic
+/// (first-maximum tie rule).
+pub fn ghw_upper_bound_cached(
+    h: &Hypergraph,
+    cache: &mut ghd_core::setcover::CoverCache,
+) -> (usize, EliminationOrdering) {
+    let sigma = min_fill_ordering::<ghd_prng::rngs::StdRng>(&h.primal_graph(), None);
+    let w = GhwEvaluator::new(h).width_cached(&sigma, cache);
+    (w, sigma)
+}
+
+/// Multi-start variant of [`ghw_upper_bound_cached`]: `k` randomized
+/// min-fill orderings (seeded), every bag cover memoized in `cache`, best
+/// `(width, ordering)` returned. Restarts share most buckets, so later
+/// starts are mostly cache hits.
+pub fn ghw_upper_bound_multistart_cached(
+    h: &Hypergraph,
+    k: usize,
+    seed: u64,
+    cache: &mut ghd_core::setcover::CoverCache,
+) -> (usize, EliminationOrdering) {
+    use ghd_prng::rngs::StdRng;
+    assert!(k >= 1);
+    let primal = h.primal_graph();
+    let mut eval = GhwEvaluator::new(h);
+    let mut best: Option<(usize, EliminationOrdering)> = None;
+    for i in 0..k {
+        let sigma = if i == 0 {
+            min_fill_ordering::<StdRng>(&primal, None)
+        } else {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            min_fill_ordering(&primal, Some(&mut rng))
+        };
+        let w = eval.width_cached(&sigma, cache);
+        if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+            best = Some((w, sigma));
+        }
+    }
+    best.expect("k >= 1")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ghd_hypergraph::generators::{graphs, hypergraphs};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
 
     #[test]
     fn min_fill_is_optimal_on_chordal_graphs() {
@@ -215,6 +257,31 @@ mod tests {
             assert!(multi <= single + 1, "seed {seed}"); // randomized runs vary
             let w = TwEvaluator::new(&g).width(&sigma);
             assert_eq!(w, multi);
+        }
+    }
+
+    #[test]
+    fn cached_ghw_upper_bound_matches_uncached_tie_rule_and_hits() {
+        use ghd_core::setcover::CoverCache;
+        for seed in 0..5u64 {
+            let h = hypergraphs::random_hypergraph(15, 10, 4, seed);
+            let mut cache = CoverCache::new();
+            let (w1, s1) = ghw_upper_bound_cached(&h, &mut cache);
+            let (w2, s2) = ghw_upper_bound_cached(&h, &mut cache);
+            assert_eq!((w1, s1.as_slice()), (w2, s2.as_slice()), "seed {seed}");
+            assert!(cache.stats().hits > 0, "second run should hit");
+            // multistart shares the cache and can only improve
+            let (wm, sm) = ghw_upper_bound_multistart_cached(&h, 6, seed, &mut cache);
+            assert!(wm <= w1, "seed {seed}");
+            assert_eq!(sm.len(), 15);
+            // widths are genuine upper bounds on the uncached heuristic's
+            // exact realization
+            let ghd = ghd_core::bucket::ghd_from_ordering(
+                &h,
+                &sm,
+                ghd_core::setcover::CoverMethod::Exact,
+            );
+            assert!(ghd.width() <= wm, "seed {seed}");
         }
     }
 

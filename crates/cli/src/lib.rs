@@ -180,7 +180,7 @@ fn cmd_tw(args: &[String]) -> CmdResult {
             (format!("SA-tw: width <= {}", r.best_width), Some(r.best_ordering))
         }
         "minfill" => {
-            let (w, o) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+            let (w, o) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
             (format!("min-fill: width <= {w}"), Some(o.into_vec()))
         }
         other => return Err(format!("unknown method `{other}`")),
@@ -230,7 +230,7 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
             (format!("SA-ghw: width <= {}", r.best_width), Some(r.best_ordering))
         }
         "greedy" => {
-            let (w, o) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+            let (w, o) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
             (format!("min-fill + greedy cover: width <= {w}"), Some(o.into_vec()))
         }
         other => return Err(format!("unknown method `{other}`")),
@@ -292,8 +292,8 @@ fn cmd_bounds(args: &[String]) -> CmdResult {
     // try hypergraph format first when the file smells like one
     if text.contains('(') {
         let h = io::parse_hypergraph(&text).map_err(|e| e.to_string())?;
-        let lb = ghw_lower_bound::<rand::rngs::StdRng>(&h, None);
-        let (ub, _) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+        let lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(&h, None);
+        let (ub, _) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
         return Ok(format!(
             "hypergraph: {} vertices, {} hyperedges\n{lb} <= ghw <= {ub}\n",
             h.num_vertices(),
@@ -301,8 +301,8 @@ fn cmd_bounds(args: &[String]) -> CmdResult {
         ));
     }
     let g = load_graph(&text)?;
-    let lb = tw_lower_bound::<rand::rngs::StdRng>(&g, None);
-    let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+    let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&g, None);
+    let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
     Ok(format!(
         "graph: {} vertices, {} edges\n{lb} <= tw <= {ub}\n",
         g.num_vertices(),

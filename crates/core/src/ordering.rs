@@ -6,8 +6,8 @@
 //! first, `v_1` last (Definition 16, bucket elimination Fig 2.10). The
 //! notation `x <_σ y` ("x precedes y") means `x` is eliminated *after* `y`.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ghd_prng::seq::SliceRandom;
+use ghd_prng::Rng;
 
 /// A permutation of `0..n` acting as an elimination ordering.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -104,8 +104,8 @@ impl From<EliminationOrdering> for Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::SeedableRng;
 
     #[test]
     fn rejects_non_permutations() {

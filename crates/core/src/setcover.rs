@@ -8,7 +8,8 @@
 //! external dependency — see DESIGN.md, substitution 3).
 
 use ghd_hypergraph::{BitSet, Hypergraph};
-use rand::{Rng, RngExt};
+use ghd_prng::{Rng, RngExt};
+use std::collections::HashMap;
 
 /// Strategy for solving the per-bag set cover problems.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,7 +102,7 @@ pub fn greedy_cover_size<R: Rng + ?Sized>(
 /// bound `chosen + ⌈uncovered / max_gain⌉ ≥ best`.
 pub fn exact_cover(target: &BitSet, h: &Hypergraph) -> Vec<usize> {
     let cands = candidates(target, h);
-    let best: Vec<usize> = greedy_cover::<rand::rngs::StdRng>(target, h, None);
+    let best: Vec<usize> = greedy_cover::<ghd_prng::rngs::StdRng>(target, h, None);
     let mut state = ExactState {
         cands: &cands,
         best,
@@ -134,7 +135,7 @@ pub fn exact_cover_size_capped(target: &BitSet, h: &Hypergraph, cap: usize) -> (
         return (0, true);
     }
     let cands = candidates(target, h);
-    let greedy: Vec<usize> = greedy_cover::<rand::rngs::StdRng>(target, h, None);
+    let greedy: Vec<usize> = greedy_cover::<ghd_prng::rngs::StdRng>(target, h, None);
     let greedy_len = greedy.len();
     let mut state = ExactState {
         cands: &cands,
@@ -151,8 +152,179 @@ pub fn exact_cover_size_capped(target: &BitSet, h: &Hypergraph, cap: usize) -> (
 /// Dispatches on [`CoverMethod`].
 pub fn cover(target: &BitSet, h: &Hypergraph, method: CoverMethod) -> Vec<usize> {
     match method {
-        CoverMethod::Greedy => greedy_cover::<rand::rngs::StdRng>(target, h, None),
+        CoverMethod::Greedy => greedy_cover::<ghd_prng::rngs::StdRng>(target, h, None),
         CoverMethod::Exact => exact_cover(target, h),
+    }
+}
+
+/// Counters describing a [`CoverCache`]'s life so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to run a cover computation.
+    pub misses: u64,
+    /// Entries dropped by capacity resets.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all queries (0 when the cache is unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheEntry {
+    /// Proven optimal cover size, when known.
+    exact: Option<u32>,
+    /// Proven lower bound on the optimal cover size (0 = trivial).
+    lower: u32,
+    /// Memoized deterministic greedy cover size.
+    greedy: Option<u32>,
+}
+
+/// Transposition cache for per-bag set covers, keyed on the target
+/// [`BitSet`]'s backing blocks.
+///
+/// Branch-and-bound over elimination orderings revisits the same bag many
+/// times — permutations of a prefix that eliminate the same vertex next
+/// produce the identical `{v} ∪ Nᵍ(v)` bag, and capped queries repeat with
+/// different caps as the incumbent tightens. The cache stores only *proven*
+/// facts, so cached answers are identical to recomputation and results are
+/// bit-for-bit the same with the cache on or off:
+///
+/// * an exact size `s < cap` proven by a completed (budget-unexhausted)
+///   capped search is stored as `exact`;
+/// * a completed capped search that found nothing below `cap` proves
+///   `optimal ≥ cap`, stored as a monotone `lower` bound;
+/// * budget-exhausted results are *never* cached (they are only estimates);
+/// * deterministic greedy sizes (first-maximum tie rule) are cached as-is.
+///
+/// Capacity overflow triggers a deterministic full reset (simple, and the
+/// search relocality means a warm prefix is rebuilt within a few hundred
+/// nodes); resets are reported via [`CacheStats::evictions`].
+///
+/// A cache is valid for **one hypergraph**: keys are target bitsets only,
+/// so reusing it across hypergraphs replays covers from the wrong edge set.
+pub struct CoverCache {
+    map: HashMap<Box<[u64]>, CacheEntry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for CoverCache {
+    fn default() -> Self {
+        CoverCache::new()
+    }
+}
+
+impl CoverCache {
+    /// Default capacity: roomy enough for every bag of mid-size searches.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// A cache with [`CoverCache::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        CoverCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` entries (min 1) before resetting.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CoverCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drops all entries (counts them as evictions) but keeps the counters.
+    pub fn clear(&mut self) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    fn entry_mut(&mut self, target: &BitSet) -> &mut CacheEntry {
+        if self.map.len() >= self.capacity && !self.map.contains_key(target.blocks()) {
+            self.evictions += self.map.len() as u64;
+            self.map.clear();
+        }
+        self.map
+            .entry(target.blocks().into())
+            .or_default()
+    }
+
+    /// Memoizing counterpart of [`exact_cover_size_capped`]: same contract,
+    /// same values — hits replay proven facts, misses delegate and record.
+    pub fn exact_cover_size_capped(
+        &mut self,
+        target: &BitSet,
+        h: &Hypergraph,
+        cap: usize,
+    ) -> (usize, bool) {
+        if cap == 0 {
+            return (0, true);
+        }
+        if let Some(e) = self.map.get(target.blocks()) {
+            if let Some(exact) = e.exact {
+                self.hits += 1;
+                return ((exact as usize).min(cap), true);
+            }
+            if e.lower as usize >= cap {
+                self.hits += 1;
+                return (cap, true);
+            }
+        }
+        self.misses += 1;
+        let (s, ok) = exact_cover_size_capped(target, h, cap);
+        if ok {
+            let e = self.entry_mut(target);
+            if s < cap {
+                e.exact = Some(s as u32);
+                e.lower = e.lower.max(s as u32);
+            } else {
+                // completed search found nothing below cap ⇒ optimal ≥ cap
+                e.lower = e.lower.max(cap as u32);
+            }
+        }
+        (s, ok)
+    }
+
+    /// Memoizing counterpart of the deterministic
+    /// `greedy_cover_size::<_>(target, h, None)` (first-maximum tie rule):
+    /// identical values, cached.
+    pub fn greedy_cover_size(&mut self, target: &BitSet, h: &Hypergraph) -> usize {
+        if let Some(e) = self.map.get(target.blocks()) {
+            if let Some(g) = e.greedy {
+                self.hits += 1;
+                return g as usize;
+            }
+        }
+        self.misses += 1;
+        let g = greedy_cover_size::<ghd_prng::rngs::StdRng>(target, h, None);
+        self.entry_mut(target).greedy = Some(g as u32);
+        g
     }
 }
 
@@ -224,8 +396,8 @@ impl ExactState<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::SeedableRng;
 
     fn hg(n: usize, edges: &[&[usize]]) -> Hypergraph {
         Hypergraph::from_edges(n, edges.iter().map(|e| e.iter().copied()))
@@ -305,6 +477,107 @@ mod tests {
         let h = hg(3, &[&[0]]);
         let target = BitSet::from_iter(3, [1, 2]);
         greedy_cover::<StdRng>(&target, &h, None);
+    }
+
+    #[test]
+    fn cache_hits_replay_identical_values() {
+        let mut total = CacheStats::default();
+        for trial in 0..20u64 {
+            // one cache per hypergraph: keys are target bitsets only
+            let mut cache = CoverCache::new();
+            let h = ghd_hypergraph::generators::hypergraphs::random_hypergraph(12, 9, 4, trial);
+            let mut rng = StdRng::seed_from_u64(trial);
+            for _ in 0..6 {
+                let target =
+                    BitSet::from_iter(12, (0..12).filter(|_| rng.random_range(0..3) == 0));
+                for cap in [1, 2, 3, usize::MAX] {
+                    let plain = exact_cover_size_capped(&target, &h, cap);
+                    let cached = cache.exact_cover_size_capped(&target, &h, cap);
+                    assert_eq!(plain, cached, "trial {trial} cap {cap}");
+                }
+                let plain = greedy_cover_size::<StdRng>(&target, &h, None);
+                assert_eq!(plain, cache.greedy_cover_size(&target, &h), "trial {trial}");
+            }
+            let stats = cache.stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.entries += stats.entries;
+        }
+        assert!(total.hits > 0, "repeated caps should hit: {total:?}");
+        assert!(total.misses > 0);
+        assert!(total.entries > 0);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let h = hg(6, &[&[0, 1, 2], &[3, 4, 5], &[1, 2, 3, 4]]);
+        let target = BitSet::full(6);
+        let mut cache = CoverCache::new();
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 10), (2, true));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+        // same bag again: exact answer replayed, including under tighter caps
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 10), (2, true));
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 2), (2, true));
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 1), (1, true));
+        assert_eq!(cache.stats().hits, 3);
+        // greedy is a separate fact on the same key
+        let g = greedy_cover_size::<StdRng>(&target, &h, None);
+        assert_eq!(cache.greedy_cover_size(&target, &h), g);
+        assert_eq!(cache.greedy_cover_size(&target, &h), g);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (4, 2, 1));
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn cap_only_queries_store_lower_bounds() {
+        // optimal cover of the full clique universe is 2; a cap-1 query
+        // proves "≥ 1" without revealing the optimum
+        let h = hg(6, &[&[0, 1, 2], &[3, 4, 5], &[1, 2, 3, 4]]);
+        let target = BitSet::full(6);
+        let mut cache = CoverCache::new();
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 1), (1, true));
+        // cap 1 answered again from the stored lower bound
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 1), (1, true));
+        assert_eq!(cache.stats().hits, 1);
+        // a looser cap cannot be answered by `lower = 1`: recomputes
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 5), (2, true));
+        assert_eq!(cache.stats().misses, 2);
+        // now exact is known and every cap hits
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 1), (1, true));
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 100), (2, true));
+        assert_eq!(cache.stats().hits, 3);
+    }
+
+    #[test]
+    fn capacity_overflow_resets_and_counts_evictions() {
+        let h = hg(4, &[&[0, 1], &[2, 3], &[0, 2], &[1, 3]]);
+        let mut cache = CoverCache::with_capacity(2);
+        for v in 0..4 {
+            let target = BitSet::from_iter(4, [v]);
+            cache.greedy_cover_size(&target, &h);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 2, "expected a capacity reset: {stats:?}");
+        assert!(stats.entries <= 2);
+        assert_eq!(stats.misses, 4);
+        // clear() counts remaining entries as evicted
+        let before = cache.stats();
+        cache.clear();
+        let after = cache.stats();
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.evictions, before.evictions + before.entries as u64);
+    }
+
+    #[test]
+    fn cache_zero_cap_short_circuits() {
+        let h = hg(3, &[&[0, 1, 2]]);
+        let target = BitSet::full(3);
+        let mut cache = CoverCache::new();
+        assert_eq!(cache.exact_cover_size_capped(&target, &h, 0), (0, true));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 
     #[test]

@@ -1,43 +1,59 @@
 //! Property tests for the decomposition core: exact set cover optimality
 //! against subset brute force, and decomposition validity for arbitrary
 //! orderings.
+//!
+//! The offline build has no `proptest`, so cases are drawn by an in-tree
+//! generator: each test walks a fixed set of seeds through `ghd-prng`
+//! (failures print the offending seed, which reproduces the case exactly).
 
 use ghd_core::bucket::{bucket_elimination, vertex_elimination};
 use ghd_core::setcover::{exact_cover, greedy_cover};
 use ghd_core::EliminationOrdering;
 use ghd_hypergraph::{BitSet, Hypergraph};
-use proptest::prelude::*;
+use ghd_prng::rngs::StdRng;
+use ghd_prng::RngExt;
+use std::collections::BTreeSet;
 
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (3usize..=9).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::collection::btree_set(0..n, 1..=4), 1..=7).prop_map(
-            move |edge_sets| {
-                let mut edges: Vec<Vec<usize>> =
-                    edge_sets.into_iter().map(|s| s.into_iter().collect()).collect();
-                let covered: std::collections::BTreeSet<usize> =
-                    edges.iter().flatten().copied().collect();
-                for v in 0..n {
-                    if !covered.contains(&v) {
-                        edges.push(vec![v]);
-                    }
-                }
-                Hypergraph::from_edges(n, edges)
-            },
-        )
-    })
+/// An arbitrary hypergraph on `n ∈ 3..=9` vertices whose edges cover all
+/// vertices (constraint hypergraphs always do).
+fn arb_hypergraph(rng: &mut StdRng) -> Hypergraph {
+    let n = rng.random_range(3..=9usize);
+    let k = rng.random_range(1..=7usize);
+    let mut edges: Vec<Vec<usize>> = (0..k)
+        .map(|_| {
+            let size = rng.random_range(1..=4usize).min(n);
+            let mut set = BTreeSet::new();
+            while set.len() < size {
+                set.insert(rng.random_range(0..n));
+            }
+            set.into_iter().collect()
+        })
+        .collect();
+    let covered: BTreeSet<usize> = edges.iter().flatten().copied().collect();
+    for v in 0..n {
+        if !covered.contains(&v) {
+            edges.push(vec![v]);
+        }
+    }
+    Hypergraph::from_edges(n, edges)
 }
 
-proptest! {
-    /// The branch-and-bound set cover is truly optimal: no subset of edges
-    /// of smaller cardinality covers the target.
-    #[test]
-    fn exact_cover_is_optimal(h in arb_hypergraph(), mask in any::<u16>()) {
+/// The branch-and-bound set cover is truly optimal: no subset of edges
+/// of smaller cardinality covers the target (brute force over all `2^m`
+/// subsets, `m ≤ 16` always holds for these sizes).
+#[test]
+fn exact_cover_is_optimal() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = arb_hypergraph(&mut rng);
         let n = h.num_vertices();
+        let m = h.num_edges();
+        if m > 16 {
+            continue;
+        }
+        let mask: u16 = rng.random_range(0..=u16::MAX as u32) as u16;
         let target = BitSet::from_iter(n, (0..n).filter(|v| mask >> v & 1 == 1));
         let chosen = exact_cover(&target, &h);
-        // brute force over all 2^m subsets (m ≤ ~16)
-        let m = h.num_edges();
-        prop_assume!(m <= 16);
         let mut best = usize::MAX;
         for sub in 0u32..(1 << m) {
             let mut covered = BitSet::new(n);
@@ -50,21 +66,26 @@ proptest! {
                 best = best.min(sub.count_ones() as usize);
             }
         }
-        prop_assert_eq!(chosen.len(), best);
-        prop_assert!(greedy_cover::<rand::rngs::StdRng>(&target, &h, None).len() >= best);
+        assert_eq!(chosen.len(), best, "seed {seed}");
+        assert!(
+            greedy_cover::<StdRng>(&target, &h, None).len() >= best,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Both elimination algorithms produce valid decompositions with equal
-    /// widths for every ordering.
-    #[test]
-    fn eliminations_valid_and_equal(h in arb_hypergraph(), seed in 0u64..500) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Both elimination algorithms produce valid decompositions with equal
+/// widths for every ordering.
+#[test]
+fn eliminations_valid_and_equal() {
+    for seed in 0..500u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = arb_hypergraph(&mut rng);
         let sigma = EliminationOrdering::random(h.num_vertices(), &mut rng);
         let a = bucket_elimination(&h, &sigma);
         let b = vertex_elimination(&h.primal_graph(), &sigma);
-        prop_assert!(a.verify(&h).is_ok());
-        prop_assert!(b.verify(&h).is_ok());
-        prop_assert_eq!(a.width(), b.width());
+        assert!(a.verify(&h).is_ok(), "seed {seed}");
+        assert!(b.verify(&h).is_ok(), "seed {seed}");
+        assert_eq!(a.width(), b.width(), "seed {seed}");
     }
 }

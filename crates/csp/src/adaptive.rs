@@ -131,9 +131,9 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_random_csps_and_orderings() {
-        use rand::rngs::StdRng;
-        use rand::seq::index::sample;
-        use rand::{RngExt, SeedableRng};
+        use ghd_prng::rngs::StdRng;
+        use ghd_prng::seq::index::sample;
+        use ghd_prng::{RngExt, SeedableRng};
         for seed in 0..15u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut csp = Csp::with_uniform_domain(7, vec![0, 1, 2]);

@@ -191,9 +191,9 @@ mod tests {
 
     #[test]
     fn counts_match_brute_force_on_random_csps() {
-        use rand::rngs::StdRng;
-        use rand::seq::index::sample;
-        use rand::{RngExt, SeedableRng};
+        use ghd_prng::rngs::StdRng;
+        use ghd_prng::seq::index::sample;
+        use ghd_prng::{RngExt, SeedableRng};
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut csp = Csp::with_uniform_domain(6, vec![0, 1]);

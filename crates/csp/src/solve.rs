@@ -153,8 +153,8 @@ mod tests {
     use ghd_core::bucket::{ghd_from_ordering, vertex_elimination};
     use ghd_core::setcover::CoverMethod;
     use ghd_core::EliminationOrdering;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::SeedableRng;
 
     fn td_for(csp: &Csp, sigma: &EliminationOrdering) -> TreeDecomposition {
         vertex_elimination(&csp.constraint_hypergraph().primal_graph(), sigma)
@@ -232,8 +232,8 @@ mod tests {
     /// Random small CSP: 7 variables over {0,1,2}, 5 random ternary/binary
     /// constraints with random tuple subsets.
     fn random_csp(seed: u64) -> Csp {
-        use rand::seq::index::sample;
-        use rand::RngExt;
+        use ghd_prng::seq::index::sample;
+        use ghd_prng::RngExt;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut csp = Csp::with_uniform_domain(7, vec![0, 1, 2]);
         for _ in 0..5 {

@@ -8,8 +8,8 @@ use crate::permutation::MutationOp;
 use ghd_core::eval::{GhwEvaluator, TwEvaluator};
 use ghd_core::EliminationOrdering;
 use ghd_hypergraph::{Graph, Hypergraph};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ghd_prng::rngs::StdRng;
+use ghd_prng::RngExt;
 use std::time::{Duration, Instant};
 
 /// Control parameters of the annealer.
@@ -66,7 +66,7 @@ where
     assert!(cfg.cooling > 0.0 && cfg.cooling < 1.0);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut current = {
-        use rand::seq::SliceRandom;
+        use ghd_prng::seq::SliceRandom;
         let mut p: Vec<usize> = (0..n).collect();
         p.shuffle(&mut rng);
         p

@@ -3,8 +3,8 @@
 //! minimising a width fitness. GA-tw and GA-ghw instantiate the fitness.
 
 use crate::permutation::{CrossoverOp, MutationOp};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ghd_prng::rngs::StdRng;
+use ghd_prng::RngExt;
 use std::time::{Duration, Instant};
 
 /// Control parameters of the GA (§4.3, with the thesis' tuned defaults from
@@ -126,7 +126,7 @@ impl Population {
             let genes = match seeds.get(i) {
                 Some(s) => s.clone(),
                 None => {
-                    use rand::seq::SliceRandom;
+                    use ghd_prng::seq::SliceRandom;
                     let mut g: Vec<usize> = (0..n).collect();
                     g.shuffle(&mut rng);
                     g

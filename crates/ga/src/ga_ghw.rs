@@ -6,8 +6,7 @@ use crate::engine::{run_ga, GaConfig, GaResult};
 use ghd_core::eval::GhwEvaluator;
 use ghd_core::EliminationOrdering;
 use ghd_hypergraph::Hypergraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ghd_prng::rngs::StdRng;
 
 /// Runs GA-ghw on a hypergraph, returning the best width found (a
 /// generalized hypertree width upper bound) and the realising ordering.
@@ -72,7 +71,7 @@ mod tests {
     #[test]
     fn seeded_variant_never_worse_than_min_fill_pipeline() {
         let h = hypergraphs::grid2d(12);
-        let (mf, _) = ghd_bounds::upper::ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+        let (mf, _) = ghd_bounds::upper::ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
         let r = ga_ghw_seeded(&h, &GaConfig { population: 40, generations: 15, seed: 1, ..GaConfig::default() });
         assert!(r.best_width <= mf, "seeded GA {} > min-fill {}", r.best_width, mf);
     }

@@ -2,7 +2,7 @@
 //! following Larrañaga et al. \[36\] — the operator suite compared in
 //! Tables 6.1 and 6.2.
 
-use rand::{Rng, RngExt};
+use ghd_prng::{Rng, RngExt};
 
 /// The six crossover operators of §4.3.2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -299,7 +299,7 @@ fn ivm<R: Rng + ?Sized>(perm: &mut Vec<usize>, rng: &mut R) {
 }
 
 fn sm<R: Rng + ?Sized>(perm: &mut [usize], rng: &mut R) {
-    use rand::seq::SliceRandom;
+    use ghd_prng::seq::SliceRandom;
     let n = perm.len();
     let (i, j) = cutpoints(n, rng);
     perm[i..j].shuffle(rng);
@@ -308,8 +308,8 @@ fn sm<R: Rng + ?Sized>(perm: &mut [usize], rng: &mut R) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::SeedableRng;
 
     fn is_permutation(p: &[usize]) -> bool {
         let n = p.len();
@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn all_crossovers_produce_permutations() {
         let mut rng = StdRng::seed_from_u64(1);
-        use rand::seq::SliceRandom;
+        use ghd_prng::seq::SliceRandom;
         for trial in 0..50 {
             let n = 2 + trial % 15;
             let mut p1: Vec<usize> = (0..n).collect();
@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn all_mutations_preserve_permutations() {
         let mut rng = StdRng::seed_from_u64(2);
-        use rand::seq::SliceRandom;
+        use ghd_prng::seq::SliceRandom;
         for trial in 0..50 {
             let n = 2 + trial % 15;
             let mut p: Vec<usize> = (0..n).collect();

@@ -22,8 +22,8 @@ use crate::permutation::{CrossoverOp, MutationOp};
 use ghd_core::eval::GhwEvaluator;
 use ghd_core::EliminationOrdering;
 use ghd_hypergraph::Hypergraph;
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use ghd_prng::rngs::StdRng;
+use ghd_prng::{Rng, RngExt};
 
 /// Configuration of the island model. Per-island GA rates are *not* part of
 /// the configuration: they are self-adapted.
@@ -49,6 +49,11 @@ pub struct SaigaConfig {
     pub orientation_step: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the island-evolution step (`0` = all cores,
+    /// `1` = sequential). Islands evolve on disjoint state with private
+    /// RNG streams, so the result is **bit-identical for every thread
+    /// count** — parallelism only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for SaigaConfig {
@@ -64,6 +69,7 @@ impl Default for SaigaConfig {
             tau: 0.3,
             orientation_step: 0.5,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -102,29 +108,62 @@ fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
     x.max(lo).min(hi)
 }
 
+/// The full state owned by one island: its population, its private fitness
+/// evaluator and tie-break stream, its adapted parameter vector, and the
+/// width progress of the last epoch. Islands only share data at the epoch
+/// barriers (migration, orientation), so the evolution step hands each
+/// island to a worker via [`ghd_par::for_each_mut`].
+struct Island {
+    pop: Population,
+    eval: GhwEvaluator,
+    rng: StdRng,
+    params: (f64, f64),
+    progress: usize,
+}
+
+impl Island {
+    fn fitness_of(eval: &mut GhwEvaluator, rng: &mut StdRng, genes: &[usize]) -> usize {
+        let sigma = EliminationOrdering::new(genes.to_vec()).expect("permutation");
+        eval.width(&sigma, Some(rng))
+    }
+
+    /// One epoch of private evolution (step 1); records progress.
+    fn evolve(&mut self, generations: usize) {
+        let before = self.pop.best_width();
+        self.pop.set_rates(self.params.0, self.params.1);
+        let Island { pop, eval, rng, .. } = self;
+        pop.evolve(generations, &mut |g: &[usize]| {
+            Island::fitness_of(eval, rng, g)
+        });
+        self.progress = before.saturating_sub(self.pop.best_width());
+    }
+
+    /// Accepts a migrant (step 2), evaluated with this island's stream.
+    fn accept(&mut self, migrant: Vec<usize>) {
+        let Island { pop, eval, rng, .. } = self;
+        pop.inject(migrant, &mut |g: &[usize]| Island::fitness_of(eval, rng, g));
+    }
+
+    /// Orientation/parameter sort key: better width first, then more
+    /// progress.
+    fn rank(&self) -> (usize, std::cmp::Reverse<usize>) {
+        (self.pop.best_width(), std::cmp::Reverse(self.progress))
+    }
+}
+
 /// Runs SAIGA-ghw on a hypergraph.
+///
+/// The per-epoch island evolution — by far the dominant cost, millions of
+/// fitness evaluations — runs on [`SaigaConfig::threads`] workers. Each
+/// island owns its evaluator and RNG stream, so the outcome is bit-identical
+/// for every thread count.
 pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
     assert!(cfg.islands >= 2, "a ring needs at least two islands");
     let n = h.num_vertices();
     let mut meta_rng = StdRng::seed_from_u64(cfg.seed);
 
-    // per-island fitness evaluators (each with its own tie-break stream)
-    let mut evals: Vec<(GhwEvaluator, StdRng)> = (0..cfg.islands)
-        .map(|i| {
-            (
-                GhwEvaluator::new(h),
-                StdRng::seed_from_u64(cfg.seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(i as u64 + 1)),
-            )
-        })
-        .collect();
-    let mut fitness = |island: usize, genes: &[usize]| -> usize {
-        let (eval, rng) = &mut evals[island];
-        let sigma = EliminationOrdering::new(genes.to_vec()).expect("permutation");
-        eval.width(&sigma, Some(rng))
-    };
-
     // initial parameter vectors drawn uniformly from their ranges (§7.2.3)
-    let mut params: Vec<(f64, f64)> = (0..cfg.islands)
+    let params: Vec<(f64, f64)> = (0..cfg.islands)
         .map(|_| {
             (
                 meta_rng.random_range(0.5..=1.0),  // crossover rate
@@ -133,7 +172,7 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
         })
         .collect();
 
-    let mut islands: Vec<Population> = (0..cfg.islands)
+    let mut islands: Vec<Island> = (0..cfg.islands)
         .map(|i| {
             let ga_cfg = GaConfig {
                 population: cfg.island_population,
@@ -147,55 +186,68 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
                 time_limit: None,
                 initial_seeds: Vec::new(),
             };
-            Population::init(n, &ga_cfg, Vec::new(), &mut |g: &[usize]| fitness(i, g))
+            // per-island fitness evaluator with its own tie-break stream
+            let mut eval = GhwEvaluator::new(h);
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(i as u64 + 1),
+            );
+            let pop = Population::init(n, &ga_cfg, Vec::new(), &mut |g: &[usize]| {
+                Island::fitness_of(&mut eval, &mut rng, g)
+            });
+            Island {
+                pop,
+                eval,
+                rng,
+                params: params[i],
+                progress: usize::MAX,
+            }
         })
         .collect();
 
-    let mut progress = vec![usize::MAX; cfg.islands];
     for _epoch in 0..cfg.epochs {
-        // 1. evolve
-        for i in 0..cfg.islands {
-            let before = islands[i].best_width();
-            islands[i].set_rates(params[i].0, params[i].1);
-            islands[i].evolve(cfg.generations_per_epoch, &mut |g: &[usize]| fitness(i, g));
-            progress[i] = before.saturating_sub(islands[i].best_width());
-        }
+        // 1. evolve — each island on its own worker (disjoint state)
+        let generations = cfg.generations_per_epoch;
+        ghd_par::for_each_mut(&mut islands, cfg.threads, |_, island| {
+            island.evolve(generations);
+        });
         // 2. ring migration of the best individual
         let migrants: Vec<Vec<usize>> = islands
             .iter()
-            .map(|p| p.best_ordering().to_vec())
+            .map(|isl| isl.pop.best_ordering().to_vec())
             .collect();
-        for (i, migrant) in migrants.iter().enumerate() {
+        for (i, migrant) in migrants.into_iter().enumerate() {
             let next = (i + 1) % cfg.islands;
-            islands[next].inject(migrant.clone(), &mut |g: &[usize]| fitness(next, g));
+            islands[next].accept(migrant);
         }
         // 3. neighbour orientation: move towards the better-progressing
         // ring neighbour's parameters
-        let snapshot = params.clone();
+        let snapshot: Vec<(f64, f64)> = islands.iter().map(|isl| isl.params).collect();
         for i in 0..cfg.islands {
             let left = (i + cfg.islands - 1) % cfg.islands;
             let right = (i + 1) % cfg.islands;
             let better = [left, right]
                 .into_iter()
-                .filter(|&j| {
-                    (islands[j].best_width(), std::cmp::Reverse(progress[j]))
-                        < (islands[i].best_width(), std::cmp::Reverse(progress[i]))
-                })
-                .min_by_key(|&j| (islands[j].best_width(), std::cmp::Reverse(progress[j])));
+                .filter(|&j| islands[j].rank() < islands[i].rank())
+                .min_by_key(|&j| islands[j].rank());
             if let Some(j) = better {
-                params[i].0 += cfg.orientation_step * (snapshot[j].0 - snapshot[i].0);
-                params[i].1 += cfg.orientation_step * (snapshot[j].1 - snapshot[i].1);
+                islands[i].params.0 += cfg.orientation_step * (snapshot[j].0 - snapshot[i].0);
+                islands[i].params.1 += cfg.orientation_step * (snapshot[j].1 - snapshot[i].1);
             }
         }
         // 4. log-normal parameter mutation (Fig 7.4)
-        for p in &mut params {
+        for isl in &mut islands {
+            let p = &mut isl.params;
             p.0 = clamp(p.0 * (cfg.tau * normalish(&mut meta_rng)).exp(), 0.1, 1.0);
             p.1 = clamp(p.1 * (cfg.tau * normalish(&mut meta_rng)).exp(), 0.01, 0.8);
         }
     }
 
     // combine
-    let mut results: Vec<GaResult> = islands.into_iter().map(Population::into_result).collect();
+    let params: Vec<(f64, f64)> = islands.iter().map(|isl| isl.params).collect();
+    let mut results: Vec<GaResult> = islands
+        .into_iter()
+        .map(|isl| isl.pop.into_result())
+        .collect();
     let best_idx = results
         .iter()
         .enumerate()
@@ -242,6 +294,21 @@ mod tests {
         let a = saiga_ghw(&h, &SaigaConfig::small(1));
         let b = saiga_ghw(&h, &SaigaConfig::small(1));
         assert_eq!(a.result.best_width, b.result.best_width);
+        assert_eq!(a.final_parameters, b.final_parameters);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let h = hypergraphs::random_hypergraph(12, 8, 3, 6);
+        let mut seq = SaigaConfig::small(4);
+        seq.threads = 1;
+        let mut par = SaigaConfig::small(4);
+        par.threads = 4;
+        let a = saiga_ghw(&h, &seq);
+        let b = saiga_ghw(&h, &par);
+        assert_eq!(a.result.best_width, b.result.best_width);
+        assert_eq!(a.result.best_ordering, b.result.best_ordering);
+        assert_eq!(a.result.evaluations, b.result.evaluations);
         assert_eq!(a.final_parameters, b.final_parameters);
     }
 

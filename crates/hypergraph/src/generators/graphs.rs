@@ -8,9 +8,9 @@
 //! (DSJC*, miles*, book graphs, …).
 
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use ghd_prng::rngs::StdRng;
+use ghd_prng::seq::SliceRandom;
+use ghd_prng::RngExt;
 
 /// The n×n grid graph (`grid{n}` in Table 5.2). Its treewidth is exactly `n`
 /// for n ≥ 2 ("it is folklore that the treewidth of an n×n-grid is n").

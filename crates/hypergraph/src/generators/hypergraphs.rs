@@ -3,9 +3,9 @@
 //! substitutes for the ISCAS circuit instances (see DESIGN.md).
 
 use crate::hypergraph::Hypergraph;
-use rand::rngs::StdRng;
-use rand::seq::index::sample;
-use rand::{RngExt, SeedableRng};
+use ghd_prng::rngs::StdRng;
+use ghd_prng::seq::index::sample;
+use ghd_prng::RngExt;
 
 /// An `n`-bit ripple-carry adder circuit hypergraph (`adder_{n}`).
 ///

@@ -1,26 +1,39 @@
 //! Property tests for the structural substrate: the elimination graph's
 //! restore is an exact inverse under arbitrary interleavings, and primal
 //! graph construction is stable under edge order.
+//!
+//! The offline build has no `proptest`, so cases are drawn by an in-tree
+//! generator: each test walks a fixed set of seeds through `ghd-prng`
+//! (failures print the offending seed, which reproduces the case exactly).
 
 use ghd_hypergraph::generators::graphs;
 use ghd_hypergraph::{EliminationGraph, Graph, Hypergraph};
-use proptest::prelude::*;
+use ghd_prng::rngs::StdRng;
+use ghd_prng::RngExt;
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=14).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..=n * 2)
-            .prop_map(move |pairs| Graph::from_edges(n, pairs))
-    })
+/// An arbitrary graph on `n ∈ 2..=14` vertices (duplicate pairs and
+/// self-loops included, exercising `from_edges` normalisation).
+fn arb_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.random_range(2..=14usize);
+    let m = rng.random_range(0..=2 * n);
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    Graph::from_edges(n, pairs)
 }
 
-proptest! {
-    /// Any eliminate/restore walk that returns to depth 0 restores the
-    /// original graph exactly.
-    #[test]
-    fn eliminate_restore_walk_is_identity(g in arb_graph(), script in proptest::collection::vec(any::<u32>(), 0..60)) {
+/// Any eliminate/restore walk that returns to depth 0 restores the
+/// original graph exactly.
+#[test]
+fn eliminate_restore_walk_is_identity() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let steps = rng.random_range(0..60usize);
         let mut eg = EliminationGraph::new(&g);
         let before = eg.to_graph();
-        for step in script {
+        for _ in 0..steps {
+            let step = rng.random_range(0..u32::MAX);
             if step % 3 == 0 && eg.depth() > 0 {
                 eg.restore();
             } else if eg.num_alive() > 0 {
@@ -32,32 +45,40 @@ proptest! {
         while eg.depth() > 0 {
             eg.restore();
         }
-        prop_assert_eq!(eg.to_graph(), before);
+        assert_eq!(eg.to_graph(), before, "seed {seed}");
     }
+}
 
-    /// Eliminating a vertex makes its former neighbourhood a clique.
-    #[test]
-    fn elimination_clique_property(g in arb_graph(), pick in any::<u32>()) {
+/// Eliminating a vertex makes its former neighbourhood a clique.
+#[test]
+fn elimination_clique_property() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
         let mut eg = EliminationGraph::new(&g);
         let alive = eg.alive().to_vec();
-        let v = alive[(pick as usize) % alive.len()];
+        let v = alive[rng.random_range(0..alive.len())];
         let nb = eg.neighbors(v).clone();
         eg.eliminate(v);
         let nbs = nb.to_vec();
         for (i, &a) in nbs.iter().enumerate() {
             for &b in &nbs[i + 1..] {
-                prop_assert!(eg.has_edge(a, b));
+                assert!(eg.has_edge(a, b), "seed {seed}: {a}-{b} not a clique edge");
             }
         }
     }
+}
 
-    /// The primal graph of a hypergraph built from a graph's edges is the
-    /// graph itself, for every generated family member.
-    #[test]
-    fn primal_of_graph_hypergraph_roundtrip(n in 2usize..10, seed in 0u64..50) {
-        let m = (n * (n - 1) / 2).min(2 * n);
-        let g = graphs::gnm_random(n, m, seed);
-        let h = Hypergraph::from_graph(&g);
-        prop_assert_eq!(h.primal_graph(), g);
+/// The primal graph of a hypergraph built from a graph's edges is the
+/// graph itself, for every generated family member.
+#[test]
+fn primal_of_graph_hypergraph_roundtrip() {
+    for seed in 0..50u64 {
+        for n in 2usize..10 {
+            let m = (n * (n - 1) / 2).min(2 * n);
+            let g = graphs::gnm_random(n, m, seed);
+            let h = Hypergraph::from_graph(&g);
+            assert_eq!(h.primal_graph(), g, "seed {seed} n {n}");
+        }
     }
 }

@@ -1,0 +1,349 @@
+//! Dependency-free parallel runtime for the GHD search stack.
+//!
+//! The offline build environment forbids `rayon`/`crossbeam`, so this crate
+//! provides the three primitives the workspace needs, on plain `std`:
+//!
+//! * [`parallel_map`] — deterministic fork-join map over a slice: results
+//!   come back **in input order** regardless of scheduling, so callers that
+//!   reduce with order-sensitive operators (first-minimum tie-breaks) get
+//!   identical answers sequentially and in parallel.
+//! * [`for_each_mut`] — in-place fork-join over disjoint `&mut` items (used
+//!   by SAIGA's island evolution, where every island owns its generator).
+//! * [`ThreadPool`] — a small queue-of-closures pool for `'static` jobs
+//!   (used by long-lived services; the fork-join helpers use scoped threads
+//!   and need no pool).
+//!
+//! Work distribution uses an atomic cursor (work stealing by chunk), so
+//! uneven item costs — ubiquitous in branch-and-bound root splitting — do
+//! not serialise the run.
+//!
+//! # Example
+//!
+//! ```
+//! // Square 100 numbers on all available cores; order is preserved.
+//! let xs: Vec<u64> = (0..100).collect();
+//! let squares = ghd_par::parallel_map(&xs, 0, |&x| x * x);
+//! assert_eq!(squares[17], 17 * 17);
+//!
+//! // Fork-join two closures.
+//! let (a, b) = ghd_par::join(|| 2 + 2, || "done");
+//! assert_eq!((a, b), (4, "done"));
+//!
+//! // A tiny pool for fire-and-forget 'static jobs.
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//! let pool = ghd_par::ThreadPool::new(2);
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..8 {
+//!     let hits = Arc::clone(&hits);
+//!     pool.execute(move || {
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! }
+//! pool.wait_idle();
+//! assert_eq!(hits.load(Ordering::Relaxed), 8);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Number of worker threads to use: the `GHD_THREADS` environment variable
+/// when set to a positive integer, otherwise `std::thread::available_parallelism`.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("GHD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means [`num_threads`], and the
+/// result never exceeds `work_items` (no point spawning idle workers).
+#[inline]
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let t = if requested == 0 { num_threads() } else { requested };
+    t.clamp(1, work_items.max(1))
+}
+
+/// Applies `f` to every element of `items` on up to `threads` workers
+/// (`0` = auto) and returns the results **in input order**.
+///
+/// Scheduling is dynamic (atomic cursor), results are written to each item's
+/// own slot, so the output is deterministic whenever `f` itself is — the
+/// foundation of the "width-identical in parallel mode" guarantee of the
+/// search portfolio.
+///
+/// Panics in `f` propagate to the caller (the scope joins all workers
+/// first).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots: Vec<Mutex<&mut Option<U>>> = out.iter_mut().map(Mutex::new).collect();
+    let cursor = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(&items[i]);
+                **slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter()
+        .map(|v| v.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Runs `f` on every element of a mutable slice in parallel (up to
+/// `threads` workers; `0` = auto). Items are disjoint, so each worker gets
+/// exclusive access to the items it claims via the shared cursor.
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    let cursor = AtomicUsize::new(0);
+    let n = slots.len();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut guard = slots[i].lock().expect("item slot poisoned");
+                f(i, &mut guard);
+            });
+        }
+    });
+}
+
+/// Runs the two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if num_threads() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined task panicked");
+        (ra, rb)
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when work arrives or shutdown begins.
+    work: Condvar,
+    /// Signalled when the pool drains (queue empty, nothing in flight).
+    idle: Condvar,
+}
+
+/// A fixed-size thread pool for `'static` jobs with a [`ThreadPool::wait_idle`]
+/// barrier. Workers are joined on drop.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (`0` = auto).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 { num_threads() } else { threads };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ghd-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        assert!(!st.shutdown, "execute after shutdown");
+        st.queue.push_back(Box::new(job));
+        drop(st);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until the queue is empty and no job is running.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        while !st.queue.is_empty() || st.in_flight > 0 {
+            st = self.shared.idle.wait(st).expect("pool state poisoned");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.in_flight += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).expect("pool state poisoned");
+            }
+        };
+        job();
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        st.in_flight -= 1;
+        if st.queue.is_empty() && st.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let ys = parallel_map(&xs, threads, |&x| x * 3);
+            assert_eq!(ys, xs.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[9], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_uneven_work() {
+        let xs: Vec<u64> = (0..64).collect();
+        let seq = parallel_map(&xs, 1, |&x| (0..(x % 7) * 1000).sum::<u64>() + x);
+        let par = parallel_map(&xs, 4, |&x| (0..(x % 7) * 1000).sum::<u64>() + x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut xs = vec![0u32; 100];
+        for_each_mut(&mut xs, 4, |i, x| *x += i as u32 + 1);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two".len());
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn pool_runs_all_jobs_and_drains() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            pool.execute(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        // pool is reusable after an idle barrier
+        let sum2 = Arc::clone(&sum);
+        pool.execute(move || {
+            sum2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 5051);
+    }
+
+    #[test]
+    fn threads_env_override_is_respected() {
+        // effective_threads never exceeds the work size and never hits 0
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(5, 0), 1);
+        assert!(effective_threads(0, 64) >= 1);
+    }
+}

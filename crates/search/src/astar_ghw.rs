@@ -8,7 +8,7 @@ use crate::common::{SearchLimits, SearchResult, Ticker};
 use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
 use ghd_bounds::ksc::ghw_lower_bound;
 use ghd_bounds::upper::ghw_upper_bound;
-use ghd_core::setcover::{greedy_cover_size, CoverMethod};
+use ghd_core::setcover::{CoverCache, CoverMethod};
 use ghd_hypergraph::{EliminationGraph, Hypergraph};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -19,8 +19,8 @@ use std::collections::{BinaryHeap, HashMap};
 pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
     let n = h.num_vertices();
     let mut ticker = Ticker::new(limits);
-    let root_lb = ghw_lower_bound::<rand::rngs::StdRng>(h, None);
-    let (ub, ub_order) = ghw_upper_bound::<rand::rngs::StdRng>(h, None);
+    let root_lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
+    let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -29,11 +29,16 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
             elapsed: ticker.elapsed(),
+            cover_cache: None,
         };
     }
 
     let primal = h.primal_graph();
     let covered = h.covered_vertices();
+    // best-first expansion order revisits the same bags from many prefixes;
+    // the transposition cache answers repeats without re-running the cover
+    // branch and bound
+    let mut cache = CoverCache::new();
     let mut eg = EliminationGraph::new(&primal);
     let mut nodes: Vec<Node> = Vec::new();
     let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
@@ -73,6 +78,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
                 elapsed: ticker.elapsed(),
+                cover_cache: Some(cache.stats()),
             };
         }
         let s_id = entry.id as usize;
@@ -86,7 +92,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
         let done = eg.num_alive() == 0 || {
             let mut target = eg.alive().clone();
             target.intersect_with(&covered);
-            greedy_cover_size::<rand::rngs::StdRng>(&target, h, None) <= s_g
+            cache.greedy_cover_size(&target, h) <= s_g
         };
         if done {
             let in_path: std::collections::HashSet<u32> = target_path.iter().copied().collect();
@@ -101,6 +107,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 ordering: Some(order),
                 nodes_expanded: ticker.nodes(),
                 elapsed: ticker.elapsed(),
+                cover_cache: Some(cache.stats()),
             };
         }
 
@@ -116,7 +123,8 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             };
             let mut bag = eg.neighbors(v_us).clone();
             bag.insert(v_us);
-            let (k, cover_exact) = bag_cover_size(h, &covered, &bag, CoverMethod::Exact, ub);
+            let (k, cover_exact) =
+                bag_cover_size(h, &covered, &bag, CoverMethod::Exact, ub, Some(&mut cache));
             if !cover_exact {
                 degraded = true;
             }
@@ -178,6 +186,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
         ordering: Some(ub_order.into_vec()),
         nodes_expanded: ticker.nodes(),
         elapsed: ticker.elapsed(),
+        cover_cache: Some(cache.stats()),
     }
 }
 

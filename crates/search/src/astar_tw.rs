@@ -89,8 +89,8 @@ pub(crate) fn transform(eg: &mut EliminationGraph, current: &mut Vec<u32>, targe
 pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     let n = g.num_vertices();
     let mut ticker = Ticker::new(limits);
-    let root_lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
-    let (ub, ub_order) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+    let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -99,6 +99,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
             elapsed: ticker.elapsed(),
+            cover_cache: None,
         };
     }
 
@@ -144,6 +145,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
                 elapsed: ticker.elapsed(),
+                cover_cache: None,
             };
         }
         let s_id = entry.id as usize;
@@ -168,6 +170,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                 ordering: Some(order),
                 nodes_expanded: ticker.nodes(),
                 elapsed: ticker.elapsed(),
+                cover_cache: None,
             };
         }
 
@@ -187,7 +190,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             let t_g = s_g.max(d);
             let mut t_f = t_g.max(s_f);
             if (t_f as usize) < ub {
-                let h = tw_lower_bound::<rand::rngs::StdRng>(&eg.to_graph(), None) as u32;
+                let h = tw_lower_bound::<ghd_prng::rngs::StdRng>(&eg.to_graph(), None) as u32;
                 t_f = t_f.max(h);
             }
             let dominated = (t_f as usize) < ub && {
@@ -242,6 +245,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
         ordering: Some(ub_order.into_vec()),
         nodes_expanded: ticker.nodes(),
         elapsed: ticker.elapsed(),
+        cover_cache: None,
     }
 }
 

@@ -14,8 +14,11 @@ use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
 use ghd_bounds::ksc::tw_ksc_width;
 use ghd_bounds::lower::tw_lower_bound;
 use ghd_bounds::upper::ghw_upper_bound;
-use ghd_core::setcover::{exact_cover_size_capped, greedy_cover_size, CoverMethod};
+use ghd_core::setcover::{
+    exact_cover_size_capped, greedy_cover_size, CacheStats, CoverCache, CoverMethod,
+};
 use ghd_hypergraph::{BitSet, EliminationGraph, Hypergraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration for [`bb_ghw`].
 #[derive(Clone, Debug)]
@@ -30,6 +33,10 @@ pub struct BbGhwConfig {
     /// [`CoverMethod::Exact`] (Theorem 3); `Greedy` turns this into a fast
     /// upper-bound heuristic.
     pub cover: CoverMethod,
+    /// Memoize per-bag covers in a [`CoverCache`]. The cache stores only
+    /// proven facts, so results are identical on/off; permutation-heavy
+    /// search trees revisit bags constantly and hit rates are high.
+    pub use_cover_cache: bool,
 }
 
 impl Default for BbGhwConfig {
@@ -39,6 +46,7 @@ impl Default for BbGhwConfig {
             use_reductions: true,
             use_pr2: true,
             cover: CoverMethod::Exact,
+            use_cover_cache: true,
         }
     }
 }
@@ -54,14 +62,17 @@ pub(crate) fn bag_cover_size(
     bag: &BitSet,
     method: CoverMethod,
     cap: usize,
+    cache: Option<&mut CoverCache>,
 ) -> (usize, bool) {
     // vertices in no hyperedge are unconstrained and need no cover support
     let mut bag = bag.clone();
     bag.intersect_with(covered);
-    match method {
-        CoverMethod::Exact => exact_cover_size_capped(&bag, h, cap),
-        CoverMethod::Greedy => (
-            greedy_cover_size::<rand::rngs::StdRng>(&bag, h, None),
+    match (method, cache) {
+        (CoverMethod::Exact, Some(c)) => c.exact_cover_size_capped(&bag, h, cap),
+        (CoverMethod::Exact, None) => exact_cover_size_capped(&bag, h, cap),
+        (CoverMethod::Greedy, Some(c)) => (c.greedy_cover_size(&bag, h), true),
+        (CoverMethod::Greedy, None) => (
+            greedy_cover_size::<ghd_prng::rngs::StdRng>(&bag, h, None),
             true,
         ),
     }
@@ -74,7 +85,7 @@ pub(crate) fn residual_ghw_lb(h: &Hypergraph, eg: &EliminationGraph) -> usize {
         return 0;
     }
     let residual = eg.to_graph();
-    let tw_lb = tw_lower_bound::<rand::rngs::StdRng>(&residual, None);
+    let tw_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&residual, None);
     tw_ksc_width(h, &residual, tw_lb)
 }
 
@@ -91,31 +102,58 @@ struct Dfs<'a> {
     /// Set when a capped cover exhausted its budget: the result may no
     /// longer be proven optimal.
     degraded: bool,
+    /// Transposition cache for per-bag covers (None = disabled).
+    cache: Option<CoverCache>,
+    /// Incumbent upper bound shared between root-split workers. `None` in
+    /// sequential mode. Improvements are published with `fetch_min`; every
+    /// expansion syncs `self.ub` down to the global value, so one worker's
+    /// discovery prunes all the others.
+    shared_ub: Option<&'a AtomicUsize>,
+    /// Best width *this* search proved with a concrete suffix (`usize::MAX`
+    /// until the first improvement). Distinguishes "I found it" from "a
+    /// sibling worker's bound tightened my `ub`".
+    found: usize,
 }
 
 impl Dfs<'_> {
+    /// Records a width improvement discovered by this search.
+    fn improve(&mut self, w: usize) {
+        self.ub = w;
+        self.found = w;
+        self.best_suffix = self.suffix.clone();
+        if let Some(s) = self.shared_ub {
+            s.fetch_min(w, Ordering::Relaxed);
+        }
+    }
+
     fn search(&mut self, g: usize, f: usize, allowed: Option<&BitSet>) -> bool {
         if !self.ticker.tick() {
             return false;
+        }
+        if let Some(s) = self.shared_ub {
+            self.ub = self.ub.min(s.load(Ordering::Relaxed));
         }
         // PR1 analogue: any completion's bags sit inside the alive set, so
         // its exact-cover width is ≤ cover(alive); greedy gives a safe bound.
         if self.eg.num_alive() == 0 {
             if g < self.ub {
-                self.ub = g.max(1);
-                self.best_suffix = self.suffix.clone();
+                self.improve(g.max(1));
             }
             return true;
         }
         let alive_cover = {
             let mut target = self.eg.alive().clone();
             target.intersect_with(&self.covered);
-            greedy_cover_size::<rand::rngs::StdRng>(&target, self.h, None)
+            match self.cache.as_mut() {
+                // identical value to the uncached call: the cache memoizes
+                // the same deterministic first-maximum greedy
+                Some(c) => c.greedy_cover_size(&target, self.h),
+                None => greedy_cover_size::<ghd_prng::rngs::StdRng>(&target, self.h, None),
+            }
         };
         let w = g.max(alive_cover);
         if w < self.ub {
-            self.ub = w;
-            self.best_suffix = self.suffix.clone();
+            self.improve(w);
         }
         if alive_cover <= g {
             return true; // completing in any order already achieves g
@@ -143,8 +181,14 @@ impl Dfs<'_> {
             };
             self.bag_scratch = self.eg.neighbors(v).clone();
             self.bag_scratch.insert(v);
-            let (k, cover_exact) =
-                bag_cover_size(self.h, &self.covered, &self.bag_scratch, self.cfg.cover, self.ub);
+            let (k, cover_exact) = bag_cover_size(
+                self.h,
+                &self.covered,
+                &self.bag_scratch,
+                self.cfg.cover,
+                self.ub,
+                self.cache.as_mut(),
+            );
             if !cover_exact {
                 self.degraded = true;
             }
@@ -176,8 +220,8 @@ impl Dfs<'_> {
 pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
     let n = h.num_vertices();
     let ticker = Ticker::new(cfg.limits);
-    let root_lb = ghd_bounds::ksc::ghw_lower_bound::<rand::rngs::StdRng>(h, None);
-    let (ub, ub_order) = ghw_upper_bound::<rand::rngs::StdRng>(h, None);
+    let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
+    let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -186,6 +230,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
             elapsed: ticker.elapsed(),
+            cover_cache: None,
         };
     }
     let primal = h.primal_graph();
@@ -200,6 +245,9 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         suffix: Vec::new(),
         bag_scratch: BitSet::new(n),
         degraded: false,
+        cache: cfg.use_cover_cache.then(CoverCache::new),
+        shared_ub: None,
+        found: usize::MAX,
     };
     let completed = dfs.search(0, root_lb, None);
     let ordering = if dfs.best_suffix.is_empty() {
@@ -222,6 +270,134 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         ordering,
         nodes_expanded: dfs.ticker.nodes(),
         elapsed: dfs.ticker.elapsed(),
+        cover_cache: dfs.cache.as_ref().map(|c| c.stats()),
+    }
+}
+
+/// Parallel BB-ghw: the root's elimination choices are split across up to
+/// `threads` workers (`0` = all cores), which share the incumbent upper
+/// bound through an atomic — one worker's improvement immediately prunes
+/// the others.
+///
+/// Each worker owns its elimination graph, ticker, and cover cache, so the
+/// only cross-thread traffic is the single `usize` incumbent. With
+/// [`CoverMethod::Exact`] and no limits the result is exact and therefore
+/// **width-identical** to [`bb_ghw`] for any thread count (orderings may be
+/// different optima). Resource limits apply *per worker*.
+pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> SearchResult {
+    let n = h.num_vertices();
+    let ticker = Ticker::new(cfg.limits);
+    let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
+    let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: ticker.elapsed(),
+            cover_cache: None,
+        };
+    }
+    let primal = h.primal_graph();
+    let covered = h.covered_vertices();
+    // root children exactly as the sequential root expansion orders them
+    let eg = EliminationGraph::new(&primal);
+    let forced = if cfg.use_reductions {
+        find_simplicial(&eg)
+    } else {
+        None
+    };
+    let mut children: Vec<usize> = match forced {
+        Some(v) => vec![v],
+        None => eg.alive().to_vec(),
+    };
+    children.sort_by_key(|&v| eg.degree(v));
+    drop(eg);
+
+    let incumbent = AtomicUsize::new(ub);
+    struct WorkerOutcome {
+        completed: bool,
+        found: usize,
+        best_suffix: Vec<usize>,
+        nodes: u64,
+        degraded: bool,
+        cache: Option<CacheStats>,
+    }
+    let outcomes: Vec<WorkerOutcome> = ghd_par::parallel_map(&children, threads, |&v| {
+        let mut allowed = BitSet::new(n);
+        allowed.insert(v);
+        let mut dfs = Dfs {
+            h,
+            covered: covered.clone(),
+            eg: EliminationGraph::new(&primal),
+            cfg,
+            ticker: Ticker::new(cfg.limits),
+            ub,
+            best_suffix: Vec::new(),
+            suffix: Vec::new(),
+            bag_scratch: BitSet::new(n),
+            degraded: false,
+            cache: cfg.use_cover_cache.then(CoverCache::new),
+            shared_ub: Some(&incumbent),
+            found: usize::MAX,
+        };
+        let completed = dfs.search(0, root_lb, Some(&allowed));
+        WorkerOutcome {
+            completed,
+            found: dfs.found,
+            best_suffix: dfs.best_suffix,
+            nodes: dfs.ticker.nodes(),
+            degraded: dfs.degraded,
+            cache: dfs.cache.as_ref().map(|c| c.stats()),
+        }
+    });
+
+    // aggregate: best proven width wins, first worker breaks ties
+    let mut best_ub = ub;
+    let mut best_suffix: Vec<usize> = Vec::new();
+    let mut nodes = 0u64;
+    let mut completed = true;
+    let mut degraded = false;
+    let mut cache_total: Option<CacheStats> = None;
+    for o in outcomes {
+        if o.found < best_ub {
+            best_ub = o.found;
+            best_suffix = o.best_suffix;
+        }
+        nodes += o.nodes;
+        completed &= o.completed;
+        degraded |= o.degraded;
+        if let Some(s) = o.cache {
+            let t = cache_total.get_or_insert_with(CacheStats::default);
+            t.hits += s.hits;
+            t.misses += s.misses;
+            t.evictions += s.evictions;
+            t.entries += s.entries;
+        }
+    }
+    let ordering = if best_suffix.is_empty() {
+        Some(ub_order.into_vec())
+    } else {
+        let mut in_suffix = vec![false; n];
+        for &v in &best_suffix {
+            in_suffix[v] = true;
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
+        order.extend(best_suffix.iter().rev());
+        Some(order)
+    };
+    let exact =
+        (completed && cfg.cover == CoverMethod::Exact && !degraded) || root_lb >= best_ub;
+    SearchResult {
+        upper_bound: best_ub,
+        lower_bound: if exact { best_ub } else { root_lb.min(best_ub) },
+        exact,
+        ordering,
+        nodes_expanded: nodes,
+        elapsed: ticker.elapsed(),
+        cover_cache: cache_total,
     }
 }
 
@@ -308,6 +484,48 @@ mod tests {
                 },
             );
             assert!(r.upper_bound >= exact, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_root_split_is_width_identical() {
+        for seed in 0..5u64 {
+            let h = hypergraphs::random_hypergraph(11, 7, 3, seed);
+            let seq = bb_ghw(&h, &BbGhwConfig::default());
+            for threads in [1, 2, 4] {
+                let par = bb_ghw_parallel(&h, &BbGhwConfig::default(), threads);
+                assert!(par.exact, "seed {seed} threads {threads}");
+                assert_eq!(par.upper_bound, seq.upper_bound, "seed {seed} threads {threads}");
+                // the parallel ordering is a genuine witness
+                let sigma = EliminationOrdering::new(par.ordering.unwrap()).unwrap();
+                let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+                ghd.verify(&h).unwrap();
+                assert_eq!(ghd.width(), par.upper_bound, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_cache_reports_hits_and_does_not_change_widths() {
+        for seed in 0..4u64 {
+            let h = hypergraphs::random_hypergraph(10, 7, 3, seed);
+            let with = bb_ghw(&h, &BbGhwConfig::default());
+            let without = bb_ghw(
+                &h,
+                &BbGhwConfig {
+                    use_cover_cache: false,
+                    ..BbGhwConfig::default()
+                },
+            );
+            assert_eq!(with.upper_bound, without.upper_bound, "seed {seed}");
+            assert_eq!(with.exact, without.exact, "seed {seed}");
+            assert_eq!(with.ordering, without.ordering, "seed {seed}");
+            assert_eq!(with.nodes_expanded, without.nodes_expanded, "seed {seed}");
+            assert!(without.cover_cache.is_none());
+            if with.nodes_expanded > 0 {
+                let stats = with.cover_cache.expect("cache enabled by default");
+                assert!(stats.misses > 0, "seed {seed}: {stats:?}");
+            }
         }
     }
 

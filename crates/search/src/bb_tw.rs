@@ -7,6 +7,7 @@ use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
 use ghd_bounds::lower::{minor_min_width, tw_lower_bound};
 use ghd_bounds::upper::tw_upper_bound;
 use ghd_hypergraph::{BitSet, EliminationGraph, Graph};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-node lower bound heuristic selection (for the ablation benches).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,14 +55,27 @@ struct Dfs<'a> {
     best_suffix: Vec<usize>,
     suffix: Vec<usize>,
     root_lb: usize,
+    /// Incumbent shared between root-split workers (`None` sequentially).
+    shared_ub: Option<&'a AtomicUsize>,
+    /// Best width this search proved itself (`usize::MAX` until then).
+    found: usize,
 }
 
 impl Dfs<'_> {
+    fn improve(&mut self, w: usize) {
+        self.ub = w;
+        self.found = w;
+        self.best_suffix = self.suffix.clone();
+        if let Some(s) = self.shared_ub {
+            s.fetch_min(w, Ordering::Relaxed);
+        }
+    }
+
     fn node_lb(&self) -> usize {
         match self.cfg.lb_mode {
             LbMode::None => 0,
-            LbMode::Mmw => minor_min_width::<rand::rngs::StdRng>(&self.eg.to_graph(), None),
-            LbMode::MmwGammaR => tw_lower_bound::<rand::rngs::StdRng>(&self.eg.to_graph(), None),
+            LbMode::Mmw => minor_min_width::<ghd_prng::rngs::StdRng>(&self.eg.to_graph(), None),
+            LbMode::MmwGammaR => tw_lower_bound::<ghd_prng::rngs::StdRng>(&self.eg.to_graph(), None),
         }
     }
 
@@ -73,12 +87,14 @@ impl Dfs<'_> {
         if !self.ticker.tick() {
             return false;
         }
+        if let Some(s) = self.shared_ub {
+            self.ub = self.ub.min(s.load(Ordering::Relaxed));
+        }
         let n_alive = self.eg.num_alive();
         // PR1 (§4.4.5): completing in any order yields width ≤ max(g, n'−1).
         let w = g.max(n_alive.saturating_sub(1));
         if w < self.ub {
-            self.ub = w;
-            self.best_suffix = self.suffix.clone();
+            self.improve(w);
         }
         if n_alive <= g + 1 {
             return true; // subtree solved optimally at width g
@@ -136,8 +152,8 @@ impl Dfs<'_> {
 pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
     let n = g.num_vertices();
     let ticker = Ticker::new(cfg.limits);
-    let root_lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
-    let (ub, ub_order) = tw_upper_bound::<rand::rngs::StdRng>(g, None);
+    let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -146,6 +162,7 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
             elapsed: ticker.elapsed(),
+            cover_cache: None,
         };
     }
     let mut dfs = Dfs {
@@ -156,6 +173,8 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
         best_suffix: Vec::new(),
         suffix: Vec::new(),
         root_lb,
+        shared_ub: None,
+        found: usize::MAX,
     };
     let completed = dfs.search(0, root_lb, None);
     let ordering = if dfs.best_suffix.is_empty() {
@@ -178,6 +197,94 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
         ordering,
         nodes_expanded: dfs.ticker.nodes(),
         elapsed: dfs.ticker.elapsed(),
+        cover_cache: None,
+    }
+}
+
+/// Parallel BB-tw: root elimination choices are fanned out over up to
+/// `threads` workers (`0` = all cores) that share the incumbent upper bound
+/// through an atomic. Exact runs are **width-identical** to [`bb_tw`]
+/// (orderings may be different optima); resource limits apply per worker.
+pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
+    let n = g.num_vertices();
+    let ticker = Ticker::new(cfg.limits);
+    let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: ticker.elapsed(),
+            cover_cache: None,
+        };
+    }
+    // root children as the sequential root expansion would enumerate them
+    let eg = EliminationGraph::new(g);
+    let forced = if cfg.use_reductions {
+        find_reduction_tw(&eg, root_lb)
+    } else {
+        None
+    };
+    let mut children: Vec<usize> = match forced {
+        Some(v) => vec![v],
+        None => eg.alive().to_vec(),
+    };
+    children.sort_by_key(|&v| eg.degree(v));
+    drop(eg);
+
+    let incumbent = AtomicUsize::new(ub);
+    let outcomes = ghd_par::parallel_map(&children, threads, |&v| {
+        let mut allowed = BitSet::new(n);
+        allowed.insert(v);
+        let mut dfs = Dfs {
+            eg: EliminationGraph::new(g),
+            cfg,
+            ticker: Ticker::new(cfg.limits),
+            ub,
+            best_suffix: Vec::new(),
+            suffix: Vec::new(),
+            root_lb,
+            shared_ub: Some(&incumbent),
+            found: usize::MAX,
+        };
+        let completed = dfs.search(0, root_lb, Some(&allowed));
+        (completed, dfs.found, dfs.best_suffix, dfs.ticker.nodes())
+    });
+
+    let mut best_ub = ub;
+    let mut best_suffix: Vec<usize> = Vec::new();
+    let mut nodes = 0u64;
+    let mut completed = true;
+    for (ok, found, suffix, worker_nodes) in outcomes {
+        if found < best_ub {
+            best_ub = found;
+            best_suffix = suffix;
+        }
+        nodes += worker_nodes;
+        completed &= ok;
+    }
+    let ordering = if best_suffix.is_empty() {
+        Some(ub_order.into_vec())
+    } else {
+        let mut in_suffix = vec![false; n];
+        for &v in &best_suffix {
+            in_suffix[v] = true;
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
+        order.extend(best_suffix.iter().rev());
+        Some(order)
+    };
+    SearchResult {
+        upper_bound: best_ub,
+        lower_bound: if completed { best_ub } else { root_lb },
+        exact: completed,
+        ordering,
+        nodes_expanded: nodes,
+        elapsed: ticker.elapsed(),
+        cover_cache: None,
     }
 }
 
@@ -235,6 +342,21 @@ mod tests {
             let r = bb_tw(&g, &cfg);
             assert!(r.exact);
             assert_eq!(r.upper_bound, base.upper_bound, "red={red} pr2={pr2} lb={lb:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_root_split_is_width_identical() {
+        for g in [graphs::grid(4), graphs::queen(4), graphs::gnm_random(14, 40, 3)] {
+            let seq = bb_tw(&g, &BbConfig::default());
+            for threads in [1, 2, 4] {
+                let par = bb_tw_parallel(&g, &BbConfig::default(), threads);
+                assert!(par.exact);
+                assert_eq!(par.upper_bound, seq.upper_bound, "threads {threads}");
+                let sigma = EliminationOrdering::new(par.ordering.unwrap()).unwrap();
+                let w = TwEvaluator::new(&g).width(&sigma);
+                assert_eq!(w, par.upper_bound, "threads {threads}");
+            }
         }
     }
 

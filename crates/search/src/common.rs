@@ -107,6 +107,9 @@ pub struct SearchResult {
     pub nodes_expanded: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Set-cover transposition cache counters, for searches that ran one
+    /// (`None` for cache-less searches, e.g. the treewidth algorithms).
+    pub cover_cache: Option<ghd_core::setcover::CacheStats>,
 }
 
 impl SearchResult {
@@ -162,6 +165,7 @@ mod tests {
             ordering: None,
             nodes_expanded: 0,
             elapsed: Duration::ZERO,
+            cover_cache: None,
         };
         assert_eq!(r.width(), None);
         let r2 = SearchResult { exact: true, lower_bound: 5, ..r };

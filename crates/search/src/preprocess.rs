@@ -29,7 +29,7 @@ pub struct Preprocessed {
 /// reductions (§4.4.3). The almost-simplicial degree threshold is the
 /// combined treewidth lower bound of the original graph, as in BB-tw \[5\].
 pub fn preprocess_tw(g: &Graph) -> Preprocessed {
-    let lb = tw_lower_bound::<rand::rngs::StdRng>(g, None);
+    let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let mut eg = EliminationGraph::new(g);
     let mut eliminated = Vec::new();
     let mut base_width = 0;
@@ -90,6 +90,7 @@ pub fn tw_with_preprocessing(
             ordering: Some(ordering),
             nodes_expanded: 0,
             elapsed: std::time::Duration::ZERO,
+            cover_cache: None,
         };
     }
     let mut r = crate::astar_tw(&pre.core, limits);

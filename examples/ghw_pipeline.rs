@@ -24,8 +24,8 @@ fn main() {
     );
 
     // 1. cheap bounds: min-fill + greedy cover above, tw-ksc below (Fig 8.1)
-    let lb = ghw_lower_bound::<rand::rngs::StdRng>(&h, None);
-    let (ub, _) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+    let lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(&h, None);
+    let (ub, _) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
     println!("heuristic bounds: {lb} ≤ ghw ≤ {ub}");
 
     // 2. genetic upper bounds

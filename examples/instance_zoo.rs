@@ -22,8 +22,8 @@ fn main() {
         ),
     ];
     for (name, g, family) in graph_zoo {
-        let lb = tw_lower_bound::<rand::rngs::StdRng>(&g, None);
-        let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+        let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&g, None);
+        let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
         println!(
             "{:<22} {:>5} {:>6} {:>6} {:>6}   {}",
             name,
@@ -50,8 +50,8 @@ fn main() {
         ("acyclic_chain(8,4,2)", hypergraphs::acyclic_chain(8, 4, 2), "join-tree caterpillar (ghw 1)"),
     ];
     for (name, h, family) in hyper_zoo {
-        let lb = ghw_lower_bound::<rand::rngs::StdRng>(&h, None);
-        let (ub, _) = ghw_upper_bound::<rand::rngs::StdRng>(&h, None);
+        let lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(&h, None);
+        let (ub, _) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
         println!(
             "{:<22} {:>5} {:>6} {:>7} {:>7}   {}",
             name,

@@ -27,7 +27,7 @@ fn main() {
     // A good elimination ordering of the constraint hypergraph's primal
     // graph (min-fill, §4.4.2)…
     let primal = h.primal_graph();
-    let sigma = min_fill_ordering::<rand::rngs::StdRng>(&primal, None);
+    let sigma = min_fill_ordering::<ghd_prng::rngs::StdRng>(&primal, None);
 
     // …induces a tree decomposition to solve from:
     let td = vertex_elimination(&primal, &sigma);

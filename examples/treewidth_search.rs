@@ -25,8 +25,8 @@ fn main() {
         "instance", "lb", "ub", "A*-tw", "exact?", "BB-tw", "exact?", "GA-tw"
     );
     for (name, g) in instances {
-        let lb = tw_lower_bound::<rand::rngs::StdRng>(&g, None);
-        let (ub, _) = tw_upper_bound::<rand::rngs::StdRng>(&g, None);
+        let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&g, None);
+        let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
 
         let a = astar_tw(&g, budget);
         let b = bb_tw(

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 gate: offline build, full test suite, lint of the new runtime
+# crates, and the search smoke bench. Run from anywhere; exits non-zero on
+# the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --offline --release --workspace
+
+echo "==> cargo test (offline)"
+cargo test --offline -q --workspace
+
+echo "==> clippy -D warnings on ghd-prng / ghd-par"
+cargo clippy --offline -q -p ghd-prng -p ghd-par --all-targets -- -D warnings
+
+echo "==> bench_smoke (cover cache on/off, writes BENCH_search.json)"
+cargo run --offline -q --release -p ghd-bench --bin bench_smoke
+
+echo "==> tier-1 gate passed"

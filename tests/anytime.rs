@@ -1,8 +1,17 @@
 //! Anytime-soundness tests: interrupted searches must report bounds that
-//! bracket the true optimum, for every algorithm and every budget.
+//! bracket the true optimum, for every algorithm and every budget — plus
+//! determinism of the parallel root-split searches and the cover cache's
+//! behavioural transparency.
 
+use ghd::core::bucket::ghd_from_ordering;
+use ghd::core::eval::TwEvaluator;
+use ghd::core::{CoverMethod, EliminationOrdering};
 use ghd::hypergraph::generators::{graphs, hypergraphs};
-use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+use ghd::hypergraph::Hypergraph;
+use ghd::search::{
+    astar_ghw, astar_tw, bb_ghw, bb_ghw_parallel, bb_tw, bb_tw_parallel, BbConfig, BbGhwConfig,
+    SearchLimits,
+};
 
 #[test]
 fn truncated_tw_searches_bracket_the_optimum() {
@@ -94,4 +103,91 @@ fn bb_upper_bounds_improve_monotonically_with_budget() {
         last_ub = r.upper_bound;
     }
     assert!(last_ub >= 18); // never below the true treewidth
+}
+
+/// The parallel root-split searches are deterministic and width-identical
+/// to the sequential searches for fixed seeds, for every thread count, and
+/// the returned orderings actually realise the reported widths.
+#[test]
+fn parallel_searches_match_sequential_and_orderings_realize_widths() {
+    for seed in [3u64, 11, 42] {
+        let h = hypergraphs::random_hypergraph(12, 9, 3, seed);
+        let seq = bb_ghw(&h, &BbGhwConfig::default());
+        assert!(seq.exact, "seed {seed}");
+        for threads in [1usize, 2, 4] {
+            let par = bb_ghw_parallel(&h, &BbGhwConfig::default(), threads);
+            assert!(par.exact, "seed {seed} threads {threads}");
+            assert_eq!(par.upper_bound, seq.upper_bound, "seed {seed} threads {threads}");
+            let sigma = EliminationOrdering::new(
+                par.ordering.clone().expect("exact search returns an ordering"),
+            )
+            .expect("search orderings are permutations");
+            let realized = ghd_from_ordering(&h, &sigma, CoverMethod::Exact).width();
+            assert_eq!(realized, par.upper_bound, "seed {seed} threads {threads}");
+        }
+
+        let g = graphs::gnm_random(14, 40, seed);
+        let seq = bb_tw(&g, &BbConfig::default());
+        assert!(seq.exact, "seed {seed}");
+        for threads in [1usize, 2, 4] {
+            let par = bb_tw_parallel(&g, &BbConfig::default(), threads);
+            assert!(par.exact, "seed {seed} threads {threads}");
+            assert_eq!(par.upper_bound, seq.upper_bound, "seed {seed} threads {threads}");
+            let sigma = EliminationOrdering::new(
+                par.ordering.clone().expect("exact search returns an ordering"),
+            )
+            .expect("search orderings are permutations");
+            let realized = TwEvaluator::new(&g).width(&sigma);
+            assert_eq!(realized, par.upper_bound, "seed {seed} threads {threads}");
+        }
+    }
+}
+
+/// The set-cover transposition cache is behaviourally invisible: identical
+/// widths with the cache on and off, and solving the same instance twice
+/// through one shared cache produces hits (Fig 2.11's hypergraph, ghw 2,
+/// and a clique).
+#[test]
+fn cover_cache_is_transparent_and_effective() {
+    use ghd::bounds::ghw_upper_bound_cached;
+    use ghd::core::setcover::CoverCache;
+
+    let fig_2_11 = Hypergraph::from_edges(6, [vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+    let clique = hypergraphs::clique(8);
+    for (name, h, expect) in [("fig_2_11", &fig_2_11, Some(2)), ("clique_8", &clique, Some(4))] {
+        // cache on/off: identical results
+        let on = bb_ghw(h, &BbGhwConfig::default());
+        let off = bb_ghw(
+            h,
+            &BbGhwConfig {
+                use_cover_cache: false,
+                ..BbGhwConfig::default()
+            },
+        );
+        assert_eq!(on.upper_bound, off.upper_bound, "{name}");
+        assert_eq!(on.exact, off.exact, "{name}");
+        assert_eq!(on.ordering, off.ordering, "{name}");
+        if let Some(w) = expect {
+            assert!(on.exact, "{name}");
+            assert_eq!(on.upper_bound, w, "{name}");
+        }
+        assert!(off.cover_cache.is_none(), "{name}");
+
+        // solving twice through one shared cache: the second pass hits
+        let mut cache = CoverCache::new();
+        let (w1, _) = ghw_upper_bound_cached(h, &mut cache);
+        let after_first = cache.stats();
+        let (w2, _) = ghw_upper_bound_cached(h, &mut cache);
+        let after_second = cache.stats();
+        assert_eq!(w1, w2, "{name}");
+        assert!(after_first.misses > 0, "{name}");
+        assert!(
+            after_second.hits > after_first.hits,
+            "{name}: second solve should replay cached covers"
+        );
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "{name}: second solve should add no misses"
+        );
+    }
 }

@@ -8,9 +8,9 @@ use ghd::core::{CoverMethod, EliminationOrdering};
 use ghd::csp::{examples, solve_with_ghd, solve_with_tree_decomposition, Csp, Relation};
 use ghd::ga::{ga_ghw, ga_tw, GaConfig};
 use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
-use rand::rngs::StdRng;
-use rand::seq::index::sample;
-use rand::{RngExt, SeedableRng};
+use ghd_prng::rngs::StdRng;
+use ghd_prng::seq::index::sample;
+use ghd_prng::{RngExt, SeedableRng};
 
 /// A reproducible random CSP over `n` ternary-domain variables.
 fn random_csp(n: usize, constraints: usize, seed: u64) -> Csp {
