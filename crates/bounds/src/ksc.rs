@@ -65,7 +65,6 @@ mod tests {
     use crate::upper::ghw_upper_bound;
     use ghd_hypergraph::generators::hypergraphs;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     #[test]
     fn ksc_with_uniform_sizes_is_ceiling_division() {

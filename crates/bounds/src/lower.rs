@@ -175,7 +175,6 @@ mod tests {
     use crate::upper::tw_upper_bound;
     use ghd_hypergraph::generators::graphs;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     #[test]
     fn exact_on_cliques() {

@@ -125,7 +125,6 @@ pub fn ghd_from_ordering(
 mod tests {
     use super::*;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     /// Fig 2.11's hypergraph: C1={x1,x2,x3}, C2={x1,x5,x6}, C3={x3,x4,x5}.
     fn fig_2_11() -> Hypergraph {

@@ -276,7 +276,6 @@ mod tests {
     use crate::setcover::CoverMethod;
     use ghd_hypergraph::generators::{graphs, hypergraphs};
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     #[test]
     fn tw_evaluator_matches_bucket_elimination_width() {

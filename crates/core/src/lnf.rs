@@ -256,7 +256,6 @@ mod tests {
     use ghd_hypergraph::generators::hypergraphs;
     use ghd_hypergraph::BitSet;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     fn example5() -> Hypergraph {
         Hypergraph::from_edges(6, [vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]])

@@ -105,7 +105,6 @@ impl From<EliminationOrdering> for Vec<usize> {
 mod tests {
     use super::*;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     #[test]
     fn rejects_non_permutations() {

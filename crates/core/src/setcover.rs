@@ -397,7 +397,6 @@ impl ExactState<'_> {
 mod tests {
     use super::*;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     fn hg(n: usize, edges: &[&[usize]]) -> Hypergraph {
         Hypergraph::from_edges(n, edges.iter().map(|e| e.iter().copied()))

@@ -112,8 +112,41 @@ pub fn is_acyclic(csp: &Csp) -> bool {
     JoinTree::build(csp.constraints(), csp.num_variables()).is_some()
 }
 
+/// Yannakakis semijoin reduction over an explicit join tree: an **upward**
+/// pass (children before parents, towards the root) followed by a
+/// **downward** pass (parents before children). After both passes every
+/// remaining tuple of every relation participates in at least one global
+/// solution, so downstream passes — tuple selection, counting, enumeration
+/// — are backtrack-free. Returns `false` iff some relation empties (the
+/// relations have no common solution).
+pub fn full_reduce(rels: &mut [Relation], jt: &JoinTree) -> bool {
+    // UPWARD: children before parents = reverse root-first order
+    for &i in jt.order().iter().rev() {
+        if let Some(p) = jt.parent(i) {
+            let child = std::mem::take(&mut rels[i]);
+            rels[p].semijoin(&child);
+            rels[i] = child;
+            if rels[p].is_empty() {
+                return false;
+            }
+        }
+    }
+    // DOWNWARD: parents before children = root-first order
+    for &i in jt.order() {
+        if let Some(p) = jt.parent(i) {
+            let parent = std::mem::take(&mut rels[p]);
+            rels[i].semijoin(&parent);
+            rels[p] = parent;
+            if rels[i].is_empty() {
+                return false;
+            }
+        }
+    }
+    rels.iter().all(|r| !r.is_empty())
+}
+
 /// Algorithm *Acyclic Solving* (Fig 2.4) over an explicit join tree of
-/// relations: bottom-up semijoins (full reduction towards the root), then
+/// relations: Yannakakis semijoin reduction ([`full_reduce`]), then
 /// top-down tuple selection. Variables outside every scope get the supplied
 /// `default` domain value. Returns `None` iff the relations have no common
 /// solution.
@@ -124,24 +157,14 @@ pub fn acyclic_solve(
     defaults: &[Vec<crate::relation::Value>],
 ) -> Option<Assignment> {
     let mut rels: Vec<Relation> = relations.to_vec();
-    // BOTTOM-UP: children before parents = reverse root-first order
-    for &i in jt.order().iter().rev() {
-        if let Some(p) = jt.parent(i) {
-            let child = rels[i].clone();
-            rels[p].semijoin(&child);
-            if rels[p].is_empty() {
-                return None;
-            }
-        }
-    }
-    if rels.iter().any(Relation::is_empty) {
+    if !full_reduce(&mut rels, jt) {
         return None;
     }
     // TOP-DOWN: select tuples consistent with the partial assignment
     let mut assignment: Vec<Option<crate::relation::Value>> = vec![None; num_vars];
     for &i in jt.order() {
         let filtered = rels[i].filter_assignment(&assignment);
-        let t = filtered.tuples().first()?; // full reduction ⇒ always present
+        let t = filtered.tuples().next()?; // full reduction ⇒ always present
         for (&v, &val) in rels[i].scope().iter().zip(t.iter()) {
             assignment[v] = Some(val);
         }

@@ -92,7 +92,7 @@ pub fn adaptive_consistency(csp: &Csp, sigma: &EliminationOrdering) -> Option<As
         let choice = match bucket.first() {
             Some(r) => {
                 let filtered = r.filter_assignment(&assignment);
-                let t = filtered.tuples().first()?;
+                let t = filtered.tuples().next()?;
                 let col = filtered.column(v).expect("bucket relation contains v");
                 t[col]
             }
@@ -133,7 +133,7 @@ mod tests {
     fn agrees_with_brute_force_on_random_csps_and_orderings() {
         use ghd_prng::rngs::StdRng;
         use ghd_prng::seq::index::sample;
-        use ghd_prng::{RngExt, SeedableRng};
+        use ghd_prng::RngExt;
         for seed in 0..15u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut csp = Csp::with_uniform_domain(7, vec![0, 1, 2]);

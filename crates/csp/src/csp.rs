@@ -83,7 +83,7 @@ impl Csp {
                 .enumerate()
                 .all(|(v, val)| self.domains[v].contains(val))
             && self.constraints.iter().all(|c| {
-                c.tuples().iter().any(|t| {
+                c.tuples().any(|t| {
                     c.scope()
                         .iter()
                         .zip(t.iter())
@@ -115,7 +115,7 @@ impl Csp {
                 if c.scope().iter().any(|&x| x >= assignment.len()) {
                     return true;
                 }
-                c.tuples().iter().any(|t| {
+                c.tuples().any(|t| {
                     c.scope()
                         .iter()
                         .zip(t.iter())

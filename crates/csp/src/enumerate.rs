@@ -8,26 +8,11 @@
 //! over the join tree is backtrack-free and produces each solution exactly
 //! once.
 
-use crate::acyclic::JoinTree;
+use crate::acyclic::full_reduce;
 use crate::csp::{Assignment, Csp};
 use crate::relation::{Relation, Value};
-use crate::solve::{ghd_relations, SolveError};
+use crate::solve::{ghd_relations, SolveError, SolveOptions};
 use ghd_core::GeneralizedHypertreeDecomposition;
-
-/// Fully reduces the relations upward (child → parent semijoins). Returns
-/// `false` if some relation empties (no solutions).
-fn reduce_upward(rels: &mut [Relation], jt: &JoinTree) -> bool {
-    for &i in jt.order().iter().rev() {
-        if let Some(p) = jt.parent(i) {
-            let child = rels[i].clone();
-            rels[p].semijoin(&child);
-            if rels[p].is_empty() {
-                return false;
-            }
-        }
-    }
-    rels.iter().all(|r| !r.is_empty())
-}
 
 /// Root-first DFS over tuple choices; calls `emit` once per solution over
 /// the constrained variables. Returns `false` when `emit` aborts (limit).
@@ -78,8 +63,17 @@ pub fn count_solutions_with_ghd(
     csp: &Csp,
     ghd: &GeneralizedHypertreeDecomposition,
 ) -> Result<u64, SolveError> {
-    let (mut rels, jt, _) = ghd_relations(csp, ghd)?;
-    if !reduce_upward(&mut rels, &jt) {
+    count_solutions_with_ghd_opts(csp, ghd, &SolveOptions::default())
+}
+
+/// [`count_solutions_with_ghd`] with explicit [`SolveOptions`].
+pub fn count_solutions_with_ghd_opts(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+    opts: &SolveOptions,
+) -> Result<u64, SolveError> {
+    let (mut rels, jt) = ghd_relations(csp, ghd, opts)?;
+    if !full_reduce(&mut rels, &jt) {
         return Ok(0);
     }
     let mut count: u64 = 0;
@@ -110,9 +104,19 @@ pub fn enumerate_solutions_with_ghd(
     ghd: &GeneralizedHypertreeDecomposition,
     limit: usize,
 ) -> Result<Vec<Assignment>, SolveError> {
-    let (mut rels, jt, _) = ghd_relations(csp, ghd)?;
+    enumerate_solutions_with_ghd_opts(csp, ghd, limit, &SolveOptions::default())
+}
+
+/// [`enumerate_solutions_with_ghd`] with explicit [`SolveOptions`].
+pub fn enumerate_solutions_with_ghd_opts(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+    limit: usize,
+    opts: &SolveOptions,
+) -> Result<Vec<Assignment>, SolveError> {
+    let (mut rels, jt) = ghd_relations(csp, ghd, opts)?;
     let mut out = Vec::new();
-    if limit == 0 || !reduce_upward(&mut rels, &jt) {
+    if limit == 0 || !full_reduce(&mut rels, &jt) {
         return Ok(out);
     }
     let defaults: Vec<Value> = (0..csp.num_variables())
@@ -193,7 +197,7 @@ mod tests {
     fn counts_match_brute_force_on_random_csps() {
         use ghd_prng::rngs::StdRng;
         use ghd_prng::seq::index::sample;
-        use ghd_prng::{RngExt, SeedableRng};
+        use ghd_prng::RngExt;
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut csp = Csp::with_uniform_domain(6, vec![0, 1]);

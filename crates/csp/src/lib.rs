@@ -11,12 +11,18 @@ pub mod acyclic;
 pub mod adaptive;
 pub mod csp;
 pub mod enumerate;
+pub mod naive;
 pub mod relation;
 pub mod solve;
 
-pub use acyclic::{is_acyclic, solve_acyclic_csp, JoinTree};
+pub use acyclic::{full_reduce, is_acyclic, solve_acyclic_csp, JoinTree};
 pub use adaptive::adaptive_consistency;
 pub use csp::{examples, Assignment, Csp};
 pub use relation::{Relation, Value};
-pub use enumerate::{count_solutions_with_ghd, enumerate_solutions_with_ghd};
-pub use solve::{solve_with_ghd, solve_with_tree_decomposition, SolveError};
+pub use enumerate::{
+    count_solutions_with_ghd, count_solutions_with_ghd_opts, enumerate_solutions_with_ghd,
+    enumerate_solutions_with_ghd_opts,
+};
+pub use solve::{
+    solve_with_ghd, solve_with_ghd_opts, solve_with_tree_decomposition, SolveError, SolveOptions,
+};

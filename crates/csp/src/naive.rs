@@ -1,0 +1,230 @@
+//! The pre-columnar relation engine, kept verbatim as a **reference
+//! implementation**: `Vec<Vec<Value>>` tuples, `HashMap<Vec<Value>, _>`
+//! join indexes and `HashSet<Vec<Value>>` semijoins — one heap allocation
+//! per tuple and per key.
+//!
+//! It exists for two jobs only:
+//!
+//! 1. **differential testing** — the columnar kernels in [`crate::relation`]
+//!    are checked tuple-for-tuple against this model, and
+//! 2. **benchmarking** — `bench_join` times the old engine against the new
+//!    one on identical workloads (`BENCH_csp.json`).
+//!
+//! Production code paths must use [`crate::Relation`].
+
+use crate::relation::Value;
+
+/// A relation with per-tuple heap allocation (the pre-PR representation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaiveRelation {
+    scope: Vec<usize>,
+    tuples: Vec<Vec<Value>>,
+}
+
+impl NaiveRelation {
+    /// Creates a relation.
+    ///
+    /// # Panics
+    /// Panics if the scope contains duplicates or a tuple has the wrong
+    /// arity.
+    pub fn new(scope: Vec<usize>, tuples: Vec<Vec<Value>>) -> Self {
+        let mut sorted = scope.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), scope.len(), "duplicate variable in scope");
+        for t in &tuples {
+            assert_eq!(t.len(), scope.len(), "tuple arity mismatch");
+        }
+        NaiveRelation { scope, tuples }
+    }
+
+    /// Converts from the columnar engine (test/bench bridging).
+    pub fn from_relation(r: &crate::Relation) -> Self {
+        NaiveRelation {
+            scope: r.scope().to_vec(),
+            tuples: r.tuples_vec(),
+        }
+    }
+
+    /// The full relation over `scope` given per-variable domains.
+    pub fn full(scope: Vec<usize>, domains: &[Vec<Value>]) -> Self {
+        let mut tuples: Vec<Vec<Value>> = vec![Vec::new()];
+        for &v in &scope {
+            let mut next = Vec::with_capacity(tuples.len() * domains[v].len());
+            for t in &tuples {
+                for &val in &domains[v] {
+                    let mut t2 = t.clone();
+                    t2.push(val);
+                    next.push(t2);
+                }
+            }
+            tuples = next;
+        }
+        NaiveRelation { scope, tuples }
+    }
+
+    /// The scope (variable ids, in column order).
+    pub fn scope(&self) -> &[usize] {
+        &self.scope
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Vec<Value>] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Column index of variable `v`, if in scope.
+    pub fn column(&self, v: usize) -> Option<usize> {
+        self.scope.iter().position(|&x| x == v)
+    }
+
+    /// Key of a tuple restricted to the columns `cols` (allocates).
+    fn key(t: &[Value], cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| t[c]).collect()
+    }
+
+    /// Natural join `self ⋈ other` (hash join with `Vec<Value>` keys).
+    pub fn join(&self, other: &NaiveRelation) -> NaiveRelation {
+        let shared: Vec<usize> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|&v| other.column(v).is_some())
+            .collect();
+        let self_cols: Vec<usize> = shared.iter().map(|&v| self.column(v).unwrap()).collect();
+        let other_cols: Vec<usize> = shared.iter().map(|&v| other.column(v).unwrap()).collect();
+        let extra: Vec<usize> = other
+            .scope
+            .iter()
+            .copied()
+            .filter(|&v| self.column(v).is_none())
+            .collect();
+        let extra_cols: Vec<usize> = extra.iter().map(|&v| other.column(v).unwrap()).collect();
+
+        use std::collections::HashMap;
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, t) in other.tuples.iter().enumerate() {
+            index.entry(Self::key(t, &other_cols)).or_default().push(i);
+        }
+        let mut scope = self.scope.clone();
+        scope.extend(&extra);
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            if let Some(matches) = index.get(&Self::key(t, &self_cols)) {
+                for &j in matches {
+                    let mut row = t.clone();
+                    row.extend(extra_cols.iter().map(|&c| other.tuples[j][c]));
+                    tuples.push(row);
+                }
+            }
+        }
+        NaiveRelation { scope, tuples }
+    }
+
+    /// Semijoin `self ⋉ other` (hash set of `Vec<Value>` keys). Returns
+    /// `true` if any tuple was removed.
+    pub fn semijoin(&mut self, other: &NaiveRelation) -> bool {
+        let shared: Vec<usize> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|&v| other.column(v).is_some())
+            .collect();
+        if shared.is_empty() {
+            if other.is_empty() && !self.is_empty() {
+                self.tuples.clear();
+                return true;
+            }
+            return false;
+        }
+        let self_cols: Vec<usize> = shared.iter().map(|&v| self.column(v).unwrap()).collect();
+        let other_cols: Vec<usize> = shared.iter().map(|&v| other.column(v).unwrap()).collect();
+        use std::collections::HashSet;
+        let keys: HashSet<Vec<Value>> = other
+            .tuples
+            .iter()
+            .map(|t| Self::key(t, &other_cols))
+            .collect();
+        let before = self.tuples.len();
+        self.tuples.retain(|t| keys.contains(&Self::key(t, &self_cols)));
+        self.tuples.len() != before
+    }
+
+    /// Projection `π_vars(self)` with duplicate elimination.
+    ///
+    /// # Panics
+    /// Panics if some requested variable is not in scope.
+    pub fn project(&self, vars: &[usize]) -> NaiveRelation {
+        let cols: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.column(v).expect("projection variable not in scope"))
+            .collect();
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            let row = Self::key(t, &cols);
+            if seen.insert(row.clone()) {
+                tuples.push(row);
+            }
+        }
+        NaiveRelation {
+            scope: vars.to_vec(),
+            tuples,
+        }
+    }
+
+    /// Keeps only tuples compatible with a partial assignment.
+    pub fn filter_assignment(&self, assignment: &[Option<Value>]) -> NaiveRelation {
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| {
+                self.scope
+                    .iter()
+                    .zip(t.iter())
+                    .all(|(&v, &val)| assignment[v].is_none_or(|a| a == val))
+            })
+            .cloned()
+            .collect();
+        NaiveRelation {
+            scope: self.scope.clone(),
+            tuples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_from_columnar_round_trips() {
+        let r = crate::Relation::new(vec![0, 1], vec![vec![1, 2], vec![3, 4]]);
+        let n = NaiveRelation::from_relation(&r);
+        assert_eq!(n.scope(), r.scope());
+        assert_eq!(n.tuples().to_vec(), r.tuples_vec());
+    }
+
+    #[test]
+    fn naive_join_semijoin_project_basics() {
+        let a = NaiveRelation::new(vec![0, 1], vec![vec![1, 2], vec![1, 3], vec![2, 2]]);
+        let b = NaiveRelation::new(vec![1, 2], vec![vec![2, 9], vec![3, 8]]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 3);
+        let mut a2 = a.clone();
+        assert!(a2.semijoin(&NaiveRelation::new(vec![1], vec![vec![2]])));
+        assert_eq!(a2.len(), 2);
+        assert_eq!(a.project(&[0]).len(), 2);
+    }
+}

@@ -16,6 +16,31 @@ pub enum SolveError {
     ConstraintNotPlaced,
 }
 
+/// Tuning knobs of the GHD-based solving pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Worker threads for per-node relation construction (`0` = all cores,
+    /// `1` = sequential). Results are **identical for any thread count**:
+    /// `ghd_par::parallel_map` is order-preserving and each node's relation
+    /// is a pure function of the CSP and the decomposition.
+    pub threads: usize,
+    /// Run Yannakakis-style semijoin reduction: λ-relations are
+    /// semijoin-reduced against each other *before* the node join is
+    /// materialised, and the node relations get a full down/up reduction via
+    /// [`crate::acyclic::full_reduce`]. Turning this off reproduces the
+    /// unreduced pipeline (same solutions, more intermediate tuples).
+    pub yannakakis: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            threads: 1,
+            yannakakis: true,
+        }
+    }
+}
+
 /// A join tree directly mirroring a decomposition's tree structure.
 fn tree_of_decomposition(td: &TreeDecomposition) -> JoinTreeShim {
     JoinTreeShim {
@@ -88,45 +113,69 @@ pub fn solve_with_tree_decomposition(
     ))
 }
 
+/// Builds the node relation `R_p := π_{χ(p)} ⋈_{h ∈ λ(p)} R_h` for one
+/// decomposition node. With `yannakakis` set, the λ-relations are
+/// semijoin-reduced against each other (one forward and one backward sweep)
+/// **before** any join is materialised — every semijoin is sound because a
+/// tuple without a partner in some other λ-relation cannot survive the
+/// natural join — which keeps the intermediate join results small.
+fn node_relation(csp: &Csp, bag: &[usize], lam: &[usize], yannakakis: bool) -> Relation {
+    if lam.is_empty() {
+        return Relation::full(bag.to_vec(), csp.domains());
+    }
+    let mut parts: Vec<Relation> = lam.iter().map(|&e| csp.constraints()[e].clone()).collect();
+    if yannakakis && parts.len() > 1 {
+        let m = parts.len();
+        for i in 1..m {
+            let (head, tail) = parts.split_at_mut(i);
+            tail[0].semijoin(&head[i - 1]);
+        }
+        for i in (0..m - 1).rev() {
+            let (head, tail) = parts.split_at_mut(i + 1);
+            head[i].semijoin(&tail[0]);
+        }
+    }
+    let mut iter = parts.into_iter();
+    let mut joined = iter.next().expect("λ is nonempty");
+    for part in iter {
+        joined = joined.join(&part);
+    }
+    // χ(p) ⊆ var(λ(p)) by condition 3, so the projection is defined
+    joined.project(bag)
+}
+
 /// Builds the join tree of node relations `R_p := π_{χ(p)} ⋈_{h ∈ λ(p)} R_h`
 /// for a (completed) GHD — the shared front half of GHD-based solving,
-/// counting and enumeration. Returns the relations, the join tree mirroring
-/// the decomposition's shape, and the completed decomposition.
+/// counting and enumeration. Node relations are built by
+/// `ghd_par::parallel_map` when `opts.threads != 1` (order-preserving, so
+/// the result is identical for any thread count). Returns the relations and
+/// the join tree mirroring the (completed) decomposition's shape.
 pub(crate) fn ghd_relations(
     csp: &Csp,
     ghd: &GeneralizedHypertreeDecomposition,
-) -> Result<(Vec<Relation>, JoinTree, GeneralizedHypertreeDecomposition), SolveError> {
+    opts: &SolveOptions,
+) -> Result<(Vec<Relation>, JoinTree), SolveError> {
     let h = csp.constraint_hypergraph();
     ghd.verify(&h).map_err(|_| SolveError::InvalidDecomposition)?;
-    let complete = if ghd.is_complete(&h) {
-        ghd.clone()
+    // complete from ONE clone only when necessary; borrow when already
+    // complete (the pre-PR code cloned even for the `is_complete` branch)
+    let owned;
+    let complete: &GeneralizedHypertreeDecomposition = if ghd.is_complete(&h) {
+        ghd
     } else {
-        ghd.clone().complete(&h)
+        owned = ghd.clone().complete(&h);
+        &owned
     };
     let td = complete.tree();
 
-    let relations: Vec<Relation> = td
-        .nodes()
-        .map(|p| {
-            let bag: Vec<usize> = td.bag(p).to_vec();
-            let lam = complete.lambda(p);
-            let mut r: Option<Relation> = None;
-            for &e in lam {
-                let c = &csp.constraints()[e];
-                r = Some(match r {
-                    None => c.clone(),
-                    Some(acc) => acc.join(c),
-                });
-            }
-            let joined = r.unwrap_or_else(|| Relation::full(bag.clone(), csp.domains()));
-            // χ(p) ⊆ var(λ(p)) by condition 3, so the projection is defined
-            joined.project(&bag)
-        })
-        .collect();
+    let nodes: Vec<usize> = td.nodes().collect();
+    let relations: Vec<Relation> = ghd_par::parallel_map(&nodes, opts.threads, |&p| {
+        node_relation(csp, &td.bag(p).to_vec(), complete.lambda(p), opts.yannakakis)
+    });
 
     let shim = tree_of_decomposition(td);
     let jt = shim.to_join_tree();
-    Ok((relations, jt, complete))
+    Ok((relations, jt))
 }
 
 /// Solves a CSP from a *complete* generalized hypertree decomposition
@@ -137,7 +186,17 @@ pub fn solve_with_ghd(
     csp: &Csp,
     ghd: &GeneralizedHypertreeDecomposition,
 ) -> Result<Option<Assignment>, SolveError> {
-    let (relations, jt, _) = ghd_relations(csp, ghd)?;
+    solve_with_ghd_opts(csp, ghd, &SolveOptions::default())
+}
+
+/// [`solve_with_ghd`] with explicit [`SolveOptions`] (thread fan-out for the
+/// per-node relation construction and the Yannakakis reduction toggle).
+pub fn solve_with_ghd_opts(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+    opts: &SolveOptions,
+) -> Result<Option<Assignment>, SolveError> {
+    let (relations, jt) = ghd_relations(csp, ghd, opts)?;
     Ok(acyclic_solve(
         &relations,
         &jt,
@@ -154,7 +213,6 @@ mod tests {
     use ghd_core::setcover::CoverMethod;
     use ghd_core::EliminationOrdering;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     fn td_for(csp: &Csp, sigma: &EliminationOrdering) -> TreeDecomposition {
         vertex_elimination(&csp.constraint_hypergraph().primal_graph(), sigma)

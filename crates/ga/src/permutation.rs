@@ -309,7 +309,6 @@ fn sm<R: Rng + ?Sized>(perm: &mut [usize], rng: &mut R) {
 mod tests {
     use super::*;
     use ghd_prng::rngs::StdRng;
-    use ghd_prng::SeedableRng;
 
     fn is_permutation(p: &[usize]) -> bool {
         let n = p.len();

@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn interleaved_eliminate_restore_random_walk() {
         use ghd_prng::rngs::StdRng;
-        use ghd_prng::{RngExt, SeedableRng};
+        use ghd_prng::RngExt;
         let mut rng = StdRng::seed_from_u64(7);
         let mut edges = Vec::new();
         for u in 0..12usize {

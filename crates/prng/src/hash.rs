@@ -1,0 +1,212 @@
+//! Zero-dependency FxHash-style hashing for hot-path hash maps.
+//!
+//! `std`'s default hasher (SipHash-1-3) is DoS-resistant but pays for it on
+//! every probe; the search closed sets and the relational join kernels hash
+//! millions of short integer keys where that robustness buys nothing (keys
+//! are internal state words, not attacker-controlled strings). This module
+//! vendors the rustc-hash idea: a multiply–rotate–xor mix with a single
+//! 64-bit multiplication per word, deterministic across platforms and runs
+//! (no random per-map seed), which the workspace's reproducibility contract
+//! requires anyway.
+//!
+//! # Example
+//!
+//! ```
+//! use ghd_prng::hash::{fx_hash_words, FxHashMap, FxHashSet};
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//!
+//! let mut s: FxHashSet<u32> = FxHashSet::default();
+//! assert!(s.insert(42));
+//!
+//! // streaming word hash, identical on every platform
+//! assert_eq!(fx_hash_words(&[1, 2, 3]), fx_hash_words(&[1, 2, 3]));
+//! assert_ne!(fx_hash_words(&[1, 2, 3]), fx_hash_words(&[3, 2, 1]));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The golden-ratio multiplier used by rustc-hash (`2^64 / φ`, forced odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic [`Hasher`]: one
+/// rotate–xor–multiply per 64-bit word. Not DoS-resistant by design — use
+/// only on keys the program itself generates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    /// Mixes one 64-bit word into the state.
+    #[inline]
+    pub fn write_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // word-at-a-time over the byte stream; the tail is zero-padded into
+        // one final word, keeping the hash a pure function of the bytes
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.write_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.write_word(u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.write_word(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.write_word(i as u64);
+        self.write_word((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_word(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s (no per-map seed, so
+/// iteration-independent data structures stay deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`std::collections::HashMap`] keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A [`std::collections::HashSet`] hashed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes a slice of 64-bit words (length-mixed, so `[0]` ≠ `[0, 0]`).
+/// The building block of the relational engine's wide-key path and the A\*
+/// closed-set probes.
+#[inline]
+pub fn fx_hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_word(words.len() as u64);
+    for &w in words {
+        h.write_word(w);
+    }
+    h.finish()
+}
+
+/// Hashes a slice of 32-bit values (the relational engine's `Value` type),
+/// two values per mixed word.
+#[inline]
+pub fn fx_hash_values(values: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_word(values.len() as u64);
+    let mut pairs = values.chunks_exact(2);
+    for p in pairs.by_ref() {
+        h.write_word(u64::from(p[0]) | u64::from(p[1]) << 32);
+    }
+    if let [last] = pairs.remainder() {
+        h.write_word(u64::from(*last) | 1 << 63);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic_and_spread() {
+        let a = fx_hash_words(&[1, 2, 3]);
+        assert_eq!(a, fx_hash_words(&[1, 2, 3]));
+        assert_ne!(a, fx_hash_words(&[1, 2, 4]));
+        assert_ne!(a, fx_hash_words(&[3, 2, 1]));
+        // length mixing distinguishes zero-padded prefixes
+        assert_ne!(fx_hash_words(&[0]), fx_hash_words(&[0, 0]));
+        assert_ne!(fx_hash_words(&[]), fx_hash_words(&[0]));
+    }
+
+    #[test]
+    fn value_hash_distinguishes_orders_and_lengths() {
+        assert_eq!(fx_hash_values(&[9, 9, 9]), fx_hash_values(&[9, 9, 9]));
+        assert_ne!(fx_hash_values(&[1, 2]), fx_hash_values(&[2, 1]));
+        assert_ne!(fx_hash_values(&[1]), fx_hash_values(&[1, 0]));
+        assert_ne!(fx_hash_values(&[]), fx_hash_values(&[0]));
+    }
+
+    #[test]
+    fn hasher_trait_write_paths_agree_on_words() {
+        use std::hash::Hasher as _;
+        let mut a = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        let mut b = FxHasher::default();
+        b.write_word(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
+        for i in 0..100usize {
+            m.insert(vec![i as u64, (i * i) as u64], i);
+        }
+        for i in 0..100usize {
+            assert_eq!(m.get([i as u64, (i * i) as u64].as_slice()), Some(&i));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_tagged() {
+        use std::hash::Hasher as _;
+        let mut a = FxHasher::default();
+        a.write(&[1, 0]);
+        let mut b = FxHasher::default();
+        b.write(&[1]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn collision_smoke_on_dense_small_keys() {
+        // 16k distinct short keys should produce essentially 16k hashes
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..128u32 {
+            for y in 0..128u32 {
+                seen.insert(fx_hash_values(&[x, y]));
+            }
+        }
+        assert!(seen.len() > 16_000, "excessive collisions: {}", seen.len());
+    }
+}

@@ -14,6 +14,10 @@
 //!   ([`seq::SliceRandom::shuffle`], [`seq::SliceRandom::choose`],
 //!   [`seq::index::sample`]).
 //!
+//! * The [`hash`] module — an FxHash-style [`hash::FxHasher`] plus
+//!   [`hash::FxHashMap`]/[`hash::FxHashSet`] aliases and raw word hashes,
+//!   replacing SipHash in the hot search/join paths.
+//!
 //! Everything is deterministic given the seed and identical across
 //! platforms (no `HashMap` iteration, no pointer entropy, no OS entropy),
 //! which the search/GA layers rely on for bit-reproducible runs.
@@ -43,6 +47,8 @@
 //! ```
 
 use std::ops::{Range, RangeInclusive};
+
+pub mod hash;
 
 // ---------------------------------------------------------------------------
 // Core traits

@@ -10,6 +10,7 @@ use ghd_bounds::ksc::ghw_lower_bound;
 use ghd_bounds::upper::ghw_upper_bound;
 use ghd_core::setcover::{CoverCache, CoverMethod};
 use ghd_hypergraph::{EliminationGraph, Hypergraph};
+use ghd_prng::hash::FxBuildHasher;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Computes the generalized hypertree width of `h` with A\*. Exact when it
@@ -43,8 +44,10 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
     let mut nodes: Vec<Node> = Vec::new();
     let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
     let mut lb = root_lb;
-    // duplicate detection, as in A*-tw (see DESIGN.md)
-    let mut seen: HashMap<Box<[u64]>, u32> = HashMap::new();
+    // duplicate detection, as in A*-tw (see DESIGN.md). Keys are the alive
+    // bitset's blocks; probes hash the borrowed `&[u64]` directly (FxHash on
+    // whole words) and the boxed key is materialised only on first insert.
+    let mut seen: HashMap<Box<[u64]>, u32, FxBuildHasher> = HashMap::default();
 
     let root_children: Vec<u32> = match find_simplicial(&eg) {
         Some(w) => vec![w as u32],

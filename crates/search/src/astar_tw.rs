@@ -16,6 +16,7 @@ use ghd_bounds::lower::tw_lower_bound;
 use ghd_bounds::upper::tw_upper_bound;
 use ghd_hypergraph::{EliminationGraph, Graph};
 use std::cmp::Ordering as CmpOrdering;
+use ghd_prng::hash::FxBuildHasher;
 use std::collections::{BinaryHeap, HashMap};
 
 pub(crate) struct Node {
@@ -109,8 +110,10 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     let mut lb = root_lb;
     // duplicate detection: two states with the same eliminated set have the
     // same residual graph; the one with smaller g dominates (an improvement
-    // over the thesis' A*, see DESIGN.md)
-    let mut seen: HashMap<Box<[u64]>, u32> = HashMap::new();
+    // over the thesis' A*, see DESIGN.md). Keys are the alive bitset's
+    // blocks; probes hash the borrowed `&[u64]` directly (FxHash on whole
+    // words) and the boxed key is materialised only on first insert.
+    let mut seen: HashMap<Box<[u64]>, u32, FxBuildHasher> = HashMap::default();
 
     // root state
     let root_children: Vec<u32> = match find_reduction_tw(&eg, root_lb) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 gate: offline build, full test suite, lint of the new runtime
-# crates, and the search smoke bench. Run from anywhere; exits non-zero on
-# the first failure.
+# Tier-1 gate: offline build, full test suite, workspace-wide lint, and the
+# two self-asserting benches (search cover cache, CSP relation engine). Run
+# from anywhere; exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,10 +12,13 @@ cargo build --offline --release --workspace
 echo "==> cargo test (offline)"
 cargo test --offline -q --workspace
 
-echo "==> clippy -D warnings on ghd-prng / ghd-par"
-cargo clippy --offline -q -p ghd-prng -p ghd-par --all-targets -- -D warnings
+echo "==> clippy -D warnings (whole workspace, all targets)"
+cargo clippy --offline -q --workspace --all-targets -- -D warnings
 
 echo "==> bench_smoke (cover cache on/off, writes BENCH_search.json)"
 cargo run --offline -q --release -p ghd-bench --bin bench_smoke
+
+echo "==> bench_join (naive vs columnar relation engine, writes BENCH_csp.json)"
+cargo run --offline -q --release -p ghd-bench --bin bench_join -- --runs 1
 
 echo "==> tier-1 gate passed"

@@ -10,7 +10,7 @@ use ghd::ga::{ga_ghw, ga_tw, GaConfig};
 use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
 use ghd_prng::rngs::StdRng;
 use ghd_prng::seq::index::sample;
-use ghd_prng::{RngExt, SeedableRng};
+use ghd_prng::RngExt;
 
 /// A reproducible random CSP over `n` ternary-domain variables.
 fn random_csp(n: usize, constraints: usize, seed: u64) -> Csp {
