@@ -302,11 +302,11 @@ fn main() {
 
     let seq = SolveOptions {
         threads: 1,
-        yannakakis: true,
+        ..SolveOptions::default()
     };
     let par = SolveOptions {
         threads: 0,
-        yannakakis: true,
+        ..SolveOptions::default()
     };
 
     let mut rows: Vec<Row> = Vec::new();

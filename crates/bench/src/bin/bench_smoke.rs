@@ -17,7 +17,7 @@ use ghd_bench::instances::HypergraphInstance;
 use ghd_bench::table::{Args, Table};
 use ghd_hypergraph::generators::hypergraphs;
 use ghd_hypergraph::Hypergraph;
-use ghd_search::{bb_ghw, BbGhwConfig, SearchLimits};
+use ghd_search::{bb_ghw, BbGhwConfig, SearchLimits, SearchStats};
 use std::time::{Duration, Instant};
 
 /// BB-ghw completes on each of these in well under a second, so cache
@@ -47,12 +47,18 @@ struct Row {
     edges: usize,
     width_off: usize,
     width_on: usize,
+    lower_bound: usize,
     exact: bool,
     wall_off: f64,
     wall_on: f64,
+    nodes_expanded: u64,
     hits: u64,
     misses: u64,
     hit_rate: f64,
+    /// Telemetry of one stats-enabled run (recording is behaviourally free,
+    /// but the timed runs above stay stats-off so the wall clocks measure
+    /// nothing but the search).
+    stats: SearchStats,
 }
 
 fn main() {
@@ -93,19 +99,45 @@ fn main() {
             inst.name
         );
         assert_eq!(r_off.exact, r_on.exact, "{}: cache changed exactness", inst.name);
-        let stats = r_on.cover_cache.unwrap_or_default();
+        let cache = r_on.cover_cache.unwrap_or_default();
+
+        // one additional stats-enabled run for the telemetry record; it
+        // must reproduce the timed runs exactly (recording never feeds back)
+        let r_stats = bb_ghw(
+            h,
+            &BbGhwConfig {
+                limits: SearchLimits::with_time(Duration::from_secs_f64(secs)).stats(true),
+                use_cover_cache: true,
+                ..BbGhwConfig::default()
+            },
+        );
+        assert_eq!(
+            r_stats.upper_bound, r_on.upper_bound,
+            "{}: telemetry changed the width",
+            inst.name
+        );
+        assert_eq!(
+            r_stats.nodes_expanded, r_on.nodes_expanded,
+            "{}: telemetry changed the node count",
+            inst.name
+        );
+        let stats = r_stats.stats.expect("stats requested");
+
         let row = Row {
             instance: inst.name.clone(),
             vertices: h.num_vertices(),
             edges: h.num_edges(),
             width_off: r_off.upper_bound,
             width_on: r_on.upper_bound,
+            lower_bound: r_stats.lower_bound,
             exact: r_on.exact,
             wall_off,
             wall_on,
-            hits: stats.hits,
-            misses: stats.misses,
-            hit_rate: stats.hit_rate(),
+            nodes_expanded: r_on.nodes_expanded,
+            hits: cache.hits,
+            misses: cache.misses,
+            hit_rate: cache.hit_rate(),
+            stats,
         };
         t.row(vec![
             row.instance.clone(),
@@ -138,22 +170,49 @@ fn main() {
     json.push_str(&format!("  \"total_wall_s_cache_on\": {total_on:.6},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let incumbents: Vec<String> = r
+            .stats
+            .incumbents
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"elapsed_s\": {:.6}, \"upper_bound\": {}, \"lower_bound\": {}}}",
+                    s.elapsed.as_secs_f64(),
+                    s.upper_bound,
+                    s.lower_bound
+                )
+            })
+            .collect();
+        let p = &r.stats.prunes;
         json.push_str(&format!(
             "    {{\"instance\": \"{}\", \"vertices\": {}, \"edges\": {}, \
-             \"width\": {}, \"width_cache_off\": {}, \"exact\": {}, \
+             \"width\": {}, \"width_cache_off\": {}, \"lower_bound\": {}, \"exact\": {}, \
              \"wall_s_cache_off\": {:.6}, \"wall_s_cache_on\": {:.6}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}{}\n",
+             \"nodes_expanded\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+             \"incumbents\": [{}], \
+             \"prunes\": {{\"simplicial\": {}, \"pr2_filtered\": {}, \"pr1_closures\": {}, \
+             \"f_prunes\": {}, \"dominance_hits\": {}, \"capped_covers\": {}}}}}{}\n",
             r.instance,
             r.vertices,
             r.edges,
             r.width_on,
             r.width_off,
+            r.lower_bound,
             r.exact,
             r.wall_off,
             r.wall_on,
+            r.nodes_expanded,
             r.hits,
             r.misses,
             r.hit_rate,
+            incumbents.join(", "),
+            p.simplicial,
+            p.pr2_filtered,
+            p.pr1_closures,
+            p.f_prunes,
+            p.dominance_hits,
+            p.capped_covers,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

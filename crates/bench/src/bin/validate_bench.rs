@@ -1,0 +1,188 @@
+//! Schema validator for `BENCH_search.json` (the artifact `bench_smoke`
+//! emits). Run by `scripts/tier1.sh` after the bench: a record that lost a
+//! required key, reports `lower_bound > width`, or carries an empty
+//! incumbent trace fails the gate *before* a human reads the numbers.
+//!
+//! ```text
+//! cargo run --release -p ghd-bench --bin validate_bench -- BENCH_search.json
+//! ```
+//!
+//! Exit status: 0 when every record validates, 1 otherwise (with one line
+//! per violation on stderr).
+
+use ghd_core::json::Json;
+
+/// Required numeric keys of every result record.
+const REQUIRED_NUMBERS: &[&str] = &[
+    "vertices",
+    "edges",
+    "width",
+    "width_cache_off",
+    "lower_bound",
+    "wall_s_cache_off",
+    "wall_s_cache_on",
+    "nodes_expanded",
+    "cache_hits",
+    "cache_misses",
+];
+
+fn check(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut err = |m: String| errs.push(m);
+
+    if doc.get("bench").and_then(Json::as_str).is_none() {
+        err("top-level `bench` string missing".to_string());
+    }
+    let results = match doc.get("results").and_then(Json::as_array) {
+        Some(rs) if !rs.is_empty() => rs,
+        Some(_) => {
+            err("`results` is empty".to_string());
+            return errs;
+        }
+        None => {
+            err("top-level `results` array missing".to_string());
+            return errs;
+        }
+    };
+
+    for (i, r) in results.iter().enumerate() {
+        let name = r
+            .get("instance")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                err(format!("results[{i}]: `instance` string missing"));
+                format!("results[{i}]")
+            });
+        for &key in REQUIRED_NUMBERS {
+            if r.get(key).and_then(Json::as_f64).is_none() {
+                err(format!("{name}: number `{key}` missing"));
+            }
+        }
+        if r.get("exact").and_then(Json::as_bool).is_none() {
+            err(format!("{name}: boolean `exact` missing"));
+        }
+        if let (Some(lb), Some(ub)) = (
+            r.get("lower_bound").and_then(Json::as_f64),
+            r.get("width").and_then(Json::as_f64),
+        ) {
+            if lb > ub {
+                err(format!("{name}: lower_bound {lb} > width {ub}"));
+            }
+            if r.get("exact").and_then(Json::as_bool) == Some(true) && lb != ub {
+                err(format!("{name}: exact but lower_bound {lb} != width {ub}"));
+            }
+        }
+        match r.get("incumbents").and_then(Json::as_array) {
+            None => err(format!("{name}: `incumbents` array missing")),
+            Some([]) => err(format!("{name}: incumbent trace is empty")),
+            Some(incs) => {
+                let mut prev = f64::NEG_INFINITY;
+                for (j, inc) in incs.iter().enumerate() {
+                    let t = inc.get("elapsed_s").and_then(Json::as_f64);
+                    let lb = inc.get("lower_bound").and_then(Json::as_f64);
+                    let ub = inc.get("upper_bound").and_then(Json::as_f64);
+                    match (t, lb, ub) {
+                        (Some(t), Some(lb), Some(ub)) => {
+                            if lb > ub {
+                                err(format!("{name}: incumbents[{j}] lb {lb} > ub {ub}"));
+                            }
+                            if t < prev {
+                                err(format!("{name}: incumbents[{j}] not sorted by elapsed_s"));
+                            }
+                            prev = t;
+                        }
+                        _ => err(format!(
+                            "{name}: incumbents[{j}] missing elapsed_s/lower_bound/upper_bound"
+                        )),
+                    }
+                }
+            }
+        }
+        if r.get("prunes").is_none() {
+            err(format!("{name}: `prunes` object missing"));
+        }
+    }
+    errs
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_search.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_bench: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate_bench: `{path}` is not valid JSON: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    let errs = check(&doc);
+    if errs.is_empty() {
+        let n = doc
+            .get("results")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!("validate_bench: `{path}` OK ({n} records)");
+    } else {
+        for e in &errs {
+            eprintln!("validate_bench: {e}");
+        }
+        eprintln!("validate_bench: `{path}` FAILED ({} violations)", errs.len());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        let doc = Json::parse(
+            r#"{"bench": "bb_ghw_cover_cache", "results": [
+                {"instance": "g", "vertices": 4, "edges": 4, "width": 2,
+                 "width_cache_off": 2, "lower_bound": 2, "exact": true,
+                 "wall_s_cache_off": 0.1, "wall_s_cache_on": 0.05,
+                 "nodes_expanded": 12, "cache_hits": 3, "cache_misses": 4,
+                 "incumbents": [{"elapsed_s": 0.0, "upper_bound": 3, "lower_bound": 1},
+                                 {"elapsed_s": 0.01, "upper_bound": 2, "lower_bound": 2}],
+                 "prunes": {"f_prunes": 5}}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(check(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_missing_keys_bad_bounds_and_empty_traces() {
+        let doc = Json::parse(
+            r#"{"bench": "x", "results": [
+                {"instance": "bad", "vertices": 1, "edges": 1, "width": 2,
+                 "width_cache_off": 2, "lower_bound": 3, "exact": false,
+                 "wall_s_cache_off": 0.1, "wall_s_cache_on": 0.1,
+                 "nodes_expanded": 1, "cache_hits": 0, "cache_misses": 0,
+                 "incumbents": [], "prunes": {}}
+            ]}"#,
+        )
+        .unwrap();
+        let errs = check(&doc);
+        assert!(errs.iter().any(|e| e.contains("lower_bound 3 > width 2")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("incumbent trace is empty")), "{errs:?}");
+
+        let doc = Json::parse(r#"{"bench": "x", "results": []}"#).unwrap();
+        assert!(check(&doc).iter().any(|e| e.contains("empty")));
+
+        let doc = Json::parse(r#"{"results": [{"instance": "y"}]}"#).unwrap();
+        let errs = check(&doc);
+        assert!(errs.iter().any(|e| e.contains("`bench` string missing")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("`width` missing")), "{errs:?}");
+    }
+}

@@ -4,11 +4,20 @@
 //!
 //! ```text
 //! ghd gen <family> <params…> [--format col|gr|hg]
-//! ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time S] [--td]
-//! ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy] [--time S] [--show]
+//! ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time S] [--nodes N]
+//!        [--stats json] [--td]
+//! ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy] [--time S]
+//!        [--nodes N] [--stats json] [--show]
 //! ghd bounds <file>
 //! ghd validate <graph-or-hypergraph-file> <td-file>
 //! ```
+//!
+//! Budgets: without `--time`/`--nodes` the exact searches get a default
+//! 10 s wall clock; `--time 0` removes the wall clock entirely (run to
+//! proven optimality); `--nodes N` caps the **global** number of node
+//! expansions — the budget is shared by all workers of the parallel
+//! searches, never multiplied by the thread count. When a budget expires
+//! the search reports anytime bounds: `lb <= width <= ub (budget expired)`.
 //!
 //! All commands are implemented as pure functions from arguments + file
 //! contents to an output string, so the test suite drives them directly.
@@ -47,10 +56,16 @@ USAGE:
       families: grid N | grid3d N | queen N | myciel K | complete N |
                 gnm N M SEED | adder N | bridge N | clique N |
                 grid2d-h N | grid3d-h N | circuit V E SEED
-  ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time SECONDS] [--td]
-  ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy] [--time SECONDS] [--show]
+  ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time SECONDS]
+         [--nodes N] [--stats json] [--td]
+  ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy]
+         [--time SECONDS] [--nodes N] [--stats json] [--show]
   ghd bounds <file>
   ghd validate <instance-file> <td-file>
+
+Budgets (exact searches): default 10s wall clock; --time 0 = unlimited;
+--nodes N = global node-expansion budget shared by every worker thread.
+--stats json prints the result and its telemetry as one JSON object.
 
 Graph files: DIMACS .col (`p edge`) or PACE .gr (`p tw`).
 Hypergraph files: CSP hypergraph library format `name(v1,v2,…).`
@@ -146,14 +161,119 @@ fn cmd_gen(args: &[String]) -> CmdResult {
     }
 }
 
+/// Builds [`SearchLimits`] from `--time` / `--nodes` / `--stats`.
+///
+/// * no `--time` and no `--nodes`: a default 10 s wall-clock budget,
+/// * `--time 0`: unlimited wall clock (run to proven optimality),
+/// * `--time S`: wall-clock budget of `S` seconds,
+/// * `--nodes N`: a **global** budget of `N` node expansions, shared by all
+///   workers of the parallel searches,
+/// * `--stats json`: turn on telemetry collection.
 fn limits_from(opts: &[(&str, Option<&str>)]) -> Result<SearchLimits, String> {
-    match opt(opts, "time") {
-        Some(s) => {
-            let secs: f64 = parse_num(s, "--time")?;
-            Ok(SearchLimits::with_time(Duration::from_secs_f64(secs)))
+    let time = opt(opts, "time");
+    let nodes = opt(opts, "nodes");
+    let mut limits = if time.is_none() && nodes.is_none() {
+        SearchLimits::with_time(Duration::from_secs(10))
+    } else {
+        SearchLimits::unlimited()
+    };
+    if let Some(s) = time {
+        let secs: f64 = parse_num(s, "--time")?;
+        if secs < 0.0 {
+            return Err(format!("bad --time: `{s}` (must be >= 0)"));
         }
-        None => Ok(SearchLimits::with_time(Duration::from_secs(10))),
+        limits.time_limit = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
     }
+    if let Some(s) = nodes {
+        limits.max_nodes = Some(parse_num(s, "--nodes")?);
+    }
+    if stats_format(opts)?.is_some() {
+        limits = limits.stats(true);
+    }
+    Ok(limits)
+}
+
+/// Parses `--stats json` (the only supported format for now).
+fn stats_format<'a>(opts: &[(&'a str, Option<&'a str>)]) -> Result<Option<&'a str>, String> {
+    if !flag(opts, "stats") {
+        return Ok(None);
+    }
+    match opt(opts, "stats") {
+        Some("json") => Ok(Some("json")),
+        Some(other) => Err(format!("unsupported --stats format `{other}` (expected `json`)")),
+        None => Err("--stats requires a format (expected `json`)".to_string()),
+    }
+}
+
+/// Renders a [`ghd_search::SearchResult`] (with its telemetry) as a single
+/// JSON object — the machine-readable face of `--stats json`.
+fn search_json(
+    problem: &str,
+    method: &str,
+    n: usize,
+    m: usize,
+    r: &ghd_search::SearchResult,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"problem\": \"{}\",", ghd_core::json::escape(problem));
+    let _ = writeln!(s, "  \"method\": \"{}\",", ghd_core::json::escape(method));
+    let _ = writeln!(s, "  \"vertices\": {n},");
+    let _ = writeln!(s, "  \"edges\": {m},");
+    let _ = writeln!(s, "  \"lower_bound\": {},", r.lower_bound);
+    let _ = writeln!(s, "  \"upper_bound\": {},", r.upper_bound);
+    let _ = writeln!(s, "  \"exact\": {},", r.exact);
+    let _ = writeln!(s, "  \"nodes_expanded\": {},", r.nodes_expanded);
+    let _ = writeln!(s, "  \"elapsed_s\": {:.6},", r.elapsed.as_secs_f64());
+    match &r.stats {
+        Some(st) => {
+            s.push_str("  \"stats\": {\n");
+            s.push_str("    \"incumbents\": [");
+            for (i, inc) in st.incumbents.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"elapsed_s\": {:.6}, \"upper_bound\": {}, \"lower_bound\": {}}}",
+                    inc.elapsed.as_secs_f64(),
+                    inc.upper_bound,
+                    inc.lower_bound
+                );
+            }
+            s.push_str("],\n");
+            let p = &st.prunes;
+            let _ = writeln!(
+                s,
+                "    \"prunes\": {{\"simplicial\": {}, \"pr2_filtered\": {}, \
+                 \"pr1_closures\": {}, \"f_prunes\": {}, \"dominance_hits\": {}, \
+                 \"capped_covers\": {}}},",
+                p.simplicial,
+                p.pr2_filtered,
+                p.pr1_closures,
+                p.f_prunes,
+                p.dominance_hits,
+                p.capped_covers
+            );
+            let _ = writeln!(s, "    \"open_peak\": {},", st.open_peak);
+            let _ = writeln!(s, "    \"seen_peak\": {},", st.seen_peak);
+            s.push_str("    \"worker_caches\": [");
+            for (i, c) in st.worker_caches.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}}",
+                    c.hits, c.misses, c.evictions, c.entries
+                );
+            }
+            s.push_str("]\n  }\n");
+        }
+        None => s.push_str("  \"stats\": null\n"),
+    }
+    s.push_str("}\n");
+    s
 }
 
 fn cmd_tw(args: &[String]) -> CmdResult {
@@ -162,6 +282,16 @@ fn cmd_tw(args: &[String]) -> CmdResult {
     let g = load_graph(&read_file(path)?)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
+    if stats_format(&opts)?.is_some() {
+        let r = match method {
+            "astar" => astar_tw(&g, limits),
+            "bb" => bb_tw(&g, &BbConfig { limits, ..BbConfig::default() }),
+            other => {
+                return Err(format!("--stats json requires --method astar|bb (got `{other}`)"))
+            }
+        };
+        return Ok(search_json("tw", method, g.num_vertices(), g.num_edges(), &r));
+    }
     let (summary, ordering) = match method {
         "astar" => {
             let r = astar_tw(&g, limits);
@@ -205,6 +335,16 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
     let h = io::parse_hypergraph(&read_file(path)?).map_err(|e| e.to_string())?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
+    if stats_format(&opts)?.is_some() {
+        let r = match method {
+            "astar" => astar_ghw(&h, limits),
+            "bb" => bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() }),
+            other => {
+                return Err(format!("--stats json requires --method astar|bb (got `{other}`)"))
+            }
+        };
+        return Ok(search_json("ghw", method, h.num_vertices(), h.num_edges(), &r));
+    }
     let (summary, ordering) = match method {
         "astar" => {
             let r = astar_ghw(&h, limits);
@@ -416,6 +556,77 @@ mod tests {
         let out = run_args(&["validate", &gpath, &td_path]);
         assert!(out.is_err());
         assert!(out.unwrap_err().contains("INVALID"));
+    }
+
+    #[test]
+    fn time_zero_means_unlimited_and_nodes_caps_expansions() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = args(&["--time", "0"]);
+        let (_, opts) = split_opts(&a);
+        let l = limits_from(&opts).unwrap();
+        assert_eq!(l.time_limit, None);
+        assert_eq!(l.max_nodes, None);
+        let a = args(&["--nodes", "500"]);
+        let (_, opts) = split_opts(&a);
+        let l = limits_from(&opts).unwrap();
+        assert_eq!(l.time_limit, None, "--nodes alone disables the default wall clock");
+        assert_eq!(l.max_nodes, Some(500));
+        // default: 10 s wall clock
+        let a = args(&[]);
+        let (_, opts) = split_opts(&a);
+        let l = limits_from(&opts).unwrap();
+        assert_eq!(l.time_limit, Some(Duration::from_secs(10)));
+        // negative time is rejected
+        let a = args(&["--time", "-1"]);
+        let (_, opts) = split_opts(&a);
+        assert!(limits_from(&opts).is_err());
+    }
+
+    #[test]
+    fn expired_budget_prints_anytime_bounds() {
+        let col = run_args(&["gen", "queen", "7"]).unwrap();
+        let gpath = tmp("budget.col", &col);
+        let out = run_args(&["tw", &gpath, "--method", "bb", "--nodes", "50"]).unwrap();
+        assert!(out.contains("<= width <="), "{out}");
+        assert!(out.contains("(budget expired)"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_is_parseable_and_complete() {
+        use ghd_core::json::Json;
+        let hg = run_args(&["gen", "clique", "6"]).unwrap();
+        let hpath = tmp("stats.hg", &hg);
+        for method in ["astar", "bb"] {
+            let out = run_args(&["ghw", &hpath, "--method", method, "--stats", "json"]).unwrap();
+            let v = Json::parse(&out).unwrap_or_else(|e| panic!("{method}: bad JSON: {e:?}"));
+            assert_eq!(v.get("problem").and_then(Json::as_str), Some("ghw"), "{method}");
+            assert_eq!(v.get("exact").and_then(Json::as_bool), Some(true), "{method}");
+            assert_eq!(v.get("upper_bound").and_then(Json::as_f64), Some(3.0), "{method}");
+            let stats = v.get("stats").expect("stats object");
+            let incumbents = stats
+                .get("incumbents")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| panic!("{method}: incumbents array"));
+            assert!(!incumbents.is_empty(), "{method}: incumbent trace is non-empty");
+            for inc in incumbents {
+                let lb = inc.get("lower_bound").and_then(Json::as_f64).unwrap();
+                let ub = inc.get("upper_bound").and_then(Json::as_f64).unwrap();
+                assert!(lb <= ub, "{method}: incumbent lb <= ub");
+            }
+            assert!(stats.get("prunes").is_some(), "{method}: prune counters");
+        }
+        // graphs too, and the flag composes with --nodes
+        let col = run_args(&["gen", "grid", "3"]).unwrap();
+        let gpath = tmp("stats.col", &col);
+        let out =
+            run_args(&["tw", &gpath, "--method", "bb", "--stats", "json", "--nodes", "100000"])
+                .unwrap();
+        let v = Json::parse(&out).expect("tw stats JSON");
+        assert_eq!(v.get("problem").and_then(Json::as_str), Some("tw"));
+        // GA has no search telemetry; asking for it is an error, not silence
+        assert!(run_args(&["tw", &gpath, "--method", "ga", "--stats", "json"]).is_err());
+        assert!(run_args(&["tw", &gpath, "--stats", "xml"]).is_err());
+        assert!(run_args(&["tw", &gpath, "--stats"]).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod bucket;
 pub mod io;
 pub mod eval;
+pub mod json;
 pub mod ghd;
 pub mod lnf;
 pub mod ordering;

@@ -180,6 +180,19 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Merges another (concurrent) cache's stats into `self` with explicit
+    /// counter-vs-gauge semantics: `hits`, `misses` and `evictions` are true
+    /// counters and are **summed**; `entries` is a point-in-time gauge of
+    /// per-cache occupancy — summing gauges across independent caches is
+    /// meaningless, so the merge keeps the **maximum**. (Per-worker values
+    /// can be reported alongside when the individual gauges matter.)
+    pub fn absorb_parallel(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries = self.entries.max(other.entries);
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -505,6 +518,27 @@ mod tests {
         assert!(total.hits > 0, "repeated caps should hit: {total:?}");
         assert!(total.misses > 0);
         assert!(total.entries > 0);
+    }
+
+    #[test]
+    fn absorb_parallel_sums_counters_and_maxes_the_entries_gauge() {
+        let mut a = CacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+            entries: 7,
+        };
+        let b = CacheStats {
+            hits: 5,
+            misses: 6,
+            evictions: 0,
+            entries: 12,
+        };
+        a.absorb_parallel(&b);
+        assert_eq!(a.hits, 15);
+        assert_eq!(a.misses, 10);
+        assert_eq!(a.evictions, 1);
+        assert_eq!(a.entries, 12, "entries is a gauge: merged as max, not sum");
     }
 
     #[test]

@@ -24,5 +24,6 @@ pub use enumerate::{
     enumerate_solutions_with_ghd_opts,
 };
 pub use solve::{
-    solve_with_ghd, solve_with_ghd_opts, solve_with_tree_decomposition, SolveError, SolveOptions,
+    solve_with_ghd, solve_with_ghd_opts, solve_with_ghd_stats, solve_with_tree_decomposition,
+    SolveError, SolveOptions, SolveStats,
 };

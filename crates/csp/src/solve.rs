@@ -30,6 +30,12 @@ pub struct SolveOptions {
     /// [`crate::acyclic::full_reduce`]. Turning this off reproduces the
     /// unreduced pipeline (same solutions, more intermediate tuples).
     pub yannakakis: bool,
+    /// Collect [`SolveStats`] kernel counters (rows probed / built /
+    /// emitted, semijoin eliminations). Recording is read-only — it never
+    /// changes which tuples are produced or which solution is returned —
+    /// and costs a handful of integer adds per relational operation. Off by
+    /// default; [`solve_with_ghd_stats`] forces it on.
+    pub collect_stats: bool,
 }
 
 impl Default for SolveOptions {
@@ -37,7 +43,37 @@ impl Default for SolveOptions {
         SolveOptions {
             threads: 1,
             yannakakis: true,
+            collect_stats: false,
         }
+    }
+}
+
+/// Kernel counters of one GHD-based solve: how many tuples the relational
+/// kernels streamed (probe side), indexed (build side), materialised
+/// (outputs) and how many the semijoin passes eliminated. Counters are
+/// exact and deterministic — per-node counts are summed in node order, so
+/// the totals are identical for any `threads` setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Tuples streamed on the probe side of a join or semijoin.
+    pub rows_probed: u64,
+    /// Tuples inserted into a hash index (build side of a join/semijoin).
+    pub rows_built: u64,
+    /// Tuples materialised into output relations (join outputs, node
+    /// projections and full node relations).
+    pub rows_emitted: u64,
+    /// Tuples removed by semijoins: the per-node λ-sweeps plus the
+    /// down/up Yannakakis reduction over the join tree.
+    pub semijoin_eliminated: u64,
+}
+
+impl SolveStats {
+    /// Accumulates `other` into `self` (plain counter addition).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.rows_probed += other.rows_probed;
+        self.rows_built += other.rows_built;
+        self.rows_emitted += other.rows_emitted;
+        self.semijoin_eliminated += other.semijoin_eliminated;
     }
 }
 
@@ -119,29 +155,64 @@ pub fn solve_with_tree_decomposition(
 /// **before** any join is materialised — every semijoin is sound because a
 /// tuple without a partner in some other λ-relation cannot survive the
 /// natural join — which keeps the intermediate join results small.
-fn node_relation(csp: &Csp, bag: &[usize], lam: &[usize], yannakakis: bool) -> Relation {
+fn node_relation(
+    csp: &Csp,
+    bag: &[usize],
+    lam: &[usize],
+    yannakakis: bool,
+    collect: bool,
+) -> (Relation, SolveStats) {
+    let mut st = SolveStats::default();
     if lam.is_empty() {
-        return Relation::full(bag.to_vec(), csp.domains());
+        let r = Relation::full(bag.to_vec(), csp.domains());
+        if collect {
+            st.rows_emitted += r.len() as u64;
+        }
+        return (r, st);
     }
     let mut parts: Vec<Relation> = lam.iter().map(|&e| csp.constraints()[e].clone()).collect();
     if yannakakis && parts.len() > 1 {
         let m = parts.len();
         for i in 1..m {
             let (head, tail) = parts.split_at_mut(i);
+            let before = tail[0].len();
             tail[0].semijoin(&head[i - 1]);
+            if collect {
+                st.rows_probed += before as u64;
+                st.rows_built += head[i - 1].len() as u64;
+                st.semijoin_eliminated += (before - tail[0].len()) as u64;
+            }
         }
         for i in (0..m - 1).rev() {
             let (head, tail) = parts.split_at_mut(i + 1);
+            let before = head[i].len();
             head[i].semijoin(&tail[0]);
+            if collect {
+                st.rows_probed += before as u64;
+                st.rows_built += tail[0].len() as u64;
+                st.semijoin_eliminated += (before - head[i].len()) as u64;
+            }
         }
     }
     let mut iter = parts.into_iter();
     let mut joined = iter.next().expect("λ is nonempty");
     for part in iter {
+        if collect {
+            st.rows_probed += joined.len() as u64;
+            st.rows_built += part.len() as u64;
+        }
         joined = joined.join(&part);
+        if collect {
+            st.rows_emitted += joined.len() as u64;
+        }
     }
     // χ(p) ⊆ var(λ(p)) by condition 3, so the projection is defined
-    joined.project(bag)
+    let out = joined.project(bag);
+    if collect {
+        st.rows_probed += joined.len() as u64;
+        st.rows_emitted += out.len() as u64;
+    }
+    (out, st)
 }
 
 /// Builds the join tree of node relations `R_p := π_{χ(p)} ⋈_{h ∈ λ(p)} R_h`
@@ -155,6 +226,18 @@ pub(crate) fn ghd_relations(
     ghd: &GeneralizedHypertreeDecomposition,
     opts: &SolveOptions,
 ) -> Result<(Vec<Relation>, JoinTree), SolveError> {
+    ghd_relations_counted(csp, ghd, opts).map(|(rels, jt, _)| (rels, jt))
+}
+
+/// [`ghd_relations`] plus the summed per-node [`SolveStats`]. Per-node
+/// counters travel through `parallel_map`'s order-preserving output and are
+/// folded in node order, so the totals are thread-count independent. All
+/// counters stay zero unless `opts.collect_stats` is set.
+pub(crate) fn ghd_relations_counted(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+    opts: &SolveOptions,
+) -> Result<(Vec<Relation>, JoinTree, SolveStats), SolveError> {
     let h = csp.constraint_hypergraph();
     ghd.verify(&h).map_err(|_| SolveError::InvalidDecomposition)?;
     // complete from ONE clone only when necessary; borrow when already
@@ -169,13 +252,25 @@ pub(crate) fn ghd_relations(
     let td = complete.tree();
 
     let nodes: Vec<usize> = td.nodes().collect();
-    let relations: Vec<Relation> = ghd_par::parallel_map(&nodes, opts.threads, |&p| {
-        node_relation(csp, &td.bag(p).to_vec(), complete.lambda(p), opts.yannakakis)
+    let built: Vec<(Relation, SolveStats)> = ghd_par::parallel_map(&nodes, opts.threads, |&p| {
+        node_relation(
+            csp,
+            &td.bag(p).to_vec(),
+            complete.lambda(p),
+            opts.yannakakis,
+            opts.collect_stats,
+        )
     });
+    let mut stats = SolveStats::default();
+    let mut relations = Vec::with_capacity(built.len());
+    for (r, s) in built {
+        stats.absorb(&s);
+        relations.push(r);
+    }
 
     let shim = tree_of_decomposition(td);
     let jt = shim.to_join_tree();
-    Ok((relations, jt))
+    Ok((relations, jt, stats))
 }
 
 /// Solves a CSP from a *complete* generalized hypertree decomposition
@@ -196,13 +291,51 @@ pub fn solve_with_ghd_opts(
     ghd: &GeneralizedHypertreeDecomposition,
     opts: &SolveOptions,
 ) -> Result<Option<Assignment>, SolveError> {
-    let (relations, jt) = ghd_relations(csp, ghd, opts)?;
-    Ok(acyclic_solve(
-        &relations,
-        &jt,
-        csp.num_variables(),
-        csp.domains(),
-    ))
+    solve_impl(csp, ghd, opts).map(|(sol, _)| sol)
+}
+
+/// [`solve_with_ghd_opts`] that additionally returns the [`SolveStats`]
+/// kernel counters. `collect_stats` is forced on; the solution is
+/// **identical** to the uncounted path (recording never feeds back into the
+/// kernels — see `stats_collection_is_behaviourally_free`).
+pub fn solve_with_ghd_stats(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+    opts: &SolveOptions,
+) -> Result<(Option<Assignment>, SolveStats), SolveError> {
+    let counted = SolveOptions {
+        collect_stats: true,
+        ..*opts
+    };
+    solve_impl(csp, ghd, &counted)
+}
+
+fn solve_impl(
+    csp: &Csp,
+    ghd: &GeneralizedHypertreeDecomposition,
+    opts: &SolveOptions,
+) -> Result<(Option<Assignment>, SolveStats), SolveError> {
+    let (relations, jt, mut stats) = ghd_relations_counted(csp, ghd, opts)?;
+    if !opts.collect_stats {
+        let sol = acyclic_solve(&relations, &jt, csp.num_variables(), csp.domains());
+        return Ok((sol, stats));
+    }
+    // Counted down/up Yannakakis reduction: eliminations = total rows
+    // before minus after. `full_reduce` is idempotent (semijoins are), so
+    // handing the already-reduced relations to `acyclic_solve` re-runs the
+    // reduction as a no-op and tuple selection proceeds identically to the
+    // uncounted path.
+    let mut rels = relations;
+    let before: u64 = rels.iter().map(|r| r.len() as u64).sum();
+    let consistent = crate::acyclic::full_reduce(&mut rels, &jt);
+    let after: u64 = rels.iter().map(|r| r.len() as u64).sum();
+    stats.rows_probed += before;
+    stats.semijoin_eliminated += before - after;
+    if !consistent {
+        return Ok((None, stats));
+    }
+    let sol = acyclic_solve(&rels, &jt, csp.num_variables(), csp.domains());
+    Ok((sol, stats))
 }
 
 #[cfg(test)]
@@ -283,6 +416,58 @@ mod tests {
             assert_eq!(brute.is_some(), ghd_sol.is_some(), "GHD seed {seed}");
             if let Some(s) = ghd_sol {
                 assert!(csp.is_solution(&s), "GHD seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_collection_is_behaviourally_free() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for seed in 0..8u64 {
+            let csp = random_csp(seed);
+            let sigma = EliminationOrdering::random(csp.num_variables(), &mut rng);
+            let ghd =
+                ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Exact);
+            let plain = solve_with_ghd(&csp, &ghd).unwrap();
+            let (counted, _) =
+                solve_with_ghd_stats(&csp, &ghd, &SolveOptions::default()).unwrap();
+            assert_eq!(plain, counted, "seed {seed}: counting changed the solution");
+        }
+    }
+
+    #[test]
+    fn kernel_counters_are_live_and_gated() {
+        let csp = examples::example5();
+        let sigma = EliminationOrdering::new(vec![5, 4, 3, 2, 1, 0]).unwrap();
+        let ghd = ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Exact);
+        let (sol, stats) =
+            solve_with_ghd_stats(&csp, &ghd, &SolveOptions::default()).unwrap();
+        assert!(sol.is_some());
+        assert!(stats.rows_emitted > 0, "node relations materialise tuples");
+        assert!(stats.rows_probed > 0, "joins/semijoins stream probe rows");
+        // with the flag off every counter stays zero (collection is gated)
+        let (_, _, off) =
+            ghd_relations_counted(&csp, &ghd, &SolveOptions::default()).unwrap();
+        assert_eq!(off, SolveStats::default());
+    }
+
+    #[test]
+    fn solve_stats_are_thread_count_invariant() {
+        for seed in 0..6u64 {
+            let csp = random_csp(seed);
+            let sigma = EliminationOrdering::identity(csp.num_variables());
+            let ghd =
+                ghd_from_ordering(&csp.constraint_hypergraph(), &sigma, CoverMethod::Greedy);
+            let base = SolveOptions::default();
+            let (ref_sol, ref_stats) = solve_with_ghd_stats(&csp, &ghd, &base).unwrap();
+            for threads in [2usize, 4] {
+                let opts = SolveOptions {
+                    threads,
+                    ..SolveOptions::default()
+                };
+                let (sol, stats) = solve_with_ghd_stats(&csp, &ghd, &opts).unwrap();
+                assert_eq!(sol, ref_sol, "seed {seed} threads {threads}");
+                assert_eq!(stats, ref_stats, "seed {seed} threads {threads}");
             }
         }
     }

@@ -108,6 +108,7 @@ where
         best_ordering: best,
         history,
         evaluations,
+        elapsed: started.elapsed(),
     }
 }
 

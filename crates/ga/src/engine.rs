@@ -73,10 +73,14 @@ pub struct GaResult {
     pub best_width: usize,
     /// An ordering realising it.
     pub best_ordering: Vec<usize>,
-    /// Best width per generation (index 0 = initial population).
+    /// Best width per generation (index 0 = initial population) — the GA's
+    /// anytime trajectory.
     pub history: Vec<usize>,
     /// Total fitness evaluations performed.
     pub evaluations: u64,
+    /// Wall-clock time from population initialisation to the end of the run
+    /// (recording only; never feeds back into evolution).
+    pub elapsed: Duration,
 }
 
 struct Individual {
@@ -105,6 +109,7 @@ pub(crate) struct Population {
     best_ordering: Vec<usize>,
     history: Vec<usize>,
     evaluations: u64,
+    started: Instant,
     cfg: GaConfig,
 }
 
@@ -150,6 +155,7 @@ impl Population {
             best_ordering,
             history: vec![best_width],
             evaluations,
+            started: Instant::now(),
             cfg: cfg.clone(),
         }
     }
@@ -274,6 +280,7 @@ impl Population {
             best_ordering: self.best_ordering,
             history: self.history,
             evaluations: self.evaluations,
+            elapsed: self.started.elapsed(),
         }
     }
 }

@@ -15,4 +15,4 @@ pub use engine::{run_ga, GaConfig, GaResult};
 pub use ga_ghw::{ga_ghw, ga_ghw_seeded};
 pub use ga_tw::{ga_tw, ga_tw_hypergraph};
 pub use permutation::{CrossoverOp, MutationOp};
-pub use saiga::{saiga_ghw, SaigaConfig, SaigaResult};
+pub use saiga::{saiga_ghw, EpochSample, SaigaConfig, SaigaResult};

@@ -88,6 +88,20 @@ impl SaigaConfig {
     }
 }
 
+/// One entry of the per-epoch telemetry trace: the state of every island at
+/// the end of an epoch (after migration, orientation and parameter
+/// mutation). Recording is read-only and never influences evolution, so
+/// results stay bit-identical with or without consumers of the trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochSample {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Best width held by each island (ring order).
+    pub island_widths: Vec<usize>,
+    /// `(crossover_rate, mutation_rate)` of each island after adaptation.
+    pub parameters: Vec<(f64, f64)>,
+}
+
 /// Result of a SAIGA run: the GA result plus the final adapted parameter
 /// vectors per island.
 #[derive(Clone, Debug)]
@@ -96,6 +110,8 @@ pub struct SaigaResult {
     pub result: GaResult,
     /// Final `(crossover_rate, mutation_rate)` per island.
     pub final_parameters: Vec<(f64, f64)>,
+    /// Per-epoch island widths and parameter vectors (one entry per epoch).
+    pub epoch_trace: Vec<EpochSample>,
 }
 
 /// Approximate standard normal via Irwin–Hall (sum of 12 uniforms − 6);
@@ -204,7 +220,8 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
         })
         .collect();
 
-    for _epoch in 0..cfg.epochs {
+    let mut epoch_trace: Vec<EpochSample> = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
         // 1. evolve — each island on its own worker (disjoint state)
         let generations = cfg.generations_per_epoch;
         ghd_par::for_each_mut(&mut islands, cfg.threads, |_, island| {
@@ -240,6 +257,12 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
             p.0 = clamp(p.0 * (cfg.tau * normalish(&mut meta_rng)).exp(), 0.1, 1.0);
             p.1 = clamp(p.1 * (cfg.tau * normalish(&mut meta_rng)).exp(), 0.01, 0.8);
         }
+        // telemetry: snapshot the ring after this epoch (recording only)
+        epoch_trace.push(EpochSample {
+            epoch,
+            island_widths: islands.iter().map(|isl| isl.pop.best_width()).collect(),
+            parameters: islands.iter().map(|isl| isl.params).collect(),
+        });
     }
 
     // combine
@@ -260,6 +283,7 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
     SaigaResult {
         result: best,
         final_parameters: params,
+        epoch_trace,
     }
 }
 
@@ -310,6 +334,30 @@ mod tests {
         assert_eq!(a.result.best_ordering, b.result.best_ordering);
         assert_eq!(a.result.evaluations, b.result.evaluations);
         assert_eq!(a.final_parameters, b.final_parameters);
+        assert_eq!(a.epoch_trace, b.epoch_trace);
+    }
+
+    #[test]
+    fn epoch_trace_records_every_epoch() {
+        let cfg = SaigaConfig::small(8);
+        let h = hypergraphs::random_hypergraph(12, 8, 3, 1);
+        let r = saiga_ghw(&h, &cfg);
+        assert_eq!(r.epoch_trace.len(), cfg.epochs);
+        for (i, s) in r.epoch_trace.iter().enumerate() {
+            assert_eq!(s.epoch, i);
+            assert_eq!(s.island_widths.len(), cfg.islands);
+            assert_eq!(s.parameters.len(), cfg.islands);
+        }
+        // the final trace entry matches the reported final parameters
+        assert_eq!(
+            r.epoch_trace.last().unwrap().parameters,
+            r.final_parameters
+        );
+        // island bests are anytime: monotonically non-increasing per island
+        for i in 0..cfg.islands {
+            let widths: Vec<usize> = r.epoch_trace.iter().map(|s| s.island_widths[i]).collect();
+            assert!(widths.windows(2).all(|w| w[1] <= w[0]), "island {i}: {widths:?}");
+        }
     }
 
     #[test]

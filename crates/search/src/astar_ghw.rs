@@ -4,7 +4,7 @@
 
 use crate::astar_tw::{path_of, transform, HeapEntry, Node};
 use crate::bb_ghw::{bag_cover_size, residual_ghw_lb};
-use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::common::{Budget, SearchLimits, SearchResult, Telemetry};
 use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
 use ghd_bounds::ksc::ghw_lower_bound;
 use ghd_bounds::upper::ghw_upper_bound;
@@ -19,9 +19,12 @@ use std::collections::{BinaryHeap, HashMap};
 /// improved lower bounds" for several instances).
 pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
     let n = h.num_vertices();
-    let mut ticker = Ticker::new(limits);
+    let budget = Budget::new(limits);
+    let mut ticker = budget.worker();
+    let mut telemetry = Telemetry::new(limits.collect_stats);
     let root_lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
+    telemetry.sample(budget.elapsed(), ub, root_lb.min(ub));
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -29,8 +32,9 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             exact: true,
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
-            elapsed: ticker.elapsed(),
+            elapsed: budget.elapsed(),
             cover_cache: None,
+            stats: telemetry.finish(),
         };
     }
 
@@ -74,20 +78,31 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
 
     while let Some(entry) = queue.pop() {
         if !ticker.tick() {
+            let lower_bound = if degraded {
+                root_lb.min(ub)
+            } else {
+                lb.max(entry.f as usize).min(ub)
+            };
+            telemetry.sample(budget.elapsed(), ub, lower_bound);
+            telemetry.cache(cache.stats());
             return SearchResult {
                 upper_bound: ub,
-                lower_bound: if degraded { root_lb.min(ub) } else { lb.max(entry.f as usize).min(ub) },
+                lower_bound,
                 exact: !degraded && lb.max(entry.f as usize) >= ub,
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
-                elapsed: ticker.elapsed(),
+                elapsed: budget.elapsed(),
                 cover_cache: Some(cache.stats()),
+                stats: telemetry.finish(),
             };
         }
         let s_id = entry.id as usize;
         let target_path = path_of(&nodes, entry.id);
         transform(&mut eg, &mut current_path, &target_path);
-        lb = lb.max(nodes[s_id].f as usize);
+        if (nodes[s_id].f as usize) > lb {
+            lb = nodes[s_id].f as usize;
+            telemetry.sample(budget.elapsed(), ub, lb.min(ub));
+        }
 
         // goal: the residual vertex set is coverable within g, so finishing
         // in any order realises exactly g
@@ -103,19 +118,26 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 (0..n).filter(|&v| !in_path.contains(&(v as u32))).collect();
             order.extend(target_path.iter().rev().map(|&v| v as usize));
             let width = s_g.max(1);
+            let lower_bound = if degraded { root_lb.min(width) } else { width };
+            telemetry.sample(budget.elapsed(), width, lower_bound);
+            telemetry.cache(cache.stats());
             return SearchResult {
                 upper_bound: width,
-                lower_bound: if degraded { root_lb.min(width) } else { width },
+                lower_bound,
                 exact: !degraded,
                 ordering: Some(order),
                 nodes_expanded: ticker.nodes(),
-                elapsed: ticker.elapsed(),
+                elapsed: budget.elapsed(),
                 cover_cache: Some(cache.stats()),
+                stats: telemetry.finish(),
             };
         }
 
         let s_children = std::mem::take(&mut nodes[s_id].children);
         let s_reduced = nodes[s_id].reduced;
+        if s_reduced {
+            telemetry.prune(|p| p.simplicial += 1);
+        }
         let (s_g, s_f, s_depth) = (nodes[s_id].g, nodes[s_id].f, nodes[s_id].depth);
         for &v in &s_children {
             let v_us = v as usize;
@@ -130,6 +152,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 bag_cover_size(h, &covered, &bag, CoverMethod::Exact, ub, Some(&mut cache));
             if !cover_exact {
                 degraded = true;
+                telemetry.prune(|p| p.capped_covers += 1);
             }
             let k = k as u32;
             eg.eliminate(v_us);
@@ -151,6 +174,11 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                     }
                 }
             };
+            if (t_f as usize) >= ub {
+                telemetry.prune(|p| p.f_prunes += 1);
+            } else if dominated {
+                telemetry.prune(|p| p.dominance_hits += 1);
+            }
             if (t_f as usize) < ub && !dominated {
                 let (children, reduced) = match find_simplicial(&eg) {
                     Some(w) => (vec![w as u32], true),
@@ -159,6 +187,10 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                             Some(s) => s.iter().map(|x| x as u32).collect(),
                             None => eg.alive().iter().map(|x| x as u32).collect(),
                         };
+                        if let (true, Some(s)) = (telemetry.on(), &pr2_set) {
+                            let cut = eg.num_alive().saturating_sub(s.len()) as u64;
+                            telemetry.prune(|p| p.pr2_filtered += cut);
+                        }
                         (set, false)
                     }
                 };
@@ -180,16 +212,21 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             }
             eg.restore();
         }
+        telemetry.peaks(queue.len(), seen.len());
     }
 
+    let lower_bound = if degraded { root_lb } else { ub };
+    telemetry.sample(budget.elapsed(), ub, lower_bound.min(ub));
+    telemetry.cache(cache.stats());
     SearchResult {
         upper_bound: ub,
-        lower_bound: if degraded { root_lb } else { ub },
+        lower_bound,
         exact: !degraded,
         ordering: Some(ub_order.into_vec()),
         nodes_expanded: ticker.nodes(),
-        elapsed: ticker.elapsed(),
+        elapsed: budget.elapsed(),
         cover_cache: Some(cache.stats()),
+        stats: telemetry.finish(),
     }
 }
 
@@ -250,6 +287,26 @@ mod tests {
         let full = bb_ghw(&h, &BbGhwConfig::default());
         if full.exact {
             assert!(r.lower_bound <= full.upper_bound);
+        }
+        assert!(r.nodes_expanded <= 50, "budget overrun: {}", r.nodes_expanded);
+    }
+
+    #[test]
+    fn stats_collection_is_behaviourally_free() {
+        for seed in 0..3u64 {
+            let h = hypergraphs::random_hypergraph(11, 7, 3, seed);
+            for limits in [SearchLimits::unlimited(), SearchLimits::with_nodes(60)] {
+                let off = astar_ghw(&h, limits);
+                let on = astar_ghw(&h, limits.stats(true));
+                assert_eq!(on.upper_bound, off.upper_bound, "seed {seed}");
+                assert_eq!(on.lower_bound, off.lower_bound, "seed {seed}");
+                assert_eq!(on.ordering, off.ordering, "seed {seed}");
+                assert_eq!(on.nodes_expanded, off.nodes_expanded, "seed {seed}");
+                assert_eq!(on.cover_cache, off.cover_cache, "seed {seed}");
+                assert!(off.stats.is_none());
+                let stats = on.stats.expect("stats requested");
+                assert!(!stats.incumbents.is_empty(), "seed {seed}");
+            }
         }
     }
 }

@@ -10,13 +10,13 @@
 //! descending) per §5.3, and the maximum f-value of visited states is an
 //! anytime treewidth lower bound.
 
-use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::common::{Budget, SearchLimits, SearchResult, Telemetry};
 use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
 use ghd_bounds::lower::tw_lower_bound;
 use ghd_bounds::upper::tw_upper_bound;
 use ghd_hypergraph::{EliminationGraph, Graph};
-use std::cmp::Ordering as CmpOrdering;
 use ghd_prng::hash::FxBuildHasher;
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
 
 pub(crate) struct Node {
@@ -89,9 +89,12 @@ pub(crate) fn transform(eg: &mut EliminationGraph, current: &mut Vec<u32>, targe
 /// bound are reported.
 pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     let n = g.num_vertices();
-    let mut ticker = Ticker::new(limits);
+    let budget = Budget::new(limits);
+    let mut ticker = budget.worker();
+    let mut telemetry = Telemetry::new(limits.collect_stats);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
+    telemetry.sample(budget.elapsed(), ub, root_lb.min(ub));
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -99,8 +102,9 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             exact: true,
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
-            elapsed: ticker.elapsed(),
+            elapsed: budget.elapsed(),
             cover_cache: None,
+            stats: telemetry.finish(),
         };
     }
 
@@ -141,14 +145,17 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     while let Some(entry) = queue.pop() {
         if !ticker.tick() {
             // anytime: report the best proven lower bound (§5.3)
+            let lower_bound = lb.max(entry.f as usize).min(ub);
+            telemetry.sample(budget.elapsed(), ub, lower_bound);
             return SearchResult {
                 upper_bound: ub,
-                lower_bound: lb.max(entry.f as usize).min(ub),
+                lower_bound,
                 exact: lb.max(entry.f as usize) >= ub,
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
-                elapsed: ticker.elapsed(),
+                elapsed: budget.elapsed(),
                 cover_cache: None,
+                stats: telemetry.finish(),
             };
         }
         let s_id = entry.id as usize;
@@ -156,7 +163,10 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
         transform(&mut eg, &mut current_path, &target_path);
 
         // new lower bound found: the visited f-sequence is nondecreasing
-        lb = lb.max(nodes[s_id].f as usize);
+        if (nodes[s_id].f as usize) > lb {
+            lb = nodes[s_id].f as usize;
+            telemetry.sample(budget.elapsed(), ub, lb.min(ub));
+        }
 
         // goal: the partial solution already dominates the rest
         if nodes[s_id].g as usize >= eg.num_alive().saturating_sub(1) {
@@ -166,20 +176,25 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             };
             order.extend(target_path.iter().rev().map(|&v| v as usize));
             let width = nodes[s_id].g as usize;
+            telemetry.sample(budget.elapsed(), width, width);
             return SearchResult {
                 upper_bound: width,
                 lower_bound: width,
                 exact: true,
                 ordering: Some(order),
                 nodes_expanded: ticker.nodes(),
-                elapsed: ticker.elapsed(),
+                elapsed: budget.elapsed(),
                 cover_cache: None,
+                stats: telemetry.finish(),
             };
         }
 
         // expand: evaluate children of s
         let s_children = std::mem::take(&mut nodes[s_id].children); // §5.2.3
         let s_reduced = nodes[s_id].reduced;
+        if s_reduced {
+            telemetry.prune(|p| p.simplicial += 1);
+        }
         let (s_g, s_f, s_depth) = (nodes[s_id].g, nodes[s_id].f, nodes[s_id].depth);
         for &v in &s_children {
             let v_us = v as usize;
@@ -209,6 +224,11 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                     }
                 }
             };
+            if (t_f as usize) >= ub {
+                telemetry.prune(|p| p.f_prunes += 1);
+            } else if dominated {
+                telemetry.prune(|p| p.dominance_hits += 1);
+            }
             if (t_f as usize) < ub && !dominated {
                 let (children, reduced) = match find_reduction_tw(&eg, t_f as usize) {
                     Some(w) => (vec![w as u32], true),
@@ -217,6 +237,10 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                             Some(s) => s.iter().map(|x| x as u32).collect(),
                             None => eg.alive().iter().map(|x| x as u32).collect(),
                         };
+                        if let (true, Some(s)) = (telemetry.on(), &pr2_set) {
+                            let cut = eg.num_alive().saturating_sub(s.len()) as u64;
+                            telemetry.prune(|p| p.pr2_filtered += cut);
+                        }
                         (set, false)
                     }
                 };
@@ -238,17 +262,20 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             }
             eg.restore();
         }
+        telemetry.peaks(queue.len(), seen.len());
     }
 
     // queue exhausted: every state with f < ub was visited → tw = ub
+    telemetry.sample(budget.elapsed(), ub, ub);
     SearchResult {
         upper_bound: ub,
         lower_bound: ub,
         exact: true,
         ordering: Some(ub_order.into_vec()),
         nodes_expanded: ticker.nodes(),
-        elapsed: ticker.elapsed(),
+        elapsed: budget.elapsed(),
         cover_cache: None,
+        stats: telemetry.finish(),
     }
 }
 
@@ -310,6 +337,29 @@ mod tests {
         assert!(r.lower_bound <= 18);
         assert!(r.lower_bound >= 1);
         assert!(r.upper_bound >= 18);
+        assert!(r.nodes_expanded <= 200, "budget overrun: {}", r.nodes_expanded);
+    }
+
+    #[test]
+    fn stats_collection_is_behaviourally_free() {
+        for (g, limits) in [
+            (graphs::grid(4), SearchLimits::unlimited()),
+            (graphs::queen(5), SearchLimits::with_nodes(200)),
+        ] {
+            let off = astar_tw(&g, limits);
+            let on = astar_tw(&g, limits.stats(true));
+            assert_eq!(on.upper_bound, off.upper_bound);
+            assert_eq!(on.lower_bound, off.lower_bound);
+            assert_eq!(on.ordering, off.ordering);
+            assert_eq!(on.nodes_expanded, off.nodes_expanded);
+            assert!(off.stats.is_none());
+            let stats = on.stats.expect("stats requested");
+            assert!(!stats.incumbents.is_empty());
+            if on.nodes_expanded > 1 {
+                assert!(stats.open_peak > 0, "heap high-water mark recorded");
+                assert!(stats.seen_peak > 0, "seen-set high-water mark recorded");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! of PR1 closes subtrees whose residual vertex set is already coverable
 //! within the current cost.
 
-use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::common::{
+    anytime_lb, complete_ordering, Budget, IncumbentSample, SearchLimits, SearchResult,
+    SearchStats, Telemetry, Ticker,
+};
 use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
 use ghd_bounds::ksc::tw_ksc_width;
 use ghd_bounds::lower::tw_lower_bound;
@@ -23,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Configuration for [`bb_ghw`].
 #[derive(Clone, Debug)]
 pub struct BbGhwConfig {
-    /// Resource limits.
+    /// Resource limits (global per run — parallel workers share them).
     pub limits: SearchLimits,
     /// Apply the simplicial-vertex reduction (§8.2).
     pub use_reductions: bool,
@@ -94,10 +97,11 @@ struct Dfs<'a> {
     covered: BitSet,
     eg: EliminationGraph,
     cfg: &'a BbGhwConfig,
-    ticker: Ticker,
+    ticker: Ticker<'a>,
     ub: usize,
     best_suffix: Vec<usize>,
     suffix: Vec<usize>,
+    root_lb: usize,
     bag_scratch: BitSet,
     /// Set when a capped cover exhausted its budget: the result may no
     /// longer be proven optimal.
@@ -113,6 +117,13 @@ struct Dfs<'a> {
     /// until the first improvement). Distinguishes "I found it" from "a
     /// sibling worker's bound tightened my `ub`".
     found: usize,
+    /// Minimum f-value over the open frontier left behind on expiry
+    /// (`usize::MAX` while none). Sound as a lower-bound component only when
+    /// covers stayed exact and undegraded — with `CoverMethod::Greedy` or a
+    /// capped-out cover, g overestimates and f is no longer a true bound.
+    expiry_floor: usize,
+    /// Telemetry collector (no-op unless `limits.collect_stats`).
+    telemetry: Telemetry,
 }
 
 impl Dfs<'_> {
@@ -124,10 +135,16 @@ impl Dfs<'_> {
         if let Some(s) = self.shared_ub {
             s.fetch_min(w, Ordering::Relaxed);
         }
+        if self.telemetry.on() {
+            let (elapsed, lb) = (self.ticker.elapsed(), self.root_lb.min(w));
+            self.telemetry.sample(elapsed, w, lb);
+        }
     }
 
     fn search(&mut self, g: usize, f: usize, allowed: Option<&BitSet>) -> bool {
         if !self.ticker.tick() {
+            // this node stays open: its f joins the expiry floor
+            self.expiry_floor = self.expiry_floor.min(f);
             return false;
         }
         if let Some(s) = self.shared_ub {
@@ -156,6 +173,7 @@ impl Dfs<'_> {
             self.improve(w);
         }
         if alive_cover <= g {
+            self.telemetry.prune(|p| p.pr1_closures += 1);
             return true; // completing in any order already achieves g
         }
 
@@ -164,16 +182,26 @@ impl Dfs<'_> {
         } else {
             None
         };
+        if forced.is_some() {
+            self.telemetry.prune(|p| p.simplicial += 1);
+        }
         let mut children: Vec<usize> = match forced {
             Some(v) => vec![v],
             None => match allowed {
-                Some(set) => set.iter().collect(),
+                Some(set) => {
+                    if self.telemetry.on() {
+                        let cut = self.eg.num_alive().saturating_sub(set.len()) as u64;
+                        self.telemetry.prune(|p| p.pr2_filtered += cut);
+                    }
+                    set.iter().collect()
+                }
                 None => self.eg.alive().to_vec(),
             },
         };
         children.sort_by_key(|&v| self.eg.degree(v));
 
-        for v in children {
+        let last = children.len();
+        for (i, &v) in children.iter().enumerate() {
             let grandchildren = if self.cfg.use_pr2 && forced.is_none() {
                 Some(pr2_allowed_children(&self.eg, v, swappable_ghw))
             } else {
@@ -191,6 +219,7 @@ impl Dfs<'_> {
             );
             if !cover_exact {
                 self.degraded = true;
+                self.telemetry.prune(|p| p.capped_covers += 1);
             }
             self.eg.eliminate(v);
             self.suffix.push(v);
@@ -202,11 +231,16 @@ impl Dfs<'_> {
             let ok = if child_f < self.ub {
                 self.search(child_g, child_f, grandchildren.as_ref())
             } else {
+                self.telemetry.prune(|p| p.f_prunes += 1);
                 true
             };
             self.suffix.pop();
             self.eg.restore();
             if !ok {
+                if i + 1 < last {
+                    // unvisited siblings remain open; each has f ≥ this f
+                    self.expiry_floor = self.expiry_floor.min(f);
+                }
                 return false;
             }
         }
@@ -214,14 +248,34 @@ impl Dfs<'_> {
     }
 }
 
+/// The anytime lower bound of a truncated BB-ghw run: the expiry floor is
+/// only a valid bound while every bag cover was exact and undegraded.
+fn ghw_anytime_lb(
+    root_lb: usize,
+    expiry_floor: usize,
+    ub: usize,
+    cover: CoverMethod,
+    degraded: bool,
+) -> usize {
+    if cover == CoverMethod::Exact && !degraded {
+        anytime_lb(root_lb, expiry_floor, ub)
+    } else {
+        root_lb.min(ub)
+    }
+}
+
 /// Computes the generalized hypertree width of `h` by branch and bound
 /// (Fig 8.3). With [`CoverMethod::Exact`] and no limits the result is exact;
-/// anytime otherwise.
+/// anytime otherwise — on expiry the lower bound keeps the minimum f-value
+/// proven over the unexplored frontier rather than collapsing to the root
+/// heuristic.
 pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
     let n = h.num_vertices();
-    let ticker = Ticker::new(cfg.limits);
+    let budget = Budget::new(cfg.limits);
     let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
+    let mut telemetry = Telemetry::new(cfg.limits.collect_stats);
+    telemetry.sample(budget.elapsed(), ub, root_lb.min(ub));
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -229,8 +283,9 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
             exact: true,
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
-            elapsed: ticker.elapsed(),
+            elapsed: budget.elapsed(),
             cover_cache: None,
+            stats: telemetry.finish(),
         };
     }
     let primal = h.primal_graph();
@@ -239,56 +294,72 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         covered: h.covered_vertices(),
         eg: EliminationGraph::new(&primal),
         cfg,
-        ticker,
+        ticker: budget.worker(),
         ub,
         best_suffix: Vec::new(),
         suffix: Vec::new(),
+        root_lb,
         bag_scratch: BitSet::new(n),
         degraded: false,
         cache: cfg.use_cover_cache.then(CoverCache::new),
         shared_ub: None,
         found: usize::MAX,
+        expiry_floor: usize::MAX,
+        telemetry,
     };
     let completed = dfs.search(0, root_lb, None);
-    let ordering = if dfs.best_suffix.is_empty() {
-        Some(ub_order.into_vec())
-    } else {
-        let mut in_suffix = vec![false; n];
-        for &v in &dfs.best_suffix {
-            in_suffix[v] = true;
-        }
-        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
-        order.extend(dfs.best_suffix.iter().rev());
-        Some(order)
-    };
+    let ordering = Some(complete_ordering(n, &dfs.best_suffix, ub_order.into_vec()));
     let exact =
         (completed && cfg.cover == CoverMethod::Exact && !dfs.degraded) || root_lb >= dfs.ub;
+    let lower_bound = if exact {
+        dfs.ub
+    } else if completed {
+        root_lb.min(dfs.ub)
+    } else {
+        ghw_anytime_lb(root_lb, dfs.expiry_floor, dfs.ub, cfg.cover, dfs.degraded)
+    };
+    let cover_cache = dfs.cache.as_ref().map(|c| c.stats());
+    let mut telemetry = dfs.telemetry;
+    if let Some(s) = cover_cache {
+        telemetry.cache(s);
+    }
+    telemetry.sample(budget.elapsed(), dfs.ub, lower_bound);
     SearchResult {
         upper_bound: dfs.ub,
-        lower_bound: if exact { dfs.ub } else { root_lb.min(dfs.ub) },
+        lower_bound,
         exact,
         ordering,
         nodes_expanded: dfs.ticker.nodes(),
-        elapsed: dfs.ticker.elapsed(),
-        cover_cache: dfs.cache.as_ref().map(|c| c.stats()),
+        elapsed: budget.elapsed(),
+        cover_cache,
+        stats: telemetry.finish(),
     }
 }
 
 /// Parallel BB-ghw: the root's elimination choices are split across up to
 /// `threads` workers (`0` = all cores), which share the incumbent upper
 /// bound through an atomic — one worker's improvement immediately prunes
-/// the others.
+/// the others — **and share one [`Budget`]**: a `time_limit` of T finishes
+/// in O(T) wall-clock and a `max_nodes` of N expands at most N states in
+/// total, regardless of the thread count.
 ///
-/// Each worker owns its elimination graph, ticker, and cover cache, so the
-/// only cross-thread traffic is the single `usize` incumbent. With
+/// Each worker owns its elimination graph and cover cache, so the only
+/// cross-thread traffic is the incumbent and the budget's atomics. With
 /// [`CoverMethod::Exact`] and no limits the result is exact and therefore
 /// **width-identical** to [`bb_ghw`] for any thread count (orderings may be
-/// different optima). Resource limits apply *per worker*.
+/// different optima).
+///
+/// The merged [`SearchResult::cover_cache`] sums the `hits`/`misses`/
+/// `evictions` counters and reports the **maximum** `entries` gauge; the
+/// per-worker stats are kept verbatim in [`SearchStats::worker_caches`]
+/// when telemetry is on.
 pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> SearchResult {
     let n = h.num_vertices();
-    let ticker = Ticker::new(cfg.limits);
+    let budget = Budget::new(cfg.limits);
     let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
+    let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
+    root_tel.sample(budget.elapsed(), ub, root_lb.min(ub));
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -296,8 +367,9 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
             exact: true,
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
-            elapsed: ticker.elapsed(),
+            elapsed: budget.elapsed(),
             cover_cache: None,
+            stats: root_tel.finish(),
         };
     }
     let primal = h.primal_graph();
@@ -323,7 +395,9 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
         best_suffix: Vec<usize>,
         nodes: u64,
         degraded: bool,
+        expiry_floor: usize,
         cache: Option<CacheStats>,
+        stats: Option<SearchStats>,
     }
     let outcomes: Vec<WorkerOutcome> = ghd_par::parallel_map(&children, threads, |&v| {
         let mut allowed = BitSet::new(n);
@@ -333,24 +407,34 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
             covered: covered.clone(),
             eg: EliminationGraph::new(&primal),
             cfg,
-            ticker: Ticker::new(cfg.limits),
+            ticker: budget.worker(),
             ub,
             best_suffix: Vec::new(),
             suffix: Vec::new(),
+            root_lb,
             bag_scratch: BitSet::new(n),
             degraded: false,
             cache: cfg.use_cover_cache.then(CoverCache::new),
             shared_ub: Some(&incumbent),
             found: usize::MAX,
+            expiry_floor: usize::MAX,
+            telemetry: Telemetry::new(cfg.limits.collect_stats),
         };
         let completed = dfs.search(0, root_lb, Some(&allowed));
+        let cache = dfs.cache.as_ref().map(|c| c.stats());
+        let mut telemetry = dfs.telemetry;
+        if let Some(s) = cache {
+            telemetry.cache(s);
+        }
         WorkerOutcome {
             completed,
             found: dfs.found,
             best_suffix: dfs.best_suffix,
             nodes: dfs.ticker.nodes(),
             degraded: dfs.degraded,
-            cache: dfs.cache.as_ref().map(|c| c.stats()),
+            expiry_floor: dfs.expiry_floor,
+            cache,
+            stats: telemetry.finish(),
         }
     });
 
@@ -360,7 +444,9 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
     let mut nodes = 0u64;
     let mut completed = true;
     let mut degraded = false;
+    let mut expiry_floor = usize::MAX;
     let mut cache_total: Option<CacheStats> = None;
+    let mut worker_stats: Vec<SearchStats> = Vec::new();
     for o in outcomes {
         if o.found < best_ub {
             best_ub = o.found;
@@ -369,35 +455,45 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
         nodes += o.nodes;
         completed &= o.completed;
         degraded |= o.degraded;
+        expiry_floor = expiry_floor.min(o.expiry_floor);
         if let Some(s) = o.cache {
-            let t = cache_total.get_or_insert_with(CacheStats::default);
-            t.hits += s.hits;
-            t.misses += s.misses;
-            t.evictions += s.evictions;
-            t.entries += s.entries;
+            // hits/misses/evictions are counters and sum; `entries` is a
+            // gauge and takes the max (per-worker values live in
+            // `SearchStats::worker_caches`)
+            cache_total
+                .get_or_insert_with(CacheStats::default)
+                .absorb_parallel(&s);
         }
+        worker_stats.extend(o.stats);
     }
-    let ordering = if best_suffix.is_empty() {
-        Some(ub_order.into_vec())
-    } else {
-        let mut in_suffix = vec![false; n];
-        for &v in &best_suffix {
-            in_suffix[v] = true;
-        }
-        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
-        order.extend(best_suffix.iter().rev());
-        Some(order)
-    };
+    let ordering = Some(complete_ordering(n, &best_suffix, ub_order.into_vec()));
     let exact =
         (completed && cfg.cover == CoverMethod::Exact && !degraded) || root_lb >= best_ub;
+    let lower_bound = if exact {
+        best_ub
+    } else if completed {
+        root_lb.min(best_ub)
+    } else {
+        ghw_anytime_lb(root_lb, expiry_floor, best_ub, cfg.cover, degraded)
+    };
+    let stats = root_tel.finish().map(|root| {
+        let mut merged = SearchStats::merge(std::iter::once(root).chain(worker_stats));
+        merged.incumbents.push(IncumbentSample {
+            elapsed: budget.elapsed(),
+            upper_bound: best_ub,
+            lower_bound,
+        });
+        merged
+    });
     SearchResult {
         upper_bound: best_ub,
-        lower_bound: if exact { best_ub } else { root_lb.min(best_ub) },
+        lower_bound,
         exact,
         ordering,
         nodes_expanded: nodes,
-        elapsed: ticker.elapsed(),
+        elapsed: budget.elapsed(),
         cover_cache: cache_total,
+        stats,
     }
 }
 
@@ -530,6 +626,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_cache_merge_sums_counters_and_maxes_entries() {
+        let h = hypergraphs::grid2d(5);
+        let r = bb_ghw_parallel(
+            &h,
+            &BbGhwConfig {
+                limits: SearchLimits::unlimited().stats(true),
+                ..BbGhwConfig::default()
+            },
+            4,
+        );
+        let merged = r.cover_cache.expect("cache enabled by default");
+        let stats = r.stats.expect("stats requested");
+        let workers = &stats.worker_caches;
+        assert!(!workers.is_empty());
+        assert_eq!(merged.hits, workers.iter().map(|c| c.hits).sum::<u64>());
+        assert_eq!(merged.misses, workers.iter().map(|c| c.misses).sum::<u64>());
+        assert_eq!(
+            merged.evictions,
+            workers.iter().map(|c| c.evictions).sum::<u64>()
+        );
+        // the gauge reports the largest single worker, not the sum
+        assert_eq!(
+            merged.entries,
+            workers.iter().map(|c| c.entries).max().unwrap()
+        );
+    }
+
+    #[test]
     fn anytime_mode_reports_consistent_bounds() {
         let h = hypergraphs::grid2d(6);
         let r = bb_ghw(
@@ -540,5 +664,30 @@ mod tests {
             },
         );
         assert!(r.lower_bound <= r.upper_bound);
+        assert!(r.nodes_expanded <= 100, "budget overrun: {}", r.nodes_expanded);
+    }
+
+    #[test]
+    fn stats_collection_is_behaviourally_free() {
+        for seed in 0..3u64 {
+            let h = hypergraphs::random_hypergraph(10, 7, 3, seed);
+            for limits in [SearchLimits::unlimited(), SearchLimits::with_nodes(200)] {
+                let off = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
+                let on = bb_ghw(
+                    &h,
+                    &BbGhwConfig {
+                        limits: limits.stats(true),
+                        ..BbGhwConfig::default()
+                    },
+                );
+                assert_eq!(on.upper_bound, off.upper_bound, "seed {seed}");
+                assert_eq!(on.lower_bound, off.lower_bound, "seed {seed}");
+                assert_eq!(on.ordering, off.ordering, "seed {seed}");
+                assert_eq!(on.nodes_expanded, off.nodes_expanded, "seed {seed}");
+                assert!(off.stats.is_none());
+                let stats = on.stats.expect("stats requested");
+                assert!(!stats.incumbents.is_empty(), "seed {seed}");
+            }
+        }
     }
 }

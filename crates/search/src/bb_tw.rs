@@ -2,7 +2,10 @@
 //! in the style of QuickBB \[24\] / BB-tw \[5\], searching the elimination-
 //! ordering tree depth-first with reductions, PR1 and PR2.
 
-use crate::common::{SearchLimits, SearchResult, Ticker};
+use crate::common::{
+    anytime_lb, complete_ordering, Budget, IncumbentSample, SearchLimits, SearchResult,
+    SearchStats, Telemetry, Ticker,
+};
 use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
 use ghd_bounds::lower::{minor_min_width, tw_lower_bound};
 use ghd_bounds::upper::tw_upper_bound;
@@ -24,7 +27,7 @@ pub enum LbMode {
 /// Configuration for [`bb_tw`].
 #[derive(Clone, Debug)]
 pub struct BbConfig {
-    /// Resource limits.
+    /// Resource limits (global per run — parallel workers share them).
     pub limits: SearchLimits,
     /// Apply the simplicial / strongly-almost-simplicial reductions.
     pub use_reductions: bool,
@@ -48,7 +51,7 @@ impl Default for BbConfig {
 struct Dfs<'a> {
     eg: EliminationGraph,
     cfg: &'a BbConfig,
-    ticker: Ticker,
+    ticker: Ticker<'a>,
     ub: usize,
     /// Elimination order (first-eliminated first) realising `ub`; completed
     /// to a full ordering lazily.
@@ -59,6 +62,15 @@ struct Dfs<'a> {
     shared_ub: Option<&'a AtomicUsize>,
     /// Best width this search proved itself (`usize::MAX` until then).
     found: usize,
+    /// Minimum f-value over the *open frontier* left behind when the budget
+    /// expired (`usize::MAX` while none). Every node of the search tree that
+    /// was neither closed nor f-pruned has f at least this, so
+    /// `min(ub, expiry_floor)` is a sound anytime lower bound — f is a true
+    /// lower bound on any completion through a node and is monotone along
+    /// root-to-leaf paths.
+    expiry_floor: usize,
+    /// Telemetry collector (no-op unless `limits.collect_stats`).
+    telemetry: Telemetry,
 }
 
 impl Dfs<'_> {
@@ -68,6 +80,10 @@ impl Dfs<'_> {
         self.best_suffix = self.suffix.clone();
         if let Some(s) = self.shared_ub {
             s.fetch_min(w, Ordering::Relaxed);
+        }
+        if self.telemetry.on() {
+            let (elapsed, lb) = (self.ticker.elapsed(), self.root_lb);
+            self.telemetry.sample(elapsed, w, lb);
         }
     }
 
@@ -85,6 +101,8 @@ impl Dfs<'_> {
     /// expired (result no longer guaranteed exact).
     fn search(&mut self, g: usize, f: usize, allowed: Option<&BitSet>) -> bool {
         if !self.ticker.tick() {
+            // this node stays open: its f joins the expiry floor
+            self.expiry_floor = self.expiry_floor.min(f);
             return false;
         }
         if let Some(s) = self.shared_ub {
@@ -97,6 +115,7 @@ impl Dfs<'_> {
             self.improve(w);
         }
         if n_alive <= g + 1 {
+            self.telemetry.prune(|p| p.pr1_closures += 1);
             return true; // subtree solved optimally at width g
         }
 
@@ -106,10 +125,19 @@ impl Dfs<'_> {
         } else {
             None
         };
+        if forced.is_some() {
+            self.telemetry.prune(|p| p.simplicial += 1);
+        }
         let children: Vec<usize> = match forced {
             Some(v) => vec![v],
             None => match allowed {
-                Some(set) => set.iter().collect(),
+                Some(set) => {
+                    if self.telemetry.on() {
+                        let cut = n_alive.saturating_sub(set.len()) as u64;
+                        self.telemetry.prune(|p| p.pr2_filtered += cut);
+                    }
+                    set.iter().collect()
+                }
                 None => self.eg.alive().to_vec(),
             },
         };
@@ -117,7 +145,8 @@ impl Dfs<'_> {
         let mut children = children;
         children.sort_by_key(|&v| self.eg.degree(v));
 
-        for v in children {
+        let last = children.len();
+        for (i, &v) in children.iter().enumerate() {
             // grandchild PR2 filter must look at the *current* graph
             let grandchildren = if self.cfg.use_pr2 && forced.is_none() {
                 Some(pr2_allowed_children(&self.eg, v, swappable_tw))
@@ -135,11 +164,16 @@ impl Dfs<'_> {
             let ok = if child_f < self.ub {
                 self.search(child_g, child_f, grandchildren.as_ref())
             } else {
+                self.telemetry.prune(|p| p.f_prunes += 1);
                 true
             };
             self.suffix.pop();
             self.eg.restore();
             if !ok {
+                if i + 1 < last {
+                    // unvisited siblings remain open; each has f ≥ this f
+                    self.expiry_floor = self.expiry_floor.min(f);
+                }
                 return false;
             }
         }
@@ -148,12 +182,16 @@ impl Dfs<'_> {
 }
 
 /// Computes the treewidth of `g` by branch and bound. Anytime: with limits,
-/// returns the best upper bound found (`exact == false` unless proven).
+/// returns the best upper bound found, and a lower bound tightened by the
+/// minimum f-value of the unexplored frontier (`exact == false` unless
+/// proven).
 pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
     let n = g.num_vertices();
-    let ticker = Ticker::new(cfg.limits);
+    let budget = Budget::new(cfg.limits);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let mut telemetry = Telemetry::new(cfg.limits.collect_stats);
+    telemetry.sample(budget.elapsed(), ub, root_lb.min(ub));
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -161,55 +199,59 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
             exact: true,
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
-            elapsed: ticker.elapsed(),
+            elapsed: budget.elapsed(),
             cover_cache: None,
+            stats: telemetry.finish(),
         };
     }
     let mut dfs = Dfs {
         eg: EliminationGraph::new(g),
         cfg,
-        ticker,
+        ticker: budget.worker(),
         ub,
         best_suffix: Vec::new(),
         suffix: Vec::new(),
         root_lb,
         shared_ub: None,
         found: usize::MAX,
+        expiry_floor: usize::MAX,
+        telemetry,
     };
     let completed = dfs.search(0, root_lb, None);
-    let ordering = if dfs.best_suffix.is_empty() {
-        Some(ub_order.into_vec())
-    } else {
-        // front: not-yet-eliminated vertices (any order), back: suffix reversed
-        let mut in_suffix = vec![false; n];
-        for &v in &dfs.best_suffix {
-            in_suffix[v] = true;
-        }
-        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
-        order.extend(dfs.best_suffix.iter().rev());
-        Some(order)
-    };
+    let ordering = Some(complete_ordering(n, &dfs.best_suffix, ub_order.into_vec()));
     let exact = completed;
+    let lower_bound = if exact {
+        dfs.ub
+    } else {
+        anytime_lb(dfs.root_lb, dfs.expiry_floor, dfs.ub)
+    };
+    let mut telemetry = dfs.telemetry;
+    telemetry.sample(budget.elapsed(), dfs.ub, lower_bound);
     SearchResult {
         upper_bound: dfs.ub,
-        lower_bound: if exact { dfs.ub } else { dfs.root_lb },
+        lower_bound,
         exact,
         ordering,
         nodes_expanded: dfs.ticker.nodes(),
-        elapsed: dfs.ticker.elapsed(),
+        elapsed: budget.elapsed(),
         cover_cache: None,
+        stats: telemetry.finish(),
     }
 }
 
 /// Parallel BB-tw: root elimination choices are fanned out over up to
 /// `threads` workers (`0` = all cores) that share the incumbent upper bound
-/// through an atomic. Exact runs are **width-identical** to [`bb_tw`]
-/// (orderings may be different optima); resource limits apply per worker.
+/// through an atomic **and share one [`Budget`]** — a `time_limit` of T
+/// finishes in O(T) wall-clock and a `max_nodes` of N expands at most N
+/// states in total, regardless of the thread count. Exact runs are
+/// **width-identical** to [`bb_tw`] (orderings may be different optima).
 pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
     let n = g.num_vertices();
-    let ticker = Ticker::new(cfg.limits);
+    let budget = Budget::new(cfg.limits);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
+    root_tel.sample(budget.elapsed(), ub, root_lb.min(ub));
     if root_lb >= ub || n <= 1 {
         return SearchResult {
             upper_bound: ub,
@@ -217,8 +259,9 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
             exact: true,
             ordering: Some(ub_order.into_vec()),
             nodes_expanded: 0,
-            elapsed: ticker.elapsed(),
+            elapsed: budget.elapsed(),
             cover_cache: None,
+            stats: root_tel.finish(),
         };
     }
     // root children as the sequential root expansion would enumerate them
@@ -242,49 +285,67 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
         let mut dfs = Dfs {
             eg: EliminationGraph::new(g),
             cfg,
-            ticker: Ticker::new(cfg.limits),
+            ticker: budget.worker(),
             ub,
             best_suffix: Vec::new(),
             suffix: Vec::new(),
             root_lb,
             shared_ub: Some(&incumbent),
             found: usize::MAX,
+            expiry_floor: usize::MAX,
+            telemetry: Telemetry::new(cfg.limits.collect_stats),
         };
         let completed = dfs.search(0, root_lb, Some(&allowed));
-        (completed, dfs.found, dfs.best_suffix, dfs.ticker.nodes())
+        (
+            completed,
+            dfs.found,
+            dfs.best_suffix,
+            dfs.ticker.nodes(),
+            dfs.expiry_floor,
+            dfs.telemetry.finish(),
+        )
     });
 
     let mut best_ub = ub;
     let mut best_suffix: Vec<usize> = Vec::new();
     let mut nodes = 0u64;
     let mut completed = true;
-    for (ok, found, suffix, worker_nodes) in outcomes {
+    let mut expiry_floor = usize::MAX;
+    let mut worker_stats: Vec<SearchStats> = Vec::new();
+    for (ok, found, suffix, worker_nodes, floor, stats) in outcomes {
         if found < best_ub {
             best_ub = found;
             best_suffix = suffix;
         }
         nodes += worker_nodes;
         completed &= ok;
+        expiry_floor = expiry_floor.min(floor);
+        worker_stats.extend(stats);
     }
-    let ordering = if best_suffix.is_empty() {
-        Some(ub_order.into_vec())
+    let ordering = Some(complete_ordering(n, &best_suffix, ub_order.into_vec()));
+    let lower_bound = if completed {
+        best_ub
     } else {
-        let mut in_suffix = vec![false; n];
-        for &v in &best_suffix {
-            in_suffix[v] = true;
-        }
-        let mut order: Vec<usize> = (0..n).filter(|&v| !in_suffix[v]).collect();
-        order.extend(best_suffix.iter().rev());
-        Some(order)
+        anytime_lb(root_lb, expiry_floor, best_ub)
     };
+    let stats = root_tel.finish().map(|root| {
+        let mut merged = SearchStats::merge(std::iter::once(root).chain(worker_stats));
+        merged.incumbents.push(IncumbentSample {
+            elapsed: budget.elapsed(),
+            upper_bound: best_ub,
+            lower_bound,
+        });
+        merged
+    });
     SearchResult {
         upper_bound: best_ub,
-        lower_bound: if completed { best_ub } else { root_lb },
+        lower_bound,
         exact: completed,
         ordering,
         nodes_expanded: nodes,
-        elapsed: ticker.elapsed(),
+        elapsed: budget.elapsed(),
         cover_cache: None,
+        stats,
     }
 }
 
@@ -372,6 +433,48 @@ mod tests {
         );
         assert!(r.lower_bound <= r.upper_bound);
         assert!(r.upper_bound <= 25);
+        assert!(r.nodes_expanded <= 200, "budget overrun: {}", r.nodes_expanded);
+    }
+
+    #[test]
+    fn expiry_floor_never_undercuts_the_root_bound() {
+        // the anytime lower bound after expiry dominates the root heuristic
+        let g = graphs::queen(5);
+        let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&g, None);
+        for nodes in [50, 500, 5000] {
+            let r = bb_tw(
+                &g,
+                &BbConfig {
+                    limits: SearchLimits::with_nodes(nodes),
+                    ..BbConfig::default()
+                },
+            );
+            assert!(r.lower_bound >= root_lb, "nodes={nodes}");
+            assert!(r.lower_bound <= r.upper_bound, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn stats_collection_is_behaviourally_free() {
+        for g in [graphs::grid(4), graphs::queen(4)] {
+            for limits in [SearchLimits::unlimited(), SearchLimits::with_nodes(300)] {
+                let off = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
+                let on = bb_tw(
+                    &g,
+                    &BbConfig {
+                        limits: limits.stats(true),
+                        ..BbConfig::default()
+                    },
+                );
+                assert_eq!(on.upper_bound, off.upper_bound);
+                assert_eq!(on.lower_bound, off.lower_bound);
+                assert_eq!(on.ordering, off.ordering);
+                assert_eq!(on.nodes_expanded, off.nodes_expanded);
+                assert!(off.stats.is_none());
+                let stats = on.stats.expect("stats requested");
+                assert!(!stats.incumbents.is_empty());
+            }
+        }
     }
 
     #[test]

@@ -20,5 +20,7 @@ pub use astar_ghw::astar_ghw;
 pub use astar_tw::astar_tw;
 pub use bb_ghw::{bb_ghw, bb_ghw_parallel, BbGhwConfig};
 pub use bb_tw::{bb_tw, bb_tw_parallel, BbConfig, LbMode};
-pub use common::{SearchLimits, SearchResult};
+pub use common::{
+    Budget, IncumbentSample, PruneCounters, SearchLimits, SearchResult, SearchStats, Ticker,
+};
 pub use preprocess::{preprocess_tw, tw_with_preprocessing, Preprocessed};

@@ -91,6 +91,7 @@ pub fn tw_with_preprocessing(
             nodes_expanded: 0,
             elapsed: std::time::Duration::ZERO,
             cover_cache: None,
+            stats: None,
         };
     }
     let mut r = crate::astar_tw(&pre.core, limits);

@@ -18,6 +18,9 @@ cargo clippy --offline -q --workspace --all-targets -- -D warnings
 echo "==> bench_smoke (cover cache on/off, writes BENCH_search.json)"
 cargo run --offline -q --release -p ghd-bench --bin bench_smoke
 
+echo "==> validate BENCH_search.json (schema, lb <= ub, non-empty incumbent traces)"
+cargo run --offline -q --release -p ghd-bench --bin validate_bench -- BENCH_search.json
+
 echo "==> bench_join (naive vs columnar relation engine, writes BENCH_csp.json)"
 cargo run --offline -q --release -p ghd-bench --bin bench_join -- --runs 1
 

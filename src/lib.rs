@@ -38,5 +38,6 @@ pub mod prelude {
     pub use ghd_hypergraph::{BitSet, EliminationGraph, Graph, Hypergraph};
     pub use ghd_search::{
         astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits, SearchResult,
+        SearchStats,
     };
 }

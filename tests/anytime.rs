@@ -12,6 +12,7 @@ use ghd::search::{
     astar_ghw, astar_tw, bb_ghw, bb_ghw_parallel, bb_tw, bb_tw_parallel, BbConfig, BbGhwConfig,
     SearchLimits,
 };
+use std::time::{Duration, Instant};
 
 #[test]
 fn truncated_tw_searches_bracket_the_optimum() {
@@ -141,6 +142,138 @@ fn parallel_searches_match_sequential_and_orderings_realize_widths() {
             assert_eq!(realized, par.upper_bound, "seed {seed} threads {threads}");
         }
     }
+}
+
+/// One wall-clock deadline is shared by every worker of the parallel
+/// root-split searches: a run with `time_limit = T` finishes in O(T) wall
+/// time for **any** thread count — never `threads × T`. The fixed grace
+/// term covers the uninterruptible root work (heuristic bounds, root
+/// covers), which runs before the first deadline check.
+#[test]
+fn parallel_time_budget_is_shared_not_multiplied() {
+    let h = hypergraphs::grid2d(8);
+    let budget = Duration::from_millis(600);
+    let grace = Duration::from_secs(3);
+    for threads in [1usize, 2, 4] {
+        let cfg = BbGhwConfig {
+            limits: SearchLimits::with_time(budget),
+            ..BbGhwConfig::default()
+        };
+        let started = Instant::now();
+        let r = bb_ghw_parallel(&h, &cfg, threads);
+        let wall = started.elapsed();
+        assert!(
+            wall <= budget.mul_f64(1.2) + grace,
+            "threads {threads}: wall {wall:?} blew the {budget:?} budget"
+        );
+        assert!(r.lower_bound <= r.upper_bound, "threads {threads}");
+    }
+}
+
+/// `max_nodes = N` is one **global** pool of node credits: the merged
+/// expansion count of all workers never exceeds N, for any thread count
+/// (the pre-fix behaviour handed every root-split worker its own budget,
+/// inflating the real limit by the number of root children).
+#[test]
+fn parallel_node_budget_is_global() {
+    let g = graphs::queen(6);
+    let h = hypergraphs::grid2d(6);
+    for cap in [100u64, 400] {
+        for threads in [1usize, 2, 4] {
+            let r = bb_tw_parallel(
+                &g,
+                &BbConfig {
+                    limits: SearchLimits::with_nodes(cap),
+                    ..BbConfig::default()
+                },
+                threads,
+            );
+            assert!(
+                r.nodes_expanded <= cap,
+                "tw cap {cap} threads {threads}: expanded {}",
+                r.nodes_expanded
+            );
+            assert!(r.lower_bound <= r.upper_bound, "tw cap {cap} threads {threads}");
+
+            let r = bb_ghw_parallel(
+                &h,
+                &BbGhwConfig {
+                    limits: SearchLimits::with_nodes(cap),
+                    ..BbGhwConfig::default()
+                },
+                threads,
+            );
+            assert!(
+                r.nodes_expanded <= cap,
+                "ghw cap {cap} threads {threads}: expanded {}",
+                r.nodes_expanded
+            );
+            assert!(r.lower_bound <= r.upper_bound, "ghw cap {cap} threads {threads}");
+        }
+    }
+}
+
+/// Telemetry is behaviourally free across the whole search suite: the
+/// sequential searches are **bit-identical** with stats on and off (same
+/// bounds, same ordering, same node count) under capped and uncapped
+/// budgets, and the stats object appears exactly when requested.
+#[test]
+fn telemetry_is_behaviourally_free_across_the_search_suite() {
+    let g = graphs::gnm_random(14, 40, 7);
+    let h = hypergraphs::random_hypergraph(11, 8, 3, 5);
+    for cap in [Some(1u64), Some(25), Some(500), None] {
+        let off = match cap {
+            Some(n) => SearchLimits::with_nodes(n),
+            None => SearchLimits::unlimited(),
+        };
+        let on = off.stats(true);
+        let runs: [(&str, ghd::search::SearchResult, ghd::search::SearchResult); 4] = [
+            ("astar_tw", astar_tw(&g, off), astar_tw(&g, on)),
+            (
+                "bb_tw",
+                bb_tw(&g, &BbConfig { limits: off, ..BbConfig::default() }),
+                bb_tw(&g, &BbConfig { limits: on, ..BbConfig::default() }),
+            ),
+            ("astar_ghw", astar_ghw(&h, off), astar_ghw(&h, on)),
+            (
+                "bb_ghw",
+                bb_ghw(&h, &BbGhwConfig { limits: off, ..BbGhwConfig::default() }),
+                bb_ghw(&h, &BbGhwConfig { limits: on, ..BbGhwConfig::default() }),
+            ),
+        ];
+        for (name, a, b) in &runs {
+            let tag = format!("{name} cap {cap:?}");
+            assert_eq!(a.upper_bound, b.upper_bound, "{tag}: ub");
+            assert_eq!(a.lower_bound, b.lower_bound, "{tag}: lb");
+            assert_eq!(a.exact, b.exact, "{tag}: exact");
+            assert_eq!(a.ordering, b.ordering, "{tag}: ordering");
+            assert_eq!(a.nodes_expanded, b.nodes_expanded, "{tag}: nodes");
+            assert!(a.stats.is_none(), "{tag}: stats off must carry no stats");
+            let st = b.stats.as_ref().unwrap_or_else(|| panic!("{tag}: stats on"));
+            assert!(!st.incumbents.is_empty(), "{tag}: incumbent trace");
+            assert!(
+                st.incumbents.windows(2).all(|w| w[0].elapsed <= w[1].elapsed),
+                "{tag}: incumbents sorted"
+            );
+            assert!(
+                st.incumbents.iter().all(|s| s.lower_bound <= s.upper_bound),
+                "{tag}: incumbent lb <= ub"
+            );
+        }
+    }
+
+    // parallel searches: widths identical, stats merged from all workers
+    let off = SearchLimits::unlimited();
+    let a = bb_ghw_parallel(&h, &BbGhwConfig { limits: off, ..BbGhwConfig::default() }, 3);
+    let b = bb_ghw_parallel(
+        &h,
+        &BbGhwConfig { limits: off.stats(true), ..BbGhwConfig::default() },
+        3,
+    );
+    assert_eq!(a.upper_bound, b.upper_bound, "parallel: ub");
+    assert_eq!(a.exact, b.exact, "parallel: exact");
+    assert!(a.stats.is_none() && b.stats.is_some(), "parallel: stats gating");
+    assert!(!b.stats.unwrap().incumbents.is_empty(), "parallel: incumbents");
 }
 
 /// The set-cover transposition cache is behaviourally invisible: identical

@@ -129,7 +129,11 @@ fn configurations() -> Vec<SolveOptions> {
     let mut cfgs = Vec::new();
     for threads in [1usize, 2, 4] {
         for yannakakis in [true, false] {
-            cfgs.push(SolveOptions { threads, yannakakis });
+            cfgs.push(SolveOptions {
+                threads,
+                yannakakis,
+                ..SolveOptions::default()
+            });
         }
     }
     cfgs
@@ -201,11 +205,14 @@ fn thread_count_never_changes_results() {
             &min_fill_ordering::<StdRng>(&h.primal_graph(), None),
             CoverMethod::Greedy,
         );
-        let base = SolveOptions { threads: 1, yannakakis: true };
+        let base = SolveOptions::default();
         let reference =
             enumerate_solutions_with_ghd_opts(&csp, &ghd, usize::MAX, &base).unwrap();
         for threads in [2usize, 4] {
-            let opts = SolveOptions { threads, yannakakis: true };
+            let opts = SolveOptions {
+                threads,
+                ..SolveOptions::default()
+            };
             let got = enumerate_solutions_with_ghd_opts(&csp, &ghd, usize::MAX, &opts).unwrap();
             assert_eq!(got, reference, "seed {seed} threads {threads}: order/content");
         }
