@@ -1,0 +1,214 @@
+//! Deterministic fuzz harness for every untrusted-input parser in the
+//! workspace: DIMACS / PACE graphs, the hypergraph text format, PACE `.td`
+//! tree decompositions, the `.ghd` text format and the JSON reader.
+//!
+//! The harness starts from *valid* corpora (serialised from real
+//! instances), applies seeded byte-level mutations (flips, truncations,
+//! splices, digit inflation), and asserts the contract of a hardened
+//! parser on every mutant:
+//!
+//!   1. returns `Ok` or `Err` — it **never panics**, and
+//!   2. never allocates proportionally to a declared header size before
+//!      validating it against the input length (enforced indirectly: a
+//!      mutant inflating a header to `99999999999` must come back `Err`
+//!      in microseconds, which the run's wall-clock bound would expose,
+//!      and directly by the header-cap unit tests in each parser).
+//!
+//! Any panic aborts the run with the seed and iteration number, which
+//! reproduce the failing input exactly:
+//!
+//! ```text
+//! cargo run --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
+//! ```
+//!
+//! Exit status: 0 when every mutant was handled totally, 101 (panic) on
+//! the first violation. `scripts/tier1.sh` runs this as a smoke gate.
+
+use ghd_bench::table::Args;
+use ghd_core::io::{parse_ghd, parse_td, write_ghd, write_td};
+use ghd_core::json::Json;
+use ghd_core::{bucket, CoverMethod, EliminationOrdering};
+use ghd_hypergraph::generators::{graphs, hypergraphs};
+use ghd_hypergraph::io as hio;
+use ghd_hypergraph::Hypergraph;
+use ghd_prng::{Rng, RngExt, Xoshiro256PlusPlus};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One fuzz target: a name, a valid seed corpus and the parser under test.
+struct Target {
+    name: &'static str,
+    corpus: Vec<String>,
+    /// Returns `true` when the parser accepted the mutant (for telemetry
+    /// only — both outcomes are fine, panicking is not).
+    parse: Box<dyn Fn(&str) -> bool>,
+}
+
+fn targets() -> Vec<Target> {
+    // graphs for the DIMACS / PACE corpora
+    let gs = [graphs::grid(4), graphs::queen(5), graphs::gnm_random(18, 40, 11)];
+    // hypergraphs for the text / td / ghd corpora
+    let hs = vec![
+        hypergraphs::grid2d(4),
+        hypergraphs::random_circuit(16, 18, 3),
+        hypergraphs::random_hypergraph(14, 10, 4, 5),
+    ];
+    let td_corpus: Vec<String> = hs
+        .iter()
+        .map(|h| {
+            let sigma = EliminationOrdering::identity(h.num_vertices());
+            write_td(&bucket::vertex_elimination(&h.primal_graph(), &sigma))
+        })
+        .collect();
+    let ghd_corpus: Vec<String> = hs
+        .iter()
+        .map(|h| {
+            let sigma = EliminationOrdering::identity(h.num_vertices());
+            write_ghd(&bucket::ghd_from_ordering(h, &sigma, CoverMethod::Greedy), h)
+        })
+        .collect();
+    // a GHD parse needs the hypergraph it talks about; fuzz each corpus
+    // entry against its own hypergraph (clone moved into the closure)
+    let ghd_hs: Vec<Hypergraph> = hs.clone();
+    let json_corpus = vec![
+        r#"{"bench": "x", "results": [{"instance": "g", "width": 3, "exact": true,
+            "incumbents": [{"elapsed_s": 0.5, "upper_bound": 3, "lower_bound": 2}],
+            "prunes": {"simplicial": 4}}], "ok": true}"#
+            .to_string(),
+        r#"[1, -2.5e3, "str\nA", [true, false, null], {}]"#.to_string(),
+    ];
+
+    vec![
+        Target {
+            name: "dimacs",
+            corpus: gs.iter().map(hio::write_dimacs).collect(),
+            parse: Box::new(|s| hio::parse_dimacs(s).is_ok()),
+        },
+        Target {
+            name: "pace_gr",
+            corpus: gs.iter().map(hio::write_pace_gr).collect(),
+            parse: Box::new(|s| hio::parse_pace_gr(s).is_ok()),
+        },
+        Target {
+            name: "hypergraph",
+            corpus: hs.iter().map(hio::write_hypergraph).collect(),
+            parse: Box::new(|s| hio::parse_hypergraph(s).is_ok()),
+        },
+        Target {
+            name: "td",
+            corpus: td_corpus,
+            parse: Box::new(|s| parse_td(s).is_ok()),
+        },
+        Target {
+            name: "ghd",
+            corpus: ghd_corpus,
+            parse: Box::new(move |s| ghd_hs.iter().any(|h| parse_ghd(s, h).is_ok())),
+        },
+        Target {
+            name: "json",
+            corpus: json_corpus,
+            parse: Box::new(|s| Json::parse(s).is_ok()),
+        },
+    ]
+}
+
+/// Applies 1–8 seeded byte mutations to `base`. Mutations deliberately
+/// include the attacks the parsers harden against: digit inflation (header
+/// DoS), truncation (mid-token EOF), splicing (duplicate/global confusion)
+/// and raw byte flips (non-UTF-8 is impossible here since the parsers take
+/// `&str`, so flips stay in the printable ASCII range).
+fn mutate(base: &str, rng: &mut Xoshiro256PlusPlus) -> String {
+    let mut bytes: Vec<u8> = base.as_bytes().to_vec();
+    let n_mut = 1 + (rng.next_u64() % 8) as usize;
+    for _ in 0..n_mut {
+        if bytes.is_empty() {
+            bytes.extend_from_slice(b"0");
+        }
+        match rng.next_u64() % 6 {
+            // flip one byte to printable ASCII
+            0 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] = 0x20 + (rng.next_u64() % 95) as u8;
+            }
+            // truncate at a random point
+            1 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes.truncate(i);
+            }
+            // inflate a digit run (header-DoS attempt)
+            2 => {
+                if let Some(i) = bytes.iter().position(u8::is_ascii_digit) {
+                    let digits: Vec<u8> = (0..11).map(|_| b'0' + (rng.next_u64() % 10) as u8).collect();
+                    bytes.splice(i..i, digits);
+                }
+            }
+            // duplicate a random slice (duplicate ids / lines)
+            3 => {
+                let a = rng.random_range(0..bytes.len());
+                let b = (a + rng.random_range(1..64.min(bytes.len() + 1))).min(bytes.len());
+                let slice: Vec<u8> = bytes[a..b].to_vec();
+                bytes.splice(a..a, slice);
+            }
+            // delete a random slice
+            4 => {
+                let a = rng.random_range(0..bytes.len());
+                let b = (a + rng.random_range(1..32)).min(bytes.len());
+                bytes.drain(a..b);
+            }
+            // insert structural noise
+            5 => {
+                let noise: &[u8] = match rng.next_u64() % 5 {
+                    0 => b"\n",
+                    1 => b"{",
+                    2 => b"}",
+                    3 => b"-",
+                    _ => b" 99999999999 ",
+                };
+                let i = rng.random_range(0..=bytes.len());
+                bytes.splice(i..i, noise.iter().copied());
+            }
+            _ => unreachable!(),
+        }
+    }
+    // the parsers take &str; repair any UTF-8 damage lossily
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn main() {
+    let args = Args::parse();
+    let iters: u64 = args.get("iters").unwrap_or(2000);
+    let seed: u64 = args.get("seed").unwrap_or(7);
+
+    let targets = targets();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut total: u64 = 0;
+    let mut accepted: u64 = 0;
+    for it in 0..iters {
+        for t in &targets {
+            let base = &t.corpus[(rng.next_u64() as usize) % t.corpus.len()];
+            let mutant = mutate(base, &mut rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| (t.parse)(&mutant)));
+            match outcome {
+                Ok(ok) => {
+                    total += 1;
+                    accepted += u64::from(ok);
+                }
+                Err(_) => {
+                    eprintln!(
+                        "fuzz_inputs: PANIC in `{}` parser at iter {it} (seed {seed});\n\
+                         reproduce with --iters {} --seed {seed}\n\
+                         --- mutant ({} bytes) ---\n{}",
+                        t.name,
+                        it + 1,
+                        mutant.len(),
+                        &mutant[..mutant.len().min(2000)]
+                    );
+                    std::process::exit(101);
+                }
+            }
+        }
+    }
+    println!(
+        "fuzz_inputs: {total} mutants across {} parsers, 0 panics ({accepted} parsed clean), seed {seed}",
+        targets.len()
+    );
+}

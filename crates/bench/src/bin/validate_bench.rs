@@ -1,7 +1,8 @@
 //! Schema validator for `BENCH_search.json` (the artifact `bench_smoke`
 //! emits). Run by `scripts/tier1.sh` after the bench: a record that lost a
-//! required key, reports `lower_bound > width`, or carries an empty
-//! incumbent trace fails the gate *before* a human reads the numbers.
+//! required key, reports `lower_bound > width`, carries an empty incumbent
+//! trace, or whose width is not backed by a passing certificate
+//! (`certified: true`) fails the gate *before* a human reads the numbers.
 //!
 //! ```text
 //! cargo run --release -p ghd-bench --bin validate_bench -- BENCH_search.json
@@ -61,6 +62,27 @@ fn check(doc: &Json) -> Vec<String> {
         }
         if r.get("exact").and_then(Json::as_bool).is_none() {
             err(format!("{name}: boolean `exact` missing"));
+        }
+        // every published width must carry a passing certificate: the
+        // record has to say `certified: true`, anything else fails the gate
+        match r.get("certified").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => err(format!("{name}: width is not certified")),
+            None => err(format!("{name}: boolean `certified` missing")),
+        }
+        // the fault list must be present (normally empty; a bench that
+        // completed *despite* contained worker faults is worth seeing)
+        match r.get("faults").and_then(Json::as_array) {
+            None => err(format!("{name}: `faults` array missing")),
+            Some(fs) => {
+                for (j, f) in fs.iter().enumerate() {
+                    if f.get("task").and_then(Json::as_f64).is_none()
+                        || f.get("payload").and_then(Json::as_str).is_none()
+                    {
+                        err(format!("{name}: faults[{j}] missing task/payload"));
+                    }
+                }
+            }
         }
         if let (Some(lb), Some(ub)) = (
             r.get("lower_bound").and_then(Json::as_f64),
@@ -150,6 +172,7 @@ mod tests {
             r#"{"bench": "bb_ghw_cover_cache", "results": [
                 {"instance": "g", "vertices": 4, "edges": 4, "width": 2,
                  "width_cache_off": 2, "lower_bound": 2, "exact": true,
+                 "certified": true, "faults": [],
                  "wall_s_cache_off": 0.1, "wall_s_cache_on": 0.05,
                  "nodes_expanded": 12, "cache_hits": 3, "cache_misses": 4,
                  "incumbents": [{"elapsed_s": 0.0, "upper_bound": 3, "lower_bound": 1},
@@ -176,6 +199,24 @@ mod tests {
         let errs = check(&doc);
         assert!(errs.iter().any(|e| e.contains("lower_bound 3 > width 2")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("incumbent trace is empty")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("`certified` missing")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("`faults` array missing")), "{errs:?}");
+
+        // an uncertified width fails the gate even with everything else sane
+        let doc = Json::parse(
+            r#"{"bench": "x", "results": [
+                {"instance": "u", "vertices": 4, "edges": 4, "width": 2,
+                 "width_cache_off": 2, "lower_bound": 2, "exact": true,
+                 "certified": false, "faults": [{"worker": 0, "task": 1, "payload": "boom"}],
+                 "wall_s_cache_off": 0.1, "wall_s_cache_on": 0.05,
+                 "nodes_expanded": 12, "cache_hits": 3, "cache_misses": 4,
+                 "incumbents": [{"elapsed_s": 0.0, "upper_bound": 2, "lower_bound": 2}],
+                 "prunes": {}}
+            ]}"#,
+        )
+        .unwrap();
+        let errs = check(&doc);
+        assert_eq!(errs, vec!["u: width is not certified".to_string()], "{errs:?}");
 
         let doc = Json::parse(r#"{"bench": "x", "results": []}"#).unwrap();
         assert!(check(&doc).iter().any(|e| e.contains("empty")));

@@ -32,8 +32,85 @@ use ghd_hypergraph::{io, Graph, Hypergraph};
 use ghd_search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
 use std::time::Duration;
 
-/// Result type of every command: human-readable output or error text.
-pub type CmdResult = Result<String, String>;
+/// Error category of a failed command, mapped to a BSD-`sysexits` exit
+/// code by the `ghd` binary. A budget that expires mid-search is **not**
+/// an error: the command prints anytime bounds with a `(budget expired)`
+/// note and exits 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed command line (unknown command/method, bad flag value).
+    /// Exit code 64 (`EX_USAGE`).
+    Usage,
+    /// Malformed *input data*: a file that fails to parse, or a
+    /// decomposition that fails validation. Exit code 65 (`EX_DATAERR`).
+    Data,
+    /// A named input file that cannot be read. Exit code 66 (`EX_NOINPUT`).
+    NoInput,
+    /// A bug: the command was about to print a width whose independently
+    /// re-verified certificate was rejected. Exit code 70 (`EX_SOFTWARE`).
+    Internal,
+}
+
+/// A failed command: category plus one-line diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CmdError {
+    /// What class of failure this is (drives the exit code).
+    pub kind: ErrorKind,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+impl CmdError {
+    fn usage(message: impl Into<String>) -> CmdError {
+        CmdError { kind: ErrorKind::Usage, message: message.into() }
+    }
+    fn data(message: impl std::fmt::Display) -> CmdError {
+        CmdError { kind: ErrorKind::Data, message: message.to_string() }
+    }
+    fn no_input(message: impl Into<String>) -> CmdError {
+        CmdError { kind: ErrorKind::NoInput, message: message.into() }
+    }
+    fn internal(message: impl Into<String>) -> CmdError {
+        CmdError { kind: ErrorKind::Internal, message: message.into() }
+    }
+
+    /// The process exit code for this error (BSD `sysexits` conventions).
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            ErrorKind::Usage => 64,
+            ErrorKind::Data => 65,
+            ErrorKind::NoInput => 66,
+            ErrorKind::Internal => 70,
+        }
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            ErrorKind::Internal => write!(f, "InternalError: {}", self.message),
+            _ => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+// bare strings (usage texts, `parse_num` messages) default to Usage
+impl From<String> for CmdError {
+    fn from(message: String) -> CmdError {
+        CmdError::usage(message)
+    }
+}
+impl From<&str> for CmdError {
+    fn from(message: &str) -> CmdError {
+        CmdError::usage(message)
+    }
+}
+
+/// Result type of every command: human-readable output or a categorised
+/// [`CmdError`].
+pub type CmdResult = Result<String, CmdError>;
 
 /// Entry point: dispatches on the first argument.
 pub fn run(args: &[String]) -> CmdResult {
@@ -44,7 +121,7 @@ pub fn run(args: &[String]) -> CmdResult {
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(CmdError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
 
@@ -106,21 +183,23 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad {what}: `{s}`"))
 }
 
-fn read_file(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+fn read_file(path: &str) -> Result<String, CmdError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CmdError::no_input(format!("cannot read `{path}`: {e}")))
 }
 
 /// Loads a graph, auto-detecting DIMACS `.col` vs PACE `.gr` content.
-pub fn load_graph(text: &str) -> Result<Graph, String> {
+/// Parse failures are [`ErrorKind::Data`] errors.
+pub fn load_graph(text: &str) -> Result<Graph, CmdError> {
     let looks_pace = text
         .lines()
         .map(str::trim)
         .find(|l| !l.is_empty() && !l.starts_with('c'))
         .is_some_and(|l| l.starts_with("p tw"));
     if looks_pace {
-        io::parse_pace_gr(text).map_err(|e| e.to_string())
+        io::parse_pace_gr(text).map_err(CmdError::data)
     } else {
-        io::parse_dimacs(text).map_err(|e| e.to_string())
+        io::parse_dimacs(text).map_err(CmdError::data)
     }
 }
 
@@ -151,13 +230,13 @@ fn cmd_gen(args: &[String]) -> CmdResult {
         "grid2d-h" => Inst::H(hypergraphs::grid2d(p(1)?)),
         "grid3d-h" => Inst::H(hypergraphs::grid3d(p(1)?)),
         "circuit" => Inst::H(hypergraphs::random_circuit(p(1)?, p(2)?, p(3)? as u64)),
-        other => return Err(format!("unknown family `{other}`")),
+        other => return Err(CmdError::usage(format!("unknown family `{other}`"))),
     };
     match (inst, format) {
         (Inst::G(g), "col" | "auto") => Ok(io::write_dimacs(&g)),
         (Inst::G(g), "gr") => Ok(io::write_pace_gr(&g)),
         (Inst::H(h), "hg" | "auto") => Ok(io::write_hypergraph(&h)),
-        (_, f) => Err(format!("format `{f}` does not fit this family")),
+        (_, f) => Err(CmdError::usage(format!("format `{f}` does not fit this family"))),
     }
 }
 
@@ -205,6 +284,50 @@ fn stats_format<'a>(opts: &[(&'a str, Option<&'a str>)]) -> Result<Option<&'a st
     }
 }
 
+/// Self-certification for treewidth claims: independently rebuilds the
+/// tree decomposition the ordering induces, verifies it against the graph,
+/// and checks it supports the claimed width (equality for `exact` claims,
+/// `<=` for heuristic upper bounds). A failure here is a bug in the search
+/// — it surfaces as a loud [`ErrorKind::Internal`] instead of a silently
+/// wrong number. Cost: one `O(n·w)` elimination plus an `O(|T|·w)` verify.
+fn certify_tw(g: &Graph, ordering: &[usize], claimed: usize, exact: bool) -> Result<(), CmdError> {
+    let sigma = EliminationOrdering::new(ordering.to_vec())
+        .ok_or_else(|| CmdError::internal("certificate rejected: ordering is not a permutation"))?;
+    let td = ghd_core::bucket::vertex_elimination(g, &sigma);
+    td.verify_graph(g)
+        .map_err(|e| CmdError::internal(format!("certificate rejected: {e}")))?;
+    let w = td.width();
+    if if exact { w != claimed } else { w > claimed } {
+        return Err(CmdError::internal(format!(
+            "certificate rejected: decomposition has width {w}, claimed {claimed}"
+        )));
+    }
+    Ok(())
+}
+
+/// Self-certification for ghw claims: rebuilds a GHD from the ordering
+/// (exact covers), verifies Definition 13 against the hypergraph, and
+/// checks the claimed width is supported. See [`certify_tw`].
+fn certify_ghw(
+    h: &Hypergraph,
+    ordering: &[usize],
+    claimed: usize,
+    exact: bool,
+) -> Result<(), CmdError> {
+    let sigma = EliminationOrdering::new(ordering.to_vec())
+        .ok_or_else(|| CmdError::internal("certificate rejected: ordering is not a permutation"))?;
+    let ghd = ghd_from_ordering(h, &sigma, CoverMethod::Exact);
+    ghd.verify(h)
+        .map_err(|e| CmdError::internal(format!("certificate rejected: {e}")))?;
+    let w = ghd.width();
+    if if exact { w != claimed } else { w > claimed } {
+        return Err(CmdError::internal(format!(
+            "certificate rejected: decomposition has width {w}, claimed {claimed}"
+        )));
+    }
+    Ok(())
+}
+
 /// Renders a [`ghd_search::SearchResult`] (with its telemetry) as a single
 /// JSON object — the machine-readable face of `--stats json`.
 fn search_json(
@@ -213,6 +336,7 @@ fn search_json(
     n: usize,
     m: usize,
     r: &ghd_search::SearchResult,
+    certified: bool,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
@@ -223,6 +347,21 @@ fn search_json(
     let _ = writeln!(s, "  \"lower_bound\": {},", r.lower_bound);
     let _ = writeln!(s, "  \"upper_bound\": {},", r.upper_bound);
     let _ = writeln!(s, "  \"exact\": {},", r.exact);
+    let _ = writeln!(s, "  \"certified\": {certified},");
+    s.push_str("  \"faults\": [");
+    for (i, f) in r.faults.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"worker\": {}, \"task\": {}, \"payload\": \"{}\"}}",
+            f.worker,
+            f.task,
+            ghd_core::json::escape(&f.payload)
+        );
+    }
+    s.push_str("],\n");
     let _ = writeln!(s, "  \"nodes_expanded\": {},", r.nodes_expanded);
     let _ = writeln!(s, "  \"elapsed_s\": {:.6},", r.elapsed.as_secs_f64());
     match &r.stats {
@@ -287,34 +426,76 @@ fn cmd_tw(args: &[String]) -> CmdResult {
             "astar" => astar_tw(&g, limits),
             "bb" => bb_tw(&g, &BbConfig { limits, ..BbConfig::default() }),
             other => {
-                return Err(format!("--stats json requires --method astar|bb (got `{other}`)"))
+                return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
             }
         };
-        return Ok(search_json("tw", method, g.num_vertices(), g.num_edges(), &r));
+        let certified = match &r.ordering {
+            Some(o) => {
+                certify_tw(&g, o, r.upper_bound, r.exact)?;
+                true
+            }
+            None if r.exact => {
+                return Err(CmdError::internal(
+                    "certificate rejected: exact width without a realising ordering",
+                ))
+            }
+            None => false,
+        };
+        return Ok(search_json("tw", method, g.num_vertices(), g.num_edges(), &r, certified));
     }
-    let (summary, ordering) = match method {
+    let (summary, claimed, exact, ordering) = match method {
         "astar" => {
             let r = astar_tw(&g, limits);
-            (describe("A*-tw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+            (
+                describe("A*-tw", r.upper_bound, r.lower_bound, r.exact),
+                r.upper_bound,
+                r.exact,
+                r.ordering,
+            )
         }
         "bb" => {
             let r = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
-            (describe("BB-tw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+            (
+                describe("BB-tw", r.upper_bound, r.lower_bound, r.exact),
+                r.upper_bound,
+                r.exact,
+                r.ordering,
+            )
         }
         "ga" => {
             let r = ga_tw(&g, &ga_cfg(&opts)?);
-            (format!("GA-tw: width <= {}", r.best_width), Some(r.best_ordering))
+            (
+                format!("GA-tw: width <= {}", r.best_width),
+                r.best_width,
+                false,
+                Some(r.best_ordering),
+            )
         }
         "sa" => {
             let r = sa_tw(&g, &SaConfig { seed: seed_of(&opts)?, ..SaConfig::default() });
-            (format!("SA-tw: width <= {}", r.best_width), Some(r.best_ordering))
+            (
+                format!("SA-tw: width <= {}", r.best_width),
+                r.best_width,
+                false,
+                Some(r.best_ordering),
+            )
         }
         "minfill" => {
             let (w, o) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
-            (format!("min-fill: width <= {w}"), Some(o.into_vec()))
+            (format!("min-fill: width <= {w}"), w, false, Some(o.into_vec()))
         }
-        other => return Err(format!("unknown method `{other}`")),
+        other => return Err(CmdError::usage(format!("unknown method `{other}`"))),
     };
+    // verify-on-emit: no width is printed unless its certificate passes
+    match &ordering {
+        Some(o) => certify_tw(&g, o, claimed, exact)?,
+        None if exact => {
+            return Err(CmdError::internal(
+                "certificate rejected: exact width without a realising ordering",
+            ))
+        }
+        None => {}
+    }
     let mut out = format!(
         "graph: {} vertices, {} edges\n{summary}\n",
         g.num_vertices(),
@@ -332,7 +513,7 @@ fn cmd_tw(args: &[String]) -> CmdResult {
 fn cmd_ghw(args: &[String]) -> CmdResult {
     let (pos, opts) = split_opts(args);
     let path = *pos.first().ok_or("ghw <hypergraph-file> — see `ghd --help`")?;
-    let h = io::parse_hypergraph(&read_file(path)?).map_err(|e| e.to_string())?;
+    let h = io::parse_hypergraph(&read_file(path)?).map_err(CmdError::data)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
     if stats_format(&opts)?.is_some() {
@@ -340,41 +521,90 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
             "astar" => astar_ghw(&h, limits),
             "bb" => bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() }),
             other => {
-                return Err(format!("--stats json requires --method astar|bb (got `{other}`)"))
+                return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
             }
         };
-        return Ok(search_json("ghw", method, h.num_vertices(), h.num_edges(), &r));
+        let certified = match &r.ordering {
+            Some(o) => {
+                certify_ghw(&h, o, r.upper_bound, r.exact)?;
+                true
+            }
+            None if r.exact => {
+                return Err(CmdError::internal(
+                    "certificate rejected: exact width without a realising ordering",
+                ))
+            }
+            None => false,
+        };
+        return Ok(search_json("ghw", method, h.num_vertices(), h.num_edges(), &r, certified));
     }
-    let (summary, ordering) = match method {
+    let (summary, claimed, exact, ordering) = match method {
         "astar" => {
             let r = astar_ghw(&h, limits);
-            (describe("A*-ghw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+            (
+                describe("A*-ghw", r.upper_bound, r.lower_bound, r.exact),
+                r.upper_bound,
+                r.exact,
+                r.ordering,
+            )
         }
         "bb" => {
             let r = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
-            (describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact), r.ordering)
+            (
+                describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact),
+                r.upper_bound,
+                r.exact,
+                r.ordering,
+            )
         }
         "ga" => {
             let r = ga_ghw(&h, &ga_cfg(&opts)?);
-            (format!("GA-ghw: width <= {}", r.best_width), Some(r.best_ordering))
+            (
+                format!("GA-ghw: width <= {}", r.best_width),
+                r.best_width,
+                false,
+                Some(r.best_ordering),
+            )
         }
         "saiga" => {
             let r = saiga_ghw(&h, &SaigaConfig { seed: seed_of(&opts)?, ..SaigaConfig::default() });
             (
                 format!("SAIGA-ghw: width <= {}", r.result.best_width),
+                r.result.best_width,
+                false,
                 Some(r.result.best_ordering),
             )
         }
         "sa" => {
             let r = sa_ghw(&h, &SaConfig { seed: seed_of(&opts)?, ..SaConfig::default() });
-            (format!("SA-ghw: width <= {}", r.best_width), Some(r.best_ordering))
+            (
+                format!("SA-ghw: width <= {}", r.best_width),
+                r.best_width,
+                false,
+                Some(r.best_ordering),
+            )
         }
         "greedy" => {
             let (w, o) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
-            (format!("min-fill + greedy cover: width <= {w}"), Some(o.into_vec()))
+            (
+                format!("min-fill + greedy cover: width <= {w}"),
+                w,
+                false,
+                Some(o.into_vec()),
+            )
         }
-        other => return Err(format!("unknown method `{other}`")),
+        other => return Err(CmdError::usage(format!("unknown method `{other}`"))),
     };
+    // verify-on-emit: no width is printed unless its certificate passes
+    match &ordering {
+        Some(o) => certify_ghw(&h, o, claimed, exact)?,
+        None if exact => {
+            return Err(CmdError::internal(
+                "certificate rejected: exact width without a realising ordering",
+            ))
+        }
+        None => {}
+    }
     let mut out = format!(
         "hypergraph: {} vertices, {} hyperedges\n{summary}\n",
         h.num_vertices(),
@@ -384,7 +614,8 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
         let o = ordering.ok_or("no ordering available to emit a decomposition")?;
         let sigma = EliminationOrdering::new(o).ok_or("internal: bad ordering")?;
         let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
-        ghd.verify(&h).map_err(|e| e.to_string())?;
+        ghd.verify(&h)
+            .map_err(|e| CmdError::internal(format!("certificate rejected: {e}")))?;
         out.push_str(&write_ghd(&ghd, &h));
     }
     Ok(out)
@@ -431,7 +662,7 @@ fn cmd_bounds(args: &[String]) -> CmdResult {
     let text = read_file(path)?;
     // try hypergraph format first when the file smells like one
     if text.contains('(') {
-        let h = io::parse_hypergraph(&text).map_err(|e| e.to_string())?;
+        let h = io::parse_hypergraph(&text).map_err(CmdError::data)?;
         let lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(&h, None);
         let (ub, _) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(&h, None);
         return Ok(format!(
@@ -455,17 +686,17 @@ fn cmd_validate(args: &[String]) -> CmdResult {
     let inst_path = *pos.first().ok_or("validate <instance> <td-file>")?;
     let td_path = *pos.get(1).ok_or("validate <instance> <td-file>")?;
     let inst_text = read_file(inst_path)?;
-    let td = parse_td(&read_file(td_path)?).map_err(|e| e.to_string())?;
+    let td = parse_td(&read_file(td_path)?).map_err(CmdError::data)?;
     if inst_text.contains('(') {
-        let h = io::parse_hypergraph(&inst_text).map_err(|e| e.to_string())?;
-        td.verify(&h).map_err(|e| format!("INVALID: {e}"))?;
+        let h = io::parse_hypergraph(&inst_text).map_err(CmdError::data)?;
+        td.verify(&h).map_err(|e| CmdError::data(format!("INVALID: {e}")))?;
         Ok(format!(
             "valid tree decomposition of the hypergraph; width {}\n",
             td.width()
         ))
     } else {
         let g = load_graph(&inst_text)?;
-        td.verify_graph(&g).map_err(|e| format!("INVALID: {e}"))?;
+        td.verify_graph(&g).map_err(|e| CmdError::data(format!("INVALID: {e}")))?;
         Ok(format!(
             "valid tree decomposition of the graph; width {}\n",
             td.width()
@@ -555,7 +786,104 @@ mod tests {
         let td_path = tmp("v.td", "s td 1 1 9\nb 1 1\n");
         let out = run_args(&["validate", &gpath, &td_path]);
         assert!(out.is_err());
-        assert!(out.unwrap_err().contains("INVALID"));
+        let e = out.unwrap_err();
+        assert!(e.message.contains("INVALID"));
+        assert_eq!(e.kind, ErrorKind::Data);
+        assert_eq!(e.exit_code(), 65);
+    }
+
+    #[test]
+    fn error_kinds_map_to_sysexits_codes() {
+        // usage: unknown command / method / bad flag value → 64
+        assert_eq!(run_args(&["frobnicate"]).unwrap_err().exit_code(), 64);
+        let col = run_args(&["gen", "grid", "3"]).unwrap();
+        let gpath = tmp("codes.col", &col);
+        assert_eq!(
+            run_args(&["tw", &gpath, "--method", "nosuch"]).unwrap_err().exit_code(),
+            64
+        );
+        assert_eq!(
+            run_args(&["tw", &gpath, "--time", "-1"]).unwrap_err().exit_code(),
+            64
+        );
+        // missing input file → 66
+        let e = run_args(&["tw", "/nonexistent/definitely-not-here.col"]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::NoInput);
+        assert_eq!(e.exit_code(), 66);
+        // parse errors in input data → 65
+        let bad = tmp("codes-bad.col", "p edge 3 1\ne 1 99\n");
+        let e = run_args(&["tw", &bad]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Data, "{e}");
+        assert_eq!(e.exit_code(), 65);
+        let bad_hg = tmp("codes-bad.hg", "e1(a,b\n");
+        let e = run_args(&["ghw", &bad_hg]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Data, "{e}");
+        // a header-DoS attempt is a *data* error too, and is fast
+        let dos = tmp("codes-dos.col", "p edge 99999999999 1\n");
+        let e = run_args(&["tw", &dos]).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Data, "{e}");
+        assert!(e.message.contains("implausible"), "{e}");
+        // internal errors render loudly
+        let internal = CmdError::internal("certificate rejected: test");
+        assert_eq!(internal.exit_code(), 70);
+        assert!(internal.to_string().starts_with("InternalError: certificate rejected"));
+    }
+
+    #[test]
+    fn budget_expired_is_not_an_error() {
+        // exit code 0 (Ok) with an explanatory note, per the anytime contract
+        let col = run_args(&["gen", "queen", "7"]).unwrap();
+        let gpath = tmp("budget0.col", &col);
+        let out = run_args(&["tw", &gpath, "--method", "bb", "--nodes", "50"]).unwrap();
+        assert!(out.contains("(budget expired)"), "{out}");
+    }
+
+    #[test]
+    fn widths_are_certified_on_every_emission_path() {
+        use ghd_core::json::Json;
+        // every method's printed width passes independent verification
+        let col = run_args(&["gen", "queen", "4"]).unwrap();
+        let gpath = tmp("cert.col", &col);
+        for m in ["astar", "bb", "ga", "sa", "minfill"] {
+            let out = run_args(&[
+                "tw", &gpath, "--method", m, "--generations", "20", "--population", "30",
+            ]);
+            assert!(out.is_ok(), "{m}: {out:?}");
+        }
+        let hg = run_args(&["gen", "clique", "6"]).unwrap();
+        let hpath = tmp("cert.hg", &hg);
+        for m in ["astar", "bb", "ga", "saiga", "sa", "greedy"] {
+            let out = run_args(&[
+                "ghw", &hpath, "--method", m, "--generations", "20", "--population", "30",
+            ]);
+            assert!(out.is_ok(), "{m}: {out:?}");
+        }
+        // the stats JSON carries the certification verdict and fault list
+        let out = run_args(&["ghw", &hpath, "--method", "bb", "--stats", "json"]).unwrap();
+        let v = Json::parse(&out).expect("stats JSON");
+        assert_eq!(v.get("certified").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("faults").and_then(Json::as_array).map(<[Json]>::len), Some(0));
+    }
+
+    #[test]
+    fn certification_rejects_a_forged_width() {
+        // drive the certifier directly with a claim the ordering cannot
+        // support: queen(4) has treewidth 9, claiming 2 must be rejected
+        let g = graphs::queen(4);
+        let ordering: Vec<usize> = (0..g.num_vertices()).collect();
+        let e = certify_tw(&g, &ordering, 2, true).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Internal);
+        assert_eq!(e.exit_code(), 70);
+        assert!(e.to_string().contains("certificate rejected"), "{e}");
+        // and a non-permutation "ordering" is rejected before verification
+        let e = certify_tw(&g, &[0, 0, 1], 2, false).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Internal);
+        // same for the ghw certifier
+        let h = hypergraphs::clique(6);
+        let ordering: Vec<usize> = (0..h.num_vertices()).collect();
+        let e = certify_ghw(&h, &ordering, 1, true).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Internal);
+        assert!(e.to_string().contains("certificate rejected"), "{e}");
     }
 
     #[test]

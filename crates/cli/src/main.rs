@@ -12,8 +12,10 @@ fn main() {
             let _ = stdout.flush();
         }
         Err(e) => {
+            // one-line diagnostic; the exit code encodes the category
+            // (64 usage, 65 data, 66 missing input, 70 internal bug)
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

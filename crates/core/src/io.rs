@@ -4,8 +4,9 @@
 
 use crate::ghd::GeneralizedHypertreeDecomposition;
 use crate::tree_decomposition::TreeDecomposition;
-use ghd_hypergraph::io::ParseError;
+use ghd_hypergraph::io::{check_header_count, ParseError};
 use ghd_hypergraph::{BitSet, Hypergraph};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
@@ -44,6 +45,7 @@ pub fn parse_td(input: &str) -> Result<TreeDecomposition, ParseError> {
     let mut header: Option<(usize, usize)> = None; // (#bags, #vertices)
     let mut bags: Vec<Option<BitSet>> = Vec::new();
     let mut tree_edges: Vec<(usize, usize)> = Vec::new();
+    let mut seen_edges: HashSet<(usize, usize)> = HashSet::new();
     for (i, raw) in input.lines().enumerate() {
         let lineno = i + 1;
         let line = raw.trim();
@@ -70,6 +72,8 @@ pub fn parse_td(input: &str) -> Result<TreeDecomposition, ParseError> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| err(lineno, "bad vertex count"))?;
+            check_header_count(nb, input.len(), lineno, "bag")?;
+            check_header_count(nv, input.len(), lineno, "vertex")?;
             header = Some((nb, nv));
             bags = vec![None; nb];
             continue;
@@ -108,7 +112,17 @@ pub fn parse_td(input: &str) -> Result<TreeDecomposition, ParseError> {
             if a == 0 || b == 0 || a > nb || b > nb {
                 return Err(err(lineno, "tree edge out of range"));
             }
-            tree_edges.push((a - 1, b - 1));
+            if a == b {
+                return Err(err(lineno, "tree edge is a self-loop"));
+            }
+            if it.next().is_some() {
+                return Err(err(lineno, "trailing tokens after tree edge"));
+            }
+            let edge = (a.min(b) - 1, a.max(b) - 1);
+            if !seen_edges.insert(edge) {
+                return Err(err(lineno, "duplicate tree edge"));
+            }
+            tree_edges.push(edge);
         }
     }
     let (nb, nv) = header.ok_or_else(|| err(0, "no `s td` line"))?;
@@ -117,6 +131,19 @@ pub fn parse_td(input: &str) -> Result<TreeDecomposition, ParseError> {
         .enumerate()
         .map(|(i, b)| b.ok_or_else(|| err(0, format!("bag {} missing", i + 1))))
         .collect::<Result<_, _>>()?;
+
+    // A tree on `nb` nodes has exactly `nb - 1` edges; together with the
+    // connectivity check below this rejects both cycles and forests.
+    if tree_edges.len() != nb.saturating_sub(1) {
+        return Err(err(
+            0,
+            format!(
+                "expected {} tree edges for {nb} bags, found {}",
+                nb.saturating_sub(1),
+                tree_edges.len()
+            ),
+        ));
+    }
 
     // root at bag 0 and BFS-orient the edges
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nb];
@@ -177,6 +204,180 @@ pub fn write_ghd(ghd: &GeneralizedHypertreeDecomposition, h: &Hypergraph) -> Str
     out
 }
 
+/// Parses the [`write_ghd`] text format back into a
+/// [`GeneralizedHypertreeDecomposition`] over `h`.
+///
+/// The parser is *total* on untrusted input: any truncation, unknown
+/// vertex/edge name, out-of-range or duplicate node id, multiple roots,
+/// parent-pointer cycle, or header/body mismatch yields a [`ParseError`]
+/// instead of a panic, and the node count in the header is checked for
+/// plausibility against the input size before any allocation.
+pub fn parse_ghd(
+    input: &str,
+    h: &Hypergraph,
+) -> Result<GeneralizedHypertreeDecomposition, ParseError> {
+    let mut lines = input.lines().enumerate();
+    // header: `ghd <n> nodes, width <w>`
+    let (header_no, header) = loop {
+        match lines.next() {
+            Some((i, raw)) => {
+                let t = raw.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                break (i + 1, t);
+            }
+            None => return Err(err(0, "empty input")),
+        }
+    };
+    let rest = header
+        .strip_prefix("ghd ")
+        .ok_or_else(|| err(header_no, "expected `ghd <n> nodes, width <w>` header"))?;
+    let (n_str, w_str) = rest
+        .split_once(" nodes, width ")
+        .ok_or_else(|| err(header_no, "malformed ghd header"))?;
+    let n: usize = n_str
+        .trim()
+        .parse()
+        .map_err(|_| err(header_no, "bad node count"))?;
+    let width: usize = w_str
+        .trim()
+        .parse()
+        .map_err(|_| err(header_no, "bad width"))?;
+    check_header_count(n, input.len(), header_no, "node")?;
+    if n == 0 {
+        return Err(err(header_no, "ghd must have at least one node"));
+    }
+
+    let vertex_ids: HashMap<&str, usize> = (0..h.num_vertices())
+        .map(|v| (h.vertex_name(v), v))
+        .collect();
+    let edge_ids: HashMap<&str, usize> =
+        (0..h.num_edges()).map(|e| (h.edge_name(e), e)).collect();
+
+    // node id -> (chi, lambda, parent)
+    type NodeRec = (BitSet, Vec<usize>, Option<usize>);
+    let mut nodes: Vec<Option<NodeRec>> = vec![None; n];
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id_str, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `<id>: chi {…} lambda {…} parent <id|->`"))?;
+        let id: usize = id_str
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, "bad node id"))?;
+        if id == 0 || id > n {
+            return Err(err(lineno, "node id out of range"));
+        }
+        let rest = rest
+            .trim_start()
+            .strip_prefix("chi {")
+            .ok_or_else(|| err(lineno, "expected `chi {…}`"))?;
+        let (chi_str, rest) = rest
+            .split_once('}')
+            .ok_or_else(|| err(lineno, "unterminated chi set"))?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix("lambda {")
+            .ok_or_else(|| err(lineno, "expected `lambda {…}`"))?;
+        let (lambda_str, rest) = rest
+            .split_once('}')
+            .ok_or_else(|| err(lineno, "unterminated lambda set"))?;
+        let parent_str = rest
+            .trim_start()
+            .strip_prefix("parent ")
+            .ok_or_else(|| err(lineno, "expected `parent <id|->`"))?
+            .trim();
+        let parent = if parent_str == "-" {
+            None
+        } else {
+            let p: usize = parent_str
+                .parse()
+                .map_err(|_| err(lineno, "bad parent id"))?;
+            if p == 0 || p > n {
+                return Err(err(lineno, "parent id out of range"));
+            }
+            if p == id {
+                return Err(err(lineno, "node is its own parent"));
+            }
+            Some(p - 1)
+        };
+        let mut chi = BitSet::new(h.num_vertices());
+        for name in chi_str.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let &v = vertex_ids
+                .get(name)
+                .ok_or_else(|| err(lineno, format!("unknown vertex `{name}`")))?;
+            chi.insert(v);
+        }
+        let mut lambda = Vec::new();
+        for name in lambda_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            let &e = edge_ids
+                .get(name)
+                .ok_or_else(|| err(lineno, format!("unknown hyperedge `{name}`")))?;
+            lambda.push(e);
+        }
+        if nodes[id - 1].replace((chi, lambda, parent)).is_some() {
+            return Err(err(lineno, "duplicate node id"));
+        }
+    }
+    let nodes: Vec<NodeRec> = nodes
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or_else(|| err(0, format!("node {} missing", i + 1))))
+        .collect::<Result<_, _>>()?;
+
+    // exactly one root; orient children from the parent pointers
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut root: Option<usize> = None;
+    for (i, (_, _, parent)) in nodes.iter().enumerate() {
+        match parent {
+            None => {
+                if root.replace(i).is_some() {
+                    return Err(err(0, "multiple roots (more than one `parent -`)"));
+                }
+            }
+            Some(p) => children[*p].push(i),
+        }
+    }
+    let root = root.ok_or_else(|| err(0, "no root node (`parent -`)"))?;
+
+    // BFS from the root; an unvisited node implies a parent-pointer cycle
+    let mut td = TreeDecomposition::new(h.num_vertices());
+    let mut id_map = vec![usize::MAX; n];
+    id_map[root] = td.add_root(nodes[root].0.clone());
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for &c in &children[u] {
+            id_map[c] = td.add_child(id_map[u], nodes[c].0.clone());
+            queue.push_back(c);
+        }
+    }
+    if id_map.contains(&usize::MAX) {
+        return Err(err(0, "parent pointers contain a cycle"));
+    }
+    let mut lambdas: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, (_, lambda, _)) in nodes.into_iter().enumerate() {
+        lambdas[id_map[i]] = lambda;
+    }
+    let ghd = GeneralizedHypertreeDecomposition::new(td, lambdas);
+    if ghd.width() != width {
+        return Err(err(
+            header_no,
+            format!("header width {width} does not match body width {}", ghd.width()),
+        ));
+    }
+    Ok(ghd)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +416,107 @@ mod tests {
         assert!(parse_td("s td 1 1 2\nb 1 9\n").is_err()); // vertex range
         assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n").is_err()); // disconnected
         assert!(parse_td("s td 1 1 1\nb 1 1\nb 1 1\n").is_err()); // dup id
+    }
+
+    #[test]
+    fn td_parser_rejects_adversarial_edge_cases() {
+        // empty file / whitespace only
+        assert!(parse_td("").is_err());
+        assert!(parse_td("\n\n  \n").is_err());
+        // duplicate `b` lines for the same bag id
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 1 2\nb 2 2\n1 2\n").is_err());
+        // bag id beyond the header count
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 3 2\n1 2\n").is_err());
+        // self-loop tree edge
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n1 1\n").is_err());
+        // duplicate tree edge (both orientations)
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n1 2\n1 2\n").is_err());
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n1 2\n2 1\n").is_err());
+        // cyclic edge list (3 bags, 3 edges)
+        assert!(
+            parse_td("s td 3 1 3\nb 1 1\nb 2 2\nb 3 3\n1 2\n2 3\n3 1\n").is_err(),
+            "cycle must be rejected"
+        );
+        // disconnected + cycle (edge count matches a tree, but no tree)
+        assert!(
+            parse_td("s td 4 1 4\nb 1 1\nb 2 2\nb 3 3\nb 4 4\n2 3\n3 4\n4 2\n").is_err()
+        );
+        // trailing garbage after a tree edge
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n1 2 junk\n").is_err());
+        // trailing garbage line (parsed as a malformed tree edge)
+        assert!(parse_td("s td 2 1 2\nb 1 1\nb 2 2\n1 2\nwat\n").is_err());
+        // implausible header must be rejected before allocating
+        assert!(parse_td("s td 99999999999 1 2\n").is_err());
+        assert!(parse_td("s td 2 1 99999999999\n").is_err());
+        // duplicate header
+        assert!(parse_td("s td 1 1 1\ns td 1 1 1\nb 1 1\n").is_err());
+    }
+
+    #[test]
+    fn ghd_round_trip_preserves_width_and_validity() {
+        for seed in 0..6u64 {
+            let h = hypergraphs::random_hypergraph(12, 8, 4, seed);
+            let sigma = EliminationOrdering::identity(12);
+            let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Greedy);
+            let text = write_ghd(&ghd, &h);
+            let parsed = parse_ghd(&text, &h).unwrap();
+            parsed.verify(&h).unwrap();
+            assert_eq!(parsed.width(), ghd.width(), "seed {seed}");
+            assert_eq!(parsed.tree().num_nodes(), ghd.tree().num_nodes());
+        }
+    }
+
+    #[test]
+    fn ghd_parser_rejects_malformed() {
+        let h = hypergraphs::clique(3); // vertices v0..v2, edges e0..e2
+        let v = h.vertex_name(0).to_string();
+        let e = h.edge_name(0).to_string();
+        let good = format!("ghd 1 nodes, width 1\n1: chi {{{v}}} lambda {{{e}}} parent -\n");
+        assert!(parse_ghd(&good, &h).is_ok());
+        // empty / truncated inputs
+        assert!(parse_ghd("", &h).is_err());
+        assert!(parse_ghd("ghd 1 nodes, width 1\n", &h).is_err());
+        assert!(parse_ghd("ghd 1 nodes, wi", &h).is_err());
+        assert!(parse_ghd(&format!("ghd 1 nodes, width 1\n1: chi {{{v}"), &h).is_err());
+        // unknown names
+        assert!(parse_ghd(
+            &format!("ghd 1 nodes, width 1\n1: chi {{nope}} lambda {{{e}}} parent -\n"),
+            &h
+        )
+        .is_err());
+        assert!(parse_ghd(
+            &format!("ghd 1 nodes, width 1\n1: chi {{{v}}} lambda {{nope}} parent -\n"),
+            &h
+        )
+        .is_err());
+        // node id out of range, duplicate ids, bad parents
+        assert!(parse_ghd(
+            &format!("ghd 1 nodes, width 1\n2: chi {{{v}}} lambda {{{e}}} parent -\n"),
+            &h
+        )
+        .is_err());
+        let dup = format!(
+            "ghd 2 nodes, width 1\n1: chi {{{v}}} lambda {{{e}}} parent -\n1: chi {{{v}}} lambda {{{e}}} parent -\n"
+        );
+        assert!(parse_ghd(&dup, &h).is_err());
+        let self_parent =
+            format!("ghd 1 nodes, width 1\n1: chi {{{v}}} lambda {{{e}}} parent 1\n");
+        assert!(parse_ghd(&self_parent, &h).is_err());
+        // two roots
+        let two_roots = format!(
+            "ghd 2 nodes, width 1\n1: chi {{{v}}} lambda {{{e}}} parent -\n2: chi {{{v}}} lambda {{{e}}} parent -\n"
+        );
+        assert!(parse_ghd(&two_roots, &h).is_err());
+        // parent-pointer cycle (2 <-> 3) next to a valid root
+        let cyc = format!(
+            "ghd 3 nodes, width 1\n1: chi {{{v}}} lambda {{{e}}} parent -\n2: chi {{{v}}} lambda {{{e}}} parent 3\n3: chi {{{v}}} lambda {{{e}}} parent 2\n"
+        );
+        assert!(parse_ghd(&cyc, &h).is_err());
+        // header width mismatch
+        let wrong_w = format!("ghd 1 nodes, width 7\n1: chi {{{v}}} lambda {{{e}}} parent -\n");
+        assert!(parse_ghd(&wrong_w, &h).is_err());
+        // implausible node count rejected before allocation
+        assert!(parse_ghd("ghd 99999999999 nodes, width 1\n", &h).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -106,9 +107,16 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting accepted. A recursive-descent parser consumes
+/// stack per nesting level, so an adversarial `[[[[…` document could
+/// otherwise overflow the stack; 512 levels is far beyond any telemetry the
+/// workspace emits.
+const MAX_DEPTH: usize = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -160,7 +168,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.object_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_body(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -189,6 +212,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.array_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_body(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -297,11 +327,13 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ASCII number slice");
-        text.parse::<f64>()
+        // the scanned range is ASCII by construction, but stay total anyway
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
             .map(Json::Number)
-            .map_err(|_| self.err("bad number"))
+            .ok_or_else(|| self.err("bad number"))
     }
 }
 
@@ -353,6 +385,27 @@ mod tests {
         let trace = results[0].get("trace").and_then(Json::as_array).unwrap();
         assert_eq!(trace[0].as_array().unwrap()[1], Json::Number(3.0));
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_and_numbers() {
+        // 100 levels is fine…
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        // …but unbounded nesting is rejected, not a stack overflow
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // sibling (non-nested) containers do not accumulate depth
+        let wide = format!("[{}]", vec!["[1]"; 2000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+        // degenerate numbers return Err rather than panicking or
+        // smuggling non-finite values into telemetry consumers
+        for bad in ["-", "1e999", "-1e999", "--1", "1e", "1e+"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -112,6 +112,12 @@ pub struct SaigaResult {
     pub final_parameters: Vec<(f64, f64)>,
     /// Per-epoch island widths and parameter vectors (one entry per epoch).
     pub epoch_trace: Vec<EpochSample>,
+    /// Contained worker panics across all epochs (`task` is the island
+    /// index). A faulted island skips that epoch's private evolution — its
+    /// population is untouched, because the fault hook fires before any
+    /// mutation — and rejoins the ring at the next migration, so the run
+    /// completes with a valid (possibly slightly worse) result.
+    pub faults: Vec<ghd_par::WorkerFault>,
 }
 
 /// Approximate standard normal via Irwin–Hall (sum of 12 uniforms − 6);
@@ -221,12 +227,20 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
         .collect();
 
     let mut epoch_trace: Vec<EpochSample> = Vec::with_capacity(cfg.epochs);
+    let mut faults: Vec<ghd_par::WorkerFault> = Vec::new();
     for epoch in 0..cfg.epochs {
-        // 1. evolve — each island on its own worker (disjoint state)
+        // 1. evolve — each island on its own worker (disjoint state); a
+        // panicking island is contained: it skips this epoch's evolution
+        // (injected faults fire before any state mutation) and the ring
+        // carries on with the surviving islands.
         let generations = cfg.generations_per_epoch;
-        ghd_par::for_each_mut(&mut islands, cfg.threads, |_, island| {
-            island.evolve(generations);
-        });
+        faults.extend(ghd_par::for_each_mut_contained(
+            &mut islands,
+            cfg.threads,
+            |_, island| {
+                island.evolve(generations);
+            },
+        ));
         // 2. ring migration of the best individual
         let migrants: Vec<Vec<usize>> = islands
             .iter()
@@ -284,6 +298,7 @@ pub fn saiga_ghw(h: &Hypergraph, cfg: &SaigaConfig) -> SaigaResult {
         result: best,
         final_parameters: params,
         epoch_trace,
+        faults,
     }
 }
 

@@ -4,6 +4,35 @@
 use crate::bitset::BitSet;
 use crate::graph::Graph;
 
+/// Typed error for checked hypergraph construction ([`Hypergraph::try_add_edge`]
+/// / [`Hypergraph::try_from_edges`]). The panicking builders ([`Hypergraph::add_edge`])
+/// remain for internal generators, whose inputs are correct by construction;
+/// everything that touches *untrusted* data (file parsers, network input)
+/// must go through the checked path so a malformed edge list becomes an
+/// `Err`, not a process abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// A hyperedge references vertex `vertex`, but only `n` vertices exist.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the hypergraph.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HypergraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "hyperedge vertex {vertex} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
 /// A hypergraph `H = (V, H)`: vertices are dense indices `0..n`, hyperedges
 /// are vertex sets. Vertices and hyperedges may carry names (for parsed
 /// benchmark instances); generated instances get systematic names.
@@ -63,11 +92,28 @@ impl Hypergraph {
 
     /// Adds a hyperedge; duplicate vertices within the edge are collapsed.
     /// Returns its index.
+    ///
+    /// Panics when a vertex is out of range — for *internal* construction
+    /// (generators, tests) where that is a programming error. Parsers of
+    /// untrusted input must use [`Hypergraph::try_add_edge`] instead.
     pub fn add_edge<E: IntoIterator<Item = usize>>(&mut self, vertices: E) -> usize {
+        self.try_add_edge(vertices)
+            .expect("hyperedge vertex out of range")
+    }
+
+    /// Checked [`Hypergraph::add_edge`]: rejects out-of-range vertices with
+    /// a typed error instead of panicking, leaving the hypergraph unchanged.
+    /// This is the construction path for untrusted (parsed) edge lists.
+    pub fn try_add_edge<E: IntoIterator<Item = usize>>(
+        &mut self,
+        vertices: E,
+    ) -> Result<usize, HypergraphError> {
         let idx = self.edges.len();
         let mut set = BitSet::new(self.n);
         for v in vertices {
-            assert!(v < self.n, "hyperedge vertex out of range");
+            if v >= self.n {
+                return Err(HypergraphError::VertexOutOfRange { vertex: v, n: self.n });
+            }
             set.insert(v);
         }
         for v in set.iter() {
@@ -75,7 +121,20 @@ impl Hypergraph {
         }
         self.edges.push(set);
         self.edge_names.push(format!("e{idx}"));
-        idx
+        Ok(idx)
+    }
+
+    /// Checked [`Hypergraph::from_edges`] for untrusted edge lists.
+    pub fn try_from_edges<I, E>(n: usize, edges: I) -> Result<Self, HypergraphError>
+    where
+        I: IntoIterator<Item = E>,
+        E: IntoIterator<Item = usize>,
+    {
+        let mut h = Hypergraph::new(n);
+        for e in edges {
+            h.try_add_edge(e)?;
+        }
+        Ok(h)
     }
 
     /// Adds a named hyperedge.
@@ -87,6 +146,17 @@ impl Hypergraph {
         let idx = self.add_edge(vertices);
         self.edge_names[idx] = name.into();
         idx
+    }
+
+    /// Checked [`Hypergraph::add_named_edge`] for untrusted edge lists.
+    pub fn try_add_named_edge<E: IntoIterator<Item = usize>>(
+        &mut self,
+        name: impl Into<String>,
+        vertices: E,
+    ) -> Result<usize, HypergraphError> {
+        let idx = self.try_add_edge(vertices)?;
+        self.edge_names[idx] = name.into();
+        Ok(idx)
     }
 
     /// Renames vertex `v`.
@@ -310,5 +380,21 @@ mod tests {
         let mut h = Hypergraph::new(3);
         let e = h.add_edge([1, 1, 2]);
         assert_eq!(h.edge(e).len(), 2);
+    }
+
+    #[test]
+    fn try_add_edge_rejects_out_of_range_and_leaves_state_unchanged() {
+        let mut h = Hypergraph::new(3);
+        assert_eq!(
+            h.try_add_edge([0, 7]),
+            Err(HypergraphError::VertexOutOfRange { vertex: 7, n: 3 })
+        );
+        assert_eq!(h.num_edges(), 0);
+        assert!(h.edges_containing(0).is_empty(), "no partial incidence");
+        assert_eq!(h.try_add_edge([0, 2]), Ok(0));
+        assert_eq!(h.num_edges(), 1);
+        assert!(Hypergraph::try_from_edges(2, [vec![0usize, 1], vec![2]]).is_err());
+        let err = HypergraphError::VertexOutOfRange { vertex: 7, n: 3 };
+        assert!(err.to_string().contains("7"));
     }
 }

@@ -31,6 +31,29 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Rejects implausibly large header counts **before** allocating anything
+/// proportional to them. A legitimate file with `n` vertices must spell out
+/// its edges, so its size is at least a few bytes per vertex mentioned; a
+/// header claiming orders of magnitude more vertices than the input could
+/// possibly describe is an attack (or corruption), and honouring it would
+/// let a 20-byte file allocate gigabytes. The slack term keeps tiny
+/// hand-written files (header + isolated vertices) working.
+pub fn check_header_count(
+    n: usize,
+    input_len: usize,
+    lineno: usize,
+    what: &str,
+) -> Result<(), ParseError> {
+    let cap = 4096 + input_len.saturating_mul(32);
+    if n > cap {
+        return Err(err(
+            lineno,
+            format!("{what} count {n} implausible for a {input_len}-byte input (cap {cap})"),
+        ));
+    }
+    Ok(())
+}
+
 /// Parses a DIMACS `.col` graph. Recognises `c` comments, one `p edge N M`
 /// problem line and `e u v` edge lines with 1-based vertex indices.
 /// Duplicate and mirrored edges are tolerated (they appear in some DIMACS
@@ -57,6 +80,7 @@ pub fn parse_dimacs(input: &str) -> Result<Graph, ParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err(lineno, "bad vertex count"))?;
+                check_header_count(n, input.len(), lineno, "vertex")?;
                 let _m = it.next(); // edge count: informative only
                 graph = Some(Graph::new(n));
             }
@@ -117,6 +141,7 @@ pub fn parse_pace_gr(input: &str) -> Result<Graph, ParseError> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| err(lineno, "bad vertex count"))?;
+            check_header_count(n, input.len(), lineno, "vertex")?;
             graph = Some(Graph::new(n));
             continue;
         }
@@ -176,9 +201,10 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
             chars.next();
             continue;
         }
-        // read edge name up to '('
+        // read edge name up to '(' (lazy lookahead: no per-atom collect,
+        // so adversarial inputs cannot make this quadratic)
         let mut name_end = start;
-        for &(i, ch) in chars.clone().collect::<Vec<_>>().iter() {
+        for (i, ch) in chars.clone() {
             if ch == '(' {
                 name_end = i;
                 break;
@@ -245,7 +271,11 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
         h.set_vertex_name(id, name);
     }
     for (name, ids) in edges {
-        h.add_named_edge(name, ids);
+        // ids are dense by construction, but this is the untrusted path:
+        // route through the checked builder so an internal inconsistency
+        // surfaces as Err, never a panic
+        h.try_add_named_edge(name, ids)
+            .map_err(|e| err(0, e.to_string()))?;
     }
     Ok(h)
 }
@@ -339,5 +369,18 @@ mod tests {
         assert!(parse_hypergraph("A(x").is_err());
         assert!(parse_hypergraph("A()").is_err());
         assert!(parse_hypergraph("(x,y)").is_err());
+    }
+
+    #[test]
+    fn implausible_headers_are_rejected_before_allocation() {
+        // a 30-byte file claiming 10^15 vertices must be Err, not an OOM
+        assert!(parse_dimacs("p edge 999999999999999 1\n").is_err());
+        assert!(parse_pace_gr("p tw 999999999999999 1\n").is_err());
+        // a large-but-plausible header still parses (cap scales with input)
+        let mut big = String::from("p tw 2000 1999\n");
+        for v in 1..2000 {
+            big.push_str(&format!("{} {}\n", v, v + 1));
+        }
+        assert_eq!(parse_pace_gr(&big).unwrap().num_vertices(), 2000);
     }
 }

@@ -35,6 +35,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             elapsed: budget.elapsed(),
             cover_cache: None,
             stats: telemetry.finish(),
+            faults: Vec::new(),
         };
     }
 
@@ -94,6 +95,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 elapsed: budget.elapsed(),
                 cover_cache: Some(cache.stats()),
                 stats: telemetry.finish(),
+                faults: Vec::new(),
             };
         }
         let s_id = entry.id as usize;
@@ -130,6 +132,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 elapsed: budget.elapsed(),
                 cover_cache: Some(cache.stats()),
                 stats: telemetry.finish(),
+                faults: Vec::new(),
             };
         }
 
@@ -227,6 +230,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
         elapsed: budget.elapsed(),
         cover_cache: Some(cache.stats()),
         stats: telemetry.finish(),
+        faults: Vec::new(),
     }
 }
 

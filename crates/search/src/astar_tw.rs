@@ -105,6 +105,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             elapsed: budget.elapsed(),
             cover_cache: None,
             stats: telemetry.finish(),
+            faults: Vec::new(),
         };
     }
 
@@ -156,6 +157,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                 elapsed: budget.elapsed(),
                 cover_cache: None,
                 stats: telemetry.finish(),
+                faults: Vec::new(),
             };
         }
         let s_id = entry.id as usize;
@@ -186,6 +188,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                 elapsed: budget.elapsed(),
                 cover_cache: None,
                 stats: telemetry.finish(),
+                faults: Vec::new(),
             };
         }
 
@@ -276,6 +279,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
         elapsed: budget.elapsed(),
         cover_cache: None,
         stats: telemetry.finish(),
+        faults: Vec::new(),
     }
 }
 

@@ -286,6 +286,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
             elapsed: budget.elapsed(),
             cover_cache: None,
             stats: telemetry.finish(),
+            faults: Vec::new(),
         };
     }
     let primal = h.primal_graph();
@@ -333,6 +334,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         elapsed: budget.elapsed(),
         cover_cache,
         stats: telemetry.finish(),
+        faults: Vec::new(),
     }
 }
 
@@ -353,6 +355,12 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
 /// `evictions` counters and reports the **maximum** `entries` gauge; the
 /// per-worker stats are kept verbatim in [`SearchStats::worker_caches`]
 /// when telemetry is on.
+///
+/// **Fault containment:** root-split tasks run `catch_unwind`-wrapped; a
+/// panicking worker becomes a [`ghd_par::WorkerFault`] in
+/// [`SearchResult::faults`], its budget credits return to the shared pool,
+/// and the task is retried once on the caller thread (persistent panics
+/// degrade to `exact == false` with the root heuristic as lower bound).
 pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> SearchResult {
     let n = h.num_vertices();
     let budget = Budget::new(cfg.limits);
@@ -370,6 +378,7 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
             elapsed: budget.elapsed(),
             cover_cache: None,
             stats: root_tel.finish(),
+            faults: Vec::new(),
         };
     }
     let primal = h.primal_graph();
@@ -399,7 +408,7 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
         cache: Option<CacheStats>,
         stats: Option<SearchStats>,
     }
-    let outcomes: Vec<WorkerOutcome> = ghd_par::parallel_map(&children, threads, |&v| {
+    let run_task = |&v: &usize| {
         let mut allowed = BitSet::new(n);
         allowed.insert(v);
         let mut dfs = Dfs {
@@ -436,7 +445,38 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
             cache,
             stats: telemetry.finish(),
         }
-    });
+    };
+    let contained = ghd_par::parallel_map_contained(&children, threads, run_task);
+    let mut faults = contained.faults;
+    // Retry each faulted task once on the caller thread (injected kills are
+    // one-shot, so exactness survives a dead worker); a second panic
+    // degrades the result soundly instead of aborting the process.
+    let outcomes: Vec<WorkerOutcome> = contained
+        .results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                match ghd_par::run_contained(ghd_par::RETRY_WORKER, i, || run_task(&children[i])) {
+                    Ok(o) => o,
+                    Err(second) => {
+                        faults.push(second);
+                        WorkerOutcome {
+                            completed: false,
+                            found: usize::MAX,
+                            best_suffix: Vec::new(),
+                            nodes: 0,
+                            degraded: false,
+                            expiry_floor: root_lb,
+                            cache: None,
+                            stats: None,
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    faults.sort_by_key(|f| f.task);
 
     // aggregate: best proven width wins, first worker breaks ties
     let mut best_ub = ub;
@@ -483,6 +523,7 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
             upper_bound: best_ub,
             lower_bound,
         });
+        merged.faults = faults.clone();
         merged
     });
     SearchResult {
@@ -494,6 +535,7 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
         elapsed: budget.elapsed(),
         cover_cache: cache_total,
         stats,
+        faults,
     }
 }
 

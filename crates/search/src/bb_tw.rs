@@ -202,6 +202,7 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
             elapsed: budget.elapsed(),
             cover_cache: None,
             stats: telemetry.finish(),
+            faults: Vec::new(),
         };
     }
     let mut dfs = Dfs {
@@ -236,6 +237,7 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
         elapsed: budget.elapsed(),
         cover_cache: None,
         stats: telemetry.finish(),
+        faults: Vec::new(),
     }
 }
 
@@ -245,6 +247,14 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
 /// finishes in O(T) wall-clock and a `max_nodes` of N expands at most N
 /// states in total, regardless of the thread count. Exact runs are
 /// **width-identical** to [`bb_tw`] (orderings may be different optima).
+///
+/// **Fault containment:** every root-split task runs `catch_unwind`-wrapped;
+/// a panicking worker is recorded as a [`ghd_par::WorkerFault`]
+/// (surfaced via [`SearchResult::faults`] / [`SearchStats::faults`]), its
+/// unspent budget credits return to the pool, and its task is retried once
+/// on the caller thread. A task that panics on the retry too degrades the
+/// result soundly (`exact == false`, lower bound falls back to the root
+/// heuristic) instead of aborting the process.
 pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
     let n = g.num_vertices();
     let budget = Budget::new(cfg.limits);
@@ -262,6 +272,7 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
             elapsed: budget.elapsed(),
             cover_cache: None,
             stats: root_tel.finish(),
+            faults: Vec::new(),
         };
     }
     // root children as the sequential root expansion would enumerate them
@@ -279,7 +290,7 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
     drop(eg);
 
     let incumbent = AtomicUsize::new(ub);
-    let outcomes = ghd_par::parallel_map(&children, threads, |&v| {
+    let run_task = |&v: &usize| {
         let mut allowed = BitSet::new(n);
         allowed.insert(v);
         let mut dfs = Dfs {
@@ -304,7 +315,30 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
             dfs.expiry_floor,
             dfs.telemetry.finish(),
         )
-    });
+    };
+    let contained = ghd_par::parallel_map_contained(&children, threads, run_task);
+    let mut faults = contained.faults;
+    // Retry each faulted task once on the caller thread: injected kills are
+    // one-shot, so the retry explores the subtree the dead worker dropped
+    // and exactness is preserved. A second panic (a genuine, persistent
+    // bug) degrades the result soundly instead of aborting.
+    let outcomes: Vec<_> = contained
+        .results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                match ghd_par::run_contained(ghd_par::RETRY_WORKER, i, || run_task(&children[i])) {
+                    Ok(o) => o,
+                    Err(second) => {
+                        faults.push(second);
+                        (false, usize::MAX, Vec::new(), 0, root_lb, None)
+                    }
+                }
+            })
+        })
+        .collect();
+    faults.sort_by_key(|f| f.task);
 
     let mut best_ub = ub;
     let mut best_suffix: Vec<usize> = Vec::new();
@@ -335,6 +369,7 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
             upper_bound: best_ub,
             lower_bound,
         });
+        merged.faults = faults.clone();
         merged
     });
     SearchResult {
@@ -346,6 +381,7 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
         elapsed: budget.elapsed(),
         cover_cache: None,
         stats,
+        faults,
     }
 }
 

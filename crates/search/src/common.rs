@@ -26,6 +26,7 @@
 //! `ordering` / `nodes_expanded` with stats on and off.
 
 use ghd_core::setcover::CacheStats;
+use ghd_par::WorkerFault;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -316,6 +317,11 @@ pub struct SearchStats {
     pub seen_peak: u64,
     /// Per-worker cover-cache stats (parallel BB-ghw; empty elsewhere).
     pub worker_caches: Vec<CacheStats>,
+    /// Contained worker panics observed during the run (parallel searches
+    /// only; each record names the worker, the root-split task index and the
+    /// stringified panic payload). Mirrors [`SearchResult::faults`], which
+    /// is populated even when telemetry is off.
+    pub faults: Vec<WorkerFault>,
 }
 
 impl SearchStats {
@@ -329,8 +335,10 @@ impl SearchStats {
             out.open_peak = out.open_peak.max(p.open_peak);
             out.seen_peak = out.seen_peak.max(p.seen_peak);
             out.worker_caches.extend(p.worker_caches);
+            out.faults.extend(p.faults);
         }
         out.incumbents.sort_by_key(|s| s.elapsed);
+        out.faults.sort_by_key(|f| f.task);
         out
     }
 }
@@ -449,6 +457,12 @@ pub struct SearchResult {
     pub cover_cache: Option<CacheStats>,
     /// Telemetry, when requested via [`SearchLimits::collect_stats`].
     pub stats: Option<SearchStats>,
+    /// Contained worker panics (always populated, telemetry on or off).
+    /// Empty for a clean run; a non-empty list means the result is still
+    /// valid — every faulted root-split task was retried on the caller
+    /// thread or its bound degraded soundly — but the process hosted a
+    /// panicking worker and should say so.
+    pub faults: Vec<WorkerFault>,
 }
 
 impl SearchResult {
@@ -571,6 +585,7 @@ mod tests {
             open_peak: f,
             seen_peak: 10 - f,
             worker_caches: Vec::new(),
+            faults: Vec::new(),
         };
         let m = SearchStats::merge([mk(5, 8, 2), mk(1, 9, 3)]);
         assert_eq!(m.prunes.f_prunes, 5);
@@ -604,6 +619,7 @@ mod tests {
             elapsed: Duration::ZERO,
             cover_cache: None,
             stats: None,
+            faults: Vec::new(),
         };
         assert_eq!(r.width(), None);
         let r2 = SearchResult { exact: true, lower_bound: 5, ..r };

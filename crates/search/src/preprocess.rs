@@ -92,6 +92,7 @@ pub fn tw_with_preprocessing(
             elapsed: std::time::Duration::ZERO,
             cover_cache: None,
             stats: None,
+            faults: Vec::new(),
         };
     }
     let mut r = crate::astar_tw(&pre.core, limits);

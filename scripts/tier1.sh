@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 gate: offline build, full test suite, workspace-wide lint, and the
-# two self-asserting benches (search cover cache, CSP relation engine). Run
-# from anywhere; exits non-zero on the first failure.
+# Tier-1 gate: offline build, full test suite (plus an assertions-on
+# release pass for the search crates), workspace-wide lint, the parser
+# fuzz smoke gate, and the two self-asserting benches (search cover cache,
+# CSP relation engine). Run from anywhere; exits non-zero on the first
+# failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,13 +14,19 @@ cargo build --offline --release --workspace
 echo "==> cargo test (offline)"
 cargo test --offline -q --workspace
 
+echo "==> cargo test (search crates, release optimisation + debug assertions)"
+cargo test --offline -q --profile relassert -p ghd-par -p ghd-search -p ghd-ga
+
 echo "==> clippy -D warnings (whole workspace, all targets)"
 cargo clippy --offline -q --workspace --all-targets -- -D warnings
+
+echo "==> fuzz_inputs (seeded byte mutations across every parser; a panic fails)"
+cargo run --offline -q --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
 
 echo "==> bench_smoke (cover cache on/off, writes BENCH_search.json)"
 cargo run --offline -q --release -p ghd-bench --bin bench_smoke
 
-echo "==> validate BENCH_search.json (schema, lb <= ub, non-empty incumbent traces)"
+echo "==> validate BENCH_search.json (schema, lb <= ub, certified widths, incumbent traces)"
 cargo run --offline -q --release -p ghd-bench --bin validate_bench -- BENCH_search.json
 
 echo "==> bench_join (naive vs columnar relation engine, writes BENCH_csp.json)"

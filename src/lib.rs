@@ -8,6 +8,8 @@
 //! * [`search`] — exact anytime algorithms (BB, A\*) and preprocessing.
 //! * [`ga`] — genetic algorithms, the self-adaptive island GA, simulated
 //!   annealing.
+//! * [`par`] — the fault-contained parallel runtime (scoped fork-join,
+//!   `WorkerFault` containment, deterministic fault injection).
 //!
 //! See README.md for a tour and DESIGN.md for the paper mapping.
 
@@ -16,6 +18,7 @@ pub use ghd_core as core;
 pub use ghd_csp as csp;
 pub use ghd_ga as ga;
 pub use ghd_hypergraph as hypergraph;
+pub use ghd_par as par;
 pub use ghd_search as search;
 
 /// One-stop imports for typical use.
