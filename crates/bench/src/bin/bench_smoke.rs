@@ -15,11 +15,13 @@
 
 use ghd_bench::instances::HypergraphInstance;
 use ghd_bench::table::{Args, Table};
+use ghd_bench::timer;
 use ghd_core::bucket::ghd_from_ordering;
+use ghd_core::eval::TwEvaluator;
 use ghd_core::{CoverMethod, EliminationOrdering};
-use ghd_hypergraph::generators::hypergraphs;
-use ghd_hypergraph::Hypergraph;
-use ghd_search::{bb_ghw, BbGhwConfig, SearchLimits, SearchStats};
+use ghd_hypergraph::generators::{graphs, hypergraphs};
+use ghd_hypergraph::{Graph, Hypergraph};
+use ghd_search::{astar_ghw, astar_tw, bb_ghw, BbGhwConfig, SearchLimits, SearchStats};
 use std::time::{Duration, Instant};
 
 /// BB-ghw completes on each of these in well under a second, so cache
@@ -41,6 +43,50 @@ fn smoke_suite() -> Vec<HypergraphInstance> {
         hi("grid2d_7", hypergraphs::grid2d(7)),
         hi("syn-circuit_30", hypergraphs::random_circuit(30, 32, 0xA)),
     ]
+}
+
+/// A\*-tw rows: graphs on which A\*-tw *completes* in about a second, so the
+/// reported wall clock measures the search and not the budget. Names and
+/// seeds are fixed — the committed baseline diffs against them by name.
+fn astar_tw_suite() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid_6", graphs::grid(6)),
+        ("gnm_26_100", graphs::gnm_random(26, 100, 1)),
+        ("gnm_34_85", graphs::gnm_random(34, 85, 5)),
+        ("queen_5", graphs::queen(5)),
+    ]
+}
+
+/// A\*-ghw rows, same completing-instances principle.
+fn astar_ghw_suite() -> Vec<(&'static str, Hypergraph)> {
+    vec![
+        ("rand_24_28_4", hypergraphs::random_hypergraph(24, 28, 4, 9)),
+        ("circuit_35", hypergraphs::random_circuit(35, 38, 7)),
+        ("grid2d_6", hypergraphs::grid2d(6)),
+        ("grid2d_7", hypergraphs::grid2d(7)),
+    ]
+}
+
+/// One A\* benchmark row: the wall clock is the **median over
+/// `GHD_BENCH_SAMPLES` stats-off runs** ([`timer::measure`]), and the
+/// memory gauges come from one extra stats-on run, which is behaviourally
+/// free and therefore describes exactly the timed runs.
+struct AstarRow {
+    instance: String,
+    algo: &'static str,
+    vertices: usize,
+    edges: usize,
+    width: usize,
+    exact: bool,
+    certified: bool,
+    wall_s: f64,
+    wall_s_min: f64,
+    samples: usize,
+    nodes_expanded: u64,
+    open_peak: u64,
+    seen_peak: u64,
+    open_peak_bytes: u64,
+    seen_peak_bytes: u64,
 }
 
 struct Row {
@@ -195,6 +241,116 @@ fn main() {
         total_off / total_on.max(1e-9)
     );
 
+    // ---- A* section: best-first searches on completing instances --------
+    println!("\nbench_smoke — A*-tw / A*-ghw on completing instances (median of GHD_BENCH_SAMPLES)\n");
+    let mut at = Table::new(&[
+        "Instance", "algo", "width", "status", "median[s]", "nodes", "open_pk", "seen_pk",
+        "open_B", "seen_B",
+    ]);
+    let limits = SearchLimits::with_time(Duration::from_secs_f64(secs));
+    let mut astar_rows: Vec<AstarRow> = Vec::new();
+    for (name, g) in astar_tw_suite() {
+        let sample = timer::measure(|| {
+            std::hint::black_box(astar_tw(&g, limits));
+        });
+        let r = astar_tw(&g, limits.stats(true));
+        let stats = r.stats.as_ref().expect("stats requested");
+        let certified = {
+            let ordering = r
+                .ordering
+                .clone()
+                .unwrap_or_else(|| panic!("InternalError: {name}: no ordering to certify"));
+            let sigma = EliminationOrdering::new(ordering).unwrap_or_else(|| {
+                panic!("InternalError: {name}: ordering is not a permutation")
+            });
+            let w = TwEvaluator::new(&g).width(&sigma);
+            if w != r.upper_bound {
+                panic!(
+                    "InternalError: {name}: certificate rejected: ordering width {w} != reported {}",
+                    r.upper_bound
+                );
+            }
+            true
+        };
+        astar_rows.push(AstarRow {
+            instance: name.to_string(),
+            algo: "astar_tw",
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            width: r.upper_bound,
+            exact: r.exact,
+            certified,
+            wall_s: sample.median_ns / 1e9,
+            wall_s_min: sample.min_ns / 1e9,
+            samples: sample.samples,
+            nodes_expanded: r.nodes_expanded,
+            open_peak: stats.open_peak,
+            seen_peak: stats.seen_peak,
+            open_peak_bytes: stats.open_peak_bytes,
+            seen_peak_bytes: stats.seen_peak_bytes,
+        });
+    }
+    for (name, h) in astar_ghw_suite() {
+        let sample = timer::measure(|| {
+            std::hint::black_box(astar_ghw(&h, limits));
+        });
+        let r = astar_ghw(&h, limits.stats(true));
+        let stats = r.stats.as_ref().expect("stats requested");
+        let certified = {
+            let ordering = r
+                .ordering
+                .clone()
+                .unwrap_or_else(|| panic!("InternalError: {name}: no ordering to certify"));
+            let sigma = EliminationOrdering::new(ordering).unwrap_or_else(|| {
+                panic!("InternalError: {name}: ordering is not a permutation")
+            });
+            let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+            if let Err(e) = ghd.verify(&h) {
+                panic!("InternalError: {name}: certificate rejected: {e}");
+            }
+            if ghd.width() != r.upper_bound {
+                panic!(
+                    "InternalError: {name}: certificate rejected: decomposition width {} != reported {}",
+                    ghd.width(),
+                    r.upper_bound
+                );
+            }
+            true
+        };
+        astar_rows.push(AstarRow {
+            instance: name.to_string(),
+            algo: "astar_ghw",
+            vertices: h.num_vertices(),
+            edges: h.num_edges(),
+            width: r.upper_bound,
+            exact: r.exact,
+            certified,
+            wall_s: sample.median_ns / 1e9,
+            wall_s_min: sample.min_ns / 1e9,
+            samples: sample.samples,
+            nodes_expanded: r.nodes_expanded,
+            open_peak: stats.open_peak,
+            seen_peak: stats.seen_peak,
+            open_peak_bytes: stats.open_peak_bytes,
+            seen_peak_bytes: stats.seen_peak_bytes,
+        });
+    }
+    for r in &astar_rows {
+        at.row(vec![
+            r.instance.clone(),
+            r.algo.to_string(),
+            r.width.to_string(),
+            if r.exact { "exact" } else { "ub *" }.to_string(),
+            format!("{:.3}", r.wall_s),
+            r.nodes_expanded.to_string(),
+            r.open_peak.to_string(),
+            r.seen_peak.to_string(),
+            r.open_peak_bytes.to_string(),
+            r.seen_peak_bytes.to_string(),
+        ]);
+    }
+    at.print();
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"bb_ghw_cover_cache\",\n");
     json.push_str(&format!("  \"time_budget_s\": {secs},\n"));
@@ -263,6 +419,34 @@ fn main() {
             p.dominance_hits,
             p.capped_covers,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"astar_results\": [\n");
+    for (i, r) in astar_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"algo\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+             \"width\": {}, \"exact\": {}, \"certified\": {}, \
+             \"wall_s\": {:.6}, \"wall_s_min\": {:.6}, \"samples\": {}, \
+             \"nodes_expanded\": {}, \
+             \"open_peak\": {}, \"seen_peak\": {}, \
+             \"open_peak_bytes\": {}, \"seen_peak_bytes\": {}}}{}\n",
+            r.instance,
+            r.algo,
+            r.vertices,
+            r.edges,
+            r.width,
+            r.exact,
+            r.certified,
+            r.wall_s,
+            r.wall_s_min,
+            r.samples,
+            r.nodes_expanded,
+            r.open_peak,
+            r.seen_peak,
+            r.open_peak_bytes,
+            r.seen_peak_bytes,
+            if i + 1 == astar_rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

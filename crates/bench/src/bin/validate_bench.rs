@@ -4,14 +4,28 @@
 //! trace, or whose width is not backed by a passing certificate
 //! (`certified: true`) fails the gate *before* a human reads the numbers.
 //!
+//! With `--baseline <file>` it additionally diffs the wall clocks of every
+//! *completing* (exact) row against a committed baseline run and fails on a
+//! regression of more than 25% (plus a small absolute slack so sub-50ms
+//! rows don't flap on scheduler noise). Rows absent from the baseline are
+//! reported but don't fail — new instances may be added freely.
+//!
 //! ```text
-//! cargo run --release -p ghd-bench --bin validate_bench -- BENCH_search.json
+//! cargo run --release -p ghd-bench --bin validate_bench -- \
+//!     BENCH_search.json --baseline results/BENCH_search_baseline.json
 //! ```
 //!
 //! Exit status: 0 when every record validates, 1 otherwise (with one line
 //! per violation on stderr).
 
 use ghd_core::json::Json;
+
+/// A completing row regresses when its wall clock exceeds the baseline by
+/// more than this factor...
+const REGRESSION_FACTOR: f64 = 1.25;
+/// ...plus this absolute slack (seconds): a 5 ms row that takes 8 ms is
+/// noise, not a regression.
+const REGRESSION_SLACK_S: f64 = 0.03;
 
 /// Required numeric keys of every result record.
 const REQUIRED_NUMBERS: &[&str] = &[
@@ -125,28 +139,164 @@ fn check(doc: &Json) -> Vec<String> {
             err(format!("{name}: `prunes` object missing"));
         }
     }
+
+    // A* rows (best-first searches): schema plus the memory gauges the
+    // arena/interner/bucket-queue layer reports. Older artifacts without
+    // the array are rejected — bench_smoke always emits it now.
+    match doc.get("astar_results").and_then(Json::as_array) {
+        None => err("top-level `astar_results` array missing".to_string()),
+        Some([]) => err("`astar_results` is empty".to_string()),
+        Some(rs) => {
+            for (i, r) in rs.iter().enumerate() {
+                let name = r
+                    .get("instance")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        err(format!("astar_results[{i}]: `instance` string missing"));
+                        format!("astar_results[{i}]")
+                    });
+                if r.get("algo").and_then(Json::as_str).is_none() {
+                    err(format!("{name}: `algo` string missing"));
+                }
+                for &key in ASTAR_REQUIRED_NUMBERS {
+                    if r.get(key).and_then(Json::as_f64).is_none() {
+                        err(format!("{name}: number `{key}` missing"));
+                    }
+                }
+                if r.get("exact").and_then(Json::as_bool).is_none() {
+                    err(format!("{name}: boolean `exact` missing"));
+                }
+                match r.get("certified").and_then(Json::as_bool) {
+                    Some(true) => {}
+                    Some(false) => err(format!("{name}: width is not certified")),
+                    None => err(format!("{name}: boolean `certified` missing")),
+                }
+                // a best-first run that expanded nodes must have recorded
+                // its open/seen footprint — zero means the gauge went dark
+                if r.get("nodes_expanded").and_then(Json::as_f64).unwrap_or(0.0) > 2.0 {
+                    for key in ["open_peak_bytes", "seen_peak_bytes"] {
+                        if r.get(key).and_then(Json::as_f64) == Some(0.0) {
+                            err(format!("{name}: `{key}` is zero on a completing run"));
+                        }
+                    }
+                }
+            }
+        }
+    }
     errs
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_search.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
+/// Required numeric keys of every `astar_results` record.
+const ASTAR_REQUIRED_NUMBERS: &[&str] = &[
+    "vertices",
+    "edges",
+    "width",
+    "wall_s",
+    "wall_s_min",
+    "samples",
+    "nodes_expanded",
+    "open_peak",
+    "seen_peak",
+    "open_peak_bytes",
+    "seen_peak_bytes",
+];
+
+/// Wall-clock regression diff against a committed baseline document. Only
+/// *exact* (completing) rows are compared — a budget-capped run burns its
+/// whole budget by construction and says nothing about speed. Returns
+/// violations; prints one informational line per row without a baseline
+/// counterpart.
+fn check_regressions(doc: &Json, base: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    // (section, match keys, wall key) — BB rows match by instance alone,
+    // A* rows by (instance, algo)
+    let sections: [(&str, bool, &str); 2] = [
+        ("results", false, "wall_s_cache_on"),
+        ("astar_results", true, "wall_s"),
+    ];
+    for (section, match_algo, wall_key) in sections {
+        let rows = doc.get(section).and_then(Json::as_array).unwrap_or(&[]);
+        let base_rows = base.get(section).and_then(Json::as_array).unwrap_or(&[]);
+        for r in rows {
+            if r.get("exact").and_then(Json::as_bool) != Some(true) {
+                continue;
+            }
+            let inst = r.get("instance").and_then(Json::as_str).unwrap_or("?");
+            let algo = r.get("algo").and_then(Json::as_str).unwrap_or("");
+            let tag = if match_algo {
+                format!("{algo}/{inst}")
+            } else {
+                inst.to_string()
+            };
+            let Some(wall) = r.get(wall_key).and_then(Json::as_f64) else {
+                continue; // schema check already reported it
+            };
+            let baseline = base_rows.iter().find(|b| {
+                b.get("instance").and_then(Json::as_str) == Some(inst)
+                    && (!match_algo || b.get("algo").and_then(Json::as_str) == Some(algo))
+            });
+            let Some(b) = baseline else {
+                println!("validate_bench: {tag}: no baseline row (new instance, not compared)");
+                continue;
+            };
+            if b.get("exact").and_then(Json::as_bool) != Some(true) {
+                println!("validate_bench: {tag}: baseline row not exact, not compared");
+                continue;
+            }
+            let Some(base_wall) = b.get(wall_key).and_then(Json::as_f64) else {
+                continue;
+            };
+            let limit = base_wall * REGRESSION_FACTOR + REGRESSION_SLACK_S;
+            if wall > limit {
+                errs.push(format!(
+                    "{tag}: {wall_key} {wall:.3}s regressed past {limit:.3}s \
+                     (baseline {base_wall:.3}s × {REGRESSION_FACTOR} + {REGRESSION_SLACK_S}s)"
+                ));
+            }
+        }
+    }
+    errs
+}
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("validate_bench: cannot read `{path}`: {e}");
             std::process::exit(1);
         }
     };
-    let doc = match Json::parse(&text) {
+    match Json::parse(&text) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("validate_bench: `{path}` is not valid JSON: {e:?}");
             std::process::exit(1);
         }
-    };
-    let errs = check(&doc);
+    }
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            baseline = Some(args.next().unwrap_or_else(|| {
+                eprintln!("validate_bench: --baseline needs a file argument");
+                std::process::exit(1);
+            }));
+        } else {
+            path = Some(a);
+        }
+    }
+    let path = path.unwrap_or_else(|| "BENCH_search.json".to_string());
+    let doc = load(&path);
+    let mut errs = check(&doc);
+    if let Some(base_path) = baseline {
+        let base = load(&base_path);
+        errs.extend(check_regressions(&doc, &base));
+    }
     if errs.is_empty() {
         let n = doc
             .get("results")
@@ -166,10 +316,8 @@ fn main() {
 mod tests {
     use super::*;
 
-    #[test]
-    fn accepts_a_well_formed_document() {
-        let doc = Json::parse(
-            r#"{"bench": "bb_ghw_cover_cache", "results": [
+    /// A complete, valid document exercising both sections.
+    const WELL_FORMED: &str = r#"{"bench": "bb_ghw_cover_cache", "results": [
                 {"instance": "g", "vertices": 4, "edges": 4, "width": 2,
                  "width_cache_off": 2, "lower_bound": 2, "exact": true,
                  "certified": true, "faults": [],
@@ -178,10 +326,107 @@ mod tests {
                  "incumbents": [{"elapsed_s": 0.0, "upper_bound": 3, "lower_bound": 1},
                                  {"elapsed_s": 0.01, "upper_bound": 2, "lower_bound": 2}],
                  "prunes": {"f_prunes": 5}}
+            ],
+            "astar_results": [
+                {"instance": "a", "algo": "astar_tw", "vertices": 9, "edges": 12,
+                 "width": 3, "exact": true, "certified": true,
+                 "wall_s": 0.2, "wall_s_min": 0.18, "samples": 3,
+                 "nodes_expanded": 120, "open_peak": 40, "seen_peak": 80,
+                 "open_peak_bytes": 4096, "seen_peak_bytes": 9000}
+            ]}"#;
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        let doc = Json::parse(WELL_FORMED).unwrap();
+        assert_eq!(check(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn astar_rows_need_memory_gauges_and_certificates() {
+        // zero peak bytes on a completing run means the gauge went dark
+        let doc = Json::parse(
+            r#"{"bench": "x", "results": [
+                {"instance": "g", "vertices": 4, "edges": 4, "width": 2,
+                 "width_cache_off": 2, "lower_bound": 2, "exact": true,
+                 "certified": true, "faults": [],
+                 "wall_s_cache_off": 0.1, "wall_s_cache_on": 0.05,
+                 "nodes_expanded": 12, "cache_hits": 3, "cache_misses": 4,
+                 "incumbents": [{"elapsed_s": 0.0, "upper_bound": 2, "lower_bound": 2}],
+                 "prunes": {}}
+            ],
+            "astar_results": [
+                {"instance": "a", "algo": "astar_tw", "vertices": 9, "edges": 12,
+                 "width": 3, "exact": true, "certified": false,
+                 "wall_s": 0.2, "wall_s_min": 0.18, "samples": 3,
+                 "nodes_expanded": 120, "open_peak": 40, "seen_peak": 80,
+                 "open_peak_bytes": 0, "seen_peak_bytes": 9000}
             ]}"#,
         )
         .unwrap();
-        assert_eq!(check(&doc), Vec::<String>::new());
+        let errs = check(&doc);
+        assert!(errs.iter().any(|e| e.contains("a: width is not certified")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("`open_peak_bytes` is zero")),
+            "{errs:?}"
+        );
+
+        // the array itself is mandatory
+        let doc = Json::parse(
+            r#"{"bench": "x", "results": [
+                {"instance": "g", "vertices": 4, "edges": 4, "width": 2,
+                 "width_cache_off": 2, "lower_bound": 2, "exact": true,
+                 "certified": true, "faults": [],
+                 "wall_s_cache_off": 0.1, "wall_s_cache_on": 0.05,
+                 "nodes_expanded": 12, "cache_hits": 3, "cache_misses": 4,
+                 "incumbents": [{"elapsed_s": 0.0, "upper_bound": 2, "lower_bound": 2}],
+                 "prunes": {}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(
+            check(&doc).iter().any(|e| e.contains("`astar_results` array missing")),
+            "{:?}",
+            check(&doc)
+        );
+    }
+
+    #[test]
+    fn baseline_diff_flags_only_real_regressions() {
+        let base = Json::parse(WELL_FORMED).unwrap();
+
+        // identical run: no regression
+        let doc = Json::parse(WELL_FORMED).unwrap();
+        assert_eq!(check_regressions(&doc, &base), Vec::<String>::new());
+
+        // within 25% + slack: still fine
+        let ok = WELL_FORMED
+            .replace("\"wall_s_cache_on\": 0.05", "\"wall_s_cache_on\": 0.06")
+            .replace("\"wall_s\": 0.2", "\"wall_s\": 0.24");
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(check_regressions(&doc, &base), Vec::<String>::new());
+
+        // far past the envelope on both sections: both flagged
+        let bad = WELL_FORMED
+            .replace("\"wall_s_cache_on\": 0.05", "\"wall_s_cache_on\": 0.5")
+            .replace("\"wall_s\": 0.2", "\"wall_s\": 2.0");
+        let doc = Json::parse(&bad).unwrap();
+        let errs = check_regressions(&doc, &base);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("g: ")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("astar_tw/a: ")), "{errs:?}");
+
+        // a non-exact row burns its budget by construction; never compared
+        let capped = WELL_FORMED.replace(
+            "\"width\": 3, \"exact\": true",
+            "\"width\": 3, \"exact\": false",
+        );
+        let doc = Json::parse(&capped.replace("\"wall_s\": 0.2", "\"wall_s\": 9.0")).unwrap();
+        assert_eq!(check_regressions(&doc, &base), Vec::<String>::new());
+
+        // rows missing from the baseline are informational, not failures
+        let renamed = WELL_FORMED.replace("\"instance\": \"a\"", "\"instance\": \"a2\"");
+        let doc = Json::parse(&renamed).unwrap();
+        assert_eq!(check_regressions(&doc, &base), Vec::<String>::new());
     }
 
     #[test]
@@ -216,7 +461,7 @@ mod tests {
         )
         .unwrap();
         let errs = check(&doc);
-        assert_eq!(errs, vec!["u: width is not certified".to_string()], "{errs:?}");
+        assert!(errs.contains(&"u: width is not certified".to_string()), "{errs:?}");
 
         let doc = Json::parse(r#"{"bench": "x", "results": []}"#).unwrap();
         assert!(check(&doc).iter().any(|e| e.contains("empty")));

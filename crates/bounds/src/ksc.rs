@@ -50,6 +50,41 @@ pub fn tw_ksc_width(h: &Hypergraph, g: &Graph, tw_lb: usize) -> usize {
     k_set_cover_lower_bound(h, tw_lb + 1)
 }
 
+/// Precomputed prefix sums of the descending hyperedge cardinalities of one
+/// hypergraph, so the per-node k-set-cover queries inside the searches cost
+/// a binary search instead of an allocation plus sort. Answers are exactly
+/// those of [`k_set_cover_lower_bound`].
+pub struct KscTable {
+    prefix: Vec<usize>,
+}
+
+impl KscTable {
+    pub fn new(h: &Hypergraph) -> Self {
+        let mut prefix: Vec<usize> = h.edges().iter().map(|e| e.len()).collect();
+        prefix.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0;
+        for s in prefix.iter_mut() {
+            acc += *s;
+            *s = acc;
+        }
+        KscTable { prefix }
+    }
+
+    /// Same value as `k_set_cover_lower_bound(h, k)` for the hypergraph this
+    /// table was built from.
+    pub fn bound(&self, k: usize) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let t = self.prefix.partition_point(|&c| c < k);
+        if t == self.prefix.len() {
+            usize::MAX
+        } else {
+            t + 1
+        }
+    }
+}
+
 /// The combined generalized hypertree width lower bound used by BB-ghw and
 /// A\*-ghw: treewidth lower bound on the primal graph (max of minor-min-width
 /// and minor-γ_R), then tw-ksc-width.
@@ -73,6 +108,17 @@ mod tests {
         let h = Hypergraph::from_edges(30, (0..10).map(|i| (3 * i)..(3 * i + 3)));
         for k in 1..=30 {
             assert_eq!(k_set_cover_lower_bound(&h, k), k.div_ceil(3), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ksc_table_matches_direct_bound() {
+        for seed in 0..5u64 {
+            let h = hypergraphs::random_hypergraph(18, 12, 4, seed);
+            let table = KscTable::new(&h);
+            for k in 0..=20 {
+                assert_eq!(table.bound(k), k_set_cover_lower_bound(&h, k), "seed {seed} k={k}");
+            }
         }
     }
 

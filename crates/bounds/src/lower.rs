@@ -5,47 +5,71 @@
 //! increases under taking minors, so the largest degree statistic observed
 //! along the way lower-bounds the treewidth of the original graph.
 
-use ghd_hypergraph::{BitSet, Graph};
+use ghd_hypergraph::{BitSet, EliminationGraph, Graph};
 use ghd_prng::{Rng, RngExt};
 
-/// A scratch graph supporting edge contraction, used by the minor-based
-/// lower bounds.
-struct ContractGraph {
+/// Reusable buffers for the minor-based lower bounds, so that per-node
+/// heuristic calls inside the exact searches allocate nothing in the steady
+/// state. One scratch serves any number of consecutive bound computations.
+#[derive(Default)]
+pub struct LbScratch {
     adj: Vec<BitSet>,
     alive: Vec<usize>,
+    tied: Vec<usize>,
+    seq: Vec<usize>,
 }
 
-impl ContractGraph {
-    fn new(g: &Graph) -> Self {
-        ContractGraph {
-            adj: (0..g.num_vertices()).map(|v| g.neighbors(v).clone()).collect(),
-            alive: (0..g.num_vertices()).collect(),
+impl LbScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads the contraction rows from a static graph.
+    fn load_graph(&mut self, g: &Graph) {
+        let n = g.num_vertices();
+        if self.adj.len() < n {
+            self.adj.resize_with(n, BitSet::default);
+        }
+        for v in 0..n {
+            self.adj[v].copy_from(g.neighbors(v));
+        }
+        self.alive.clear();
+        self.alive.extend(0..n);
+    }
+
+    /// Loads the contraction rows from the residual of an elimination graph,
+    /// exactly as `load_graph(&eg.to_graph())` would — dead vertices become
+    /// isolated but stay in the alive list — without materialising the graph.
+    fn load_elim(&mut self, eg: &EliminationGraph) {
+        let n = eg.num_vertices();
+        if self.adj.len() < n {
+            self.adj.resize_with(n, BitSet::default);
+        }
+        for v in 0..n {
+            self.adj[v].reset(n);
+        }
+        for u in eg.alive().iter() {
+            self.adj[u].copy_from(eg.neighbors(u));
+        }
+        self.alive.clear();
+        self.alive.extend(0..n);
+    }
+}
+
+/// Contracts the edge `(v, u)` into `u` and removes `v`.
+fn contract_into(adj: &mut [BitSet], alive: &mut Vec<usize>, v: usize, u: usize) {
+    let nv = std::mem::take(&mut adj[v]);
+    for w in nv.iter() {
+        adj[w].remove(v);
+        if w != u {
+            adj[w].insert(u);
+            adj[u].insert(w);
         }
     }
-
-    fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
-    }
-
-    /// Contracts the edge `(v, u)` into `u` and removes `v`.
-    fn contract_into(&mut self, v: usize, u: usize) {
-        let nv = std::mem::take(&mut self.adj[v]);
-        for w in nv.iter() {
-            self.adj[w].remove(v);
-            if w != u {
-                self.adj[w].insert(u);
-                self.adj[u].insert(w);
-            }
-        }
-        self.adj[u].remove(u);
-        self.alive.retain(|&x| x != v);
-    }
-
-    /// Removes isolated vertex `v`.
-    fn remove(&mut self, v: usize) {
-        debug_assert!(self.adj[v].is_empty());
-        self.alive.retain(|&x| x != v);
-    }
+    adj[v] = nv;
+    adj[v].clear();
+    adj[u].remove(u);
+    alive.retain(|&x| x != v);
 }
 
 fn pick_tied<R: Rng + ?Sized>(tied: &[usize], rng: &mut Option<&mut R>) -> usize {
@@ -82,34 +106,33 @@ pub fn degeneracy(g: &Graph) -> usize {
 /// contract a minimum-degree vertex into its least-degree neighbour,
 /// recording the maximum minimum degree seen. Ties broken randomly when
 /// `rng` is given.
-pub fn minor_min_width<R: Rng + ?Sized>(g: &Graph, mut rng: Option<&mut R>) -> usize {
-    let mut cg = ContractGraph::new(g);
+pub fn minor_min_width<R: Rng + ?Sized>(g: &Graph, rng: Option<&mut R>) -> usize {
+    let mut scratch = LbScratch::new();
+    scratch.load_graph(g);
+    mmw_core(&mut scratch, rng)
+}
+
+fn mmw_core<R: Rng + ?Sized>(scratch: &mut LbScratch, mut rng: Option<&mut R>) -> usize {
+    let LbScratch { adj, alive, tied, .. } = scratch;
     let mut lb = 0;
-    while !cg.alive.is_empty() {
+    while !alive.is_empty() {
         // (a) minimum-degree vertex v
-        let min_deg = cg.alive.iter().map(|&v| cg.degree(v)).min().expect("nonempty");
-        let tied: Vec<usize> = cg
-            .alive
-            .iter()
-            .copied()
-            .filter(|&v| cg.degree(v) == min_deg)
-            .collect();
-        let v = pick_tied(&tied, &mut rng);
+        let min_deg = alive.iter().map(|&v| adj[v].len()).min().expect("nonempty");
+        tied.clear();
+        tied.extend(alive.iter().copied().filter(|&v| adj[v].len() == min_deg));
+        let v = pick_tied(tied, &mut rng);
         // (b) record degree
-        lb = lb.max(cg.degree(v));
+        lb = lb.max(adj[v].len());
         // (a cont.) contract with minimum-degree neighbour
-        if cg.adj[v].is_empty() {
-            cg.remove(v);
+        if adj[v].is_empty() {
+            alive.retain(|&x| x != v);
             continue;
         }
-        let min_nb_deg = cg.adj[v].iter().map(|u| cg.degree(u)).min().expect("nonempty");
-        let tied_nb: Vec<usize> = cg
-            .adj[v]
-            .iter()
-            .filter(|&u| cg.degree(u) == min_nb_deg)
-            .collect();
-        let u = pick_tied(&tied_nb, &mut rng);
-        cg.contract_into(v, u);
+        let min_nb_deg = adj[v].iter().map(|u| adj[u].len()).min().expect("nonempty");
+        tied.clear();
+        tied.extend(adj[v].iter().filter(|&u| adj[u].len() == min_nb_deg));
+        let u = pick_tied(tied, &mut rng);
+        contract_into(adj, alive, v, u);
     }
     lb
 }
@@ -120,18 +143,25 @@ pub fn minor_min_width<R: Rng + ?Sized>(g: &Graph, mut rng: Option<&mut R>) -> u
 /// contracts it into its least-degree neighbour. If every vertex is adjacent
 /// to all predecessors the remaining graph is complete and contributes
 /// `n − 1`.
-pub fn minor_gamma_r<R: Rng + ?Sized>(g: &Graph, mut rng: Option<&mut R>) -> usize {
-    let mut cg = ContractGraph::new(g);
+pub fn minor_gamma_r<R: Rng + ?Sized>(g: &Graph, rng: Option<&mut R>) -> usize {
+    let mut scratch = LbScratch::new();
+    scratch.load_graph(g);
+    gamma_r_core(&mut scratch, rng)
+}
+
+fn gamma_r_core<R: Rng + ?Sized>(scratch: &mut LbScratch, mut rng: Option<&mut R>) -> usize {
+    let LbScratch { adj, alive, tied, seq } = scratch;
     let mut lb = 0;
-    while !cg.alive.is_empty() {
+    while !alive.is_empty() {
         // (a) sort by degree ascending
-        let mut seq = cg.alive.clone();
-        seq.sort_by_key(|&v| cg.degree(v));
+        seq.clear();
+        seq.extend_from_slice(alive);
+        seq.sort_by_key(|&v| adj[v].len());
         // (b) first vertex with a non-neighbour predecessor
         let mut found = None;
         'outer: for (i, &v) in seq.iter().enumerate() {
             for &p in &seq[..i] {
-                if !cg.adj[v].contains(p) {
+                if !adj[v].contains(p) {
                     found = Some(v);
                     break 'outer;
                 }
@@ -139,24 +169,21 @@ pub fn minor_gamma_r<R: Rng + ?Sized>(g: &Graph, mut rng: Option<&mut R>) -> usi
         }
         let Some(v) = found else {
             // complete graph: γ = n − 1, nothing further to contract
-            lb = lb.max(cg.alive.len() - 1);
+            lb = lb.max(alive.len() - 1);
             break;
         };
         // (c,e) γ_R = degree(v)
-        lb = lb.max(cg.degree(v));
+        lb = lb.max(adj[v].len());
         // (d) contract with minimum-degree neighbour
-        if cg.adj[v].is_empty() {
-            cg.remove(v);
+        if adj[v].is_empty() {
+            alive.retain(|&x| x != v);
             continue;
         }
-        let min_nb_deg = cg.adj[v].iter().map(|u| cg.degree(u)).min().expect("nonempty");
-        let tied_nb: Vec<usize> = cg
-            .adj[v]
-            .iter()
-            .filter(|&u| cg.degree(u) == min_nb_deg)
-            .collect();
-        let u = pick_tied(&tied_nb, &mut rng);
-        cg.contract_into(v, u);
+        let min_nb_deg = adj[v].iter().map(|u| adj[u].len()).min().expect("nonempty");
+        tied.clear();
+        tied.extend(adj[v].iter().filter(|&u| adj[u].len() == min_nb_deg));
+        let u = pick_tied(tied, &mut rng);
+        contract_into(adj, alive, v, u);
     }
     lb
 }
@@ -164,9 +191,39 @@ pub fn minor_gamma_r<R: Rng + ?Sized>(g: &Graph, mut rng: Option<&mut R>) -> usi
 /// The combined treewidth lower bound used by A\*-tw and BB-ghw: the
 /// maximum of [`minor_min_width`] and [`minor_gamma_r`] (§5.1).
 pub fn tw_lower_bound<R: Rng + ?Sized>(g: &Graph, mut rng: Option<&mut R>) -> usize {
-    let a = minor_min_width(g, rng.as_deref_mut());
-    let b = minor_gamma_r(g, rng);
+    let mut scratch = LbScratch::new();
+    scratch.load_graph(g);
+    let a = mmw_core(&mut scratch, rng.as_deref_mut());
+    scratch.load_graph(g);
+    let b = gamma_r_core(&mut scratch, rng);
     a.max(b)
+}
+
+/// [`tw_lower_bound`] evaluated directly on the residual of an elimination
+/// graph, reusing `scratch` so that per-node calls inside A\*/BB allocate
+/// nothing. Returns exactly `tw_lower_bound(&eg.to_graph(), rng)`.
+pub fn tw_lower_bound_elim<R: Rng + ?Sized>(
+    eg: &EliminationGraph,
+    mut rng: Option<&mut R>,
+    scratch: &mut LbScratch,
+) -> usize {
+    scratch.load_elim(eg);
+    let a = mmw_core(scratch, rng.as_deref_mut());
+    scratch.load_elim(eg);
+    let b = gamma_r_core(scratch, rng);
+    a.max(b)
+}
+
+/// [`minor_min_width`] evaluated directly on the residual of an elimination
+/// graph, reusing `scratch`. Returns exactly
+/// `minor_min_width(&eg.to_graph(), rng)`.
+pub fn minor_min_width_elim<R: Rng + ?Sized>(
+    eg: &EliminationGraph,
+    rng: Option<&mut R>,
+    scratch: &mut LbScratch,
+) -> usize {
+    scratch.load_elim(eg);
+    mmw_core(scratch, rng)
 }
 
 #[cfg(test)]
@@ -235,6 +292,33 @@ mod tests {
         let one = Graph::new(1);
         assert_eq!(minor_min_width::<StdRng>(&one, None), 0);
         assert_eq!(minor_gamma_r::<StdRng>(&one, None), 0);
+    }
+
+    #[test]
+    fn elim_variants_match_materialised_graph() {
+        use ghd_hypergraph::EliminationGraph;
+        let mut scratch = LbScratch::new();
+        for seed in 0..10u64 {
+            let g = graphs::gnm_random(22, 55, seed);
+            let mut eg = EliminationGraph::new(&g);
+            // partially eliminate so dead vertices are present
+            for v in [3usize, 11, 7] {
+                if eg.is_alive(v) {
+                    eg.eliminate(v);
+                }
+            }
+            let residual = eg.to_graph();
+            assert_eq!(
+                tw_lower_bound_elim::<StdRng>(&eg, None, &mut scratch),
+                tw_lower_bound::<StdRng>(&residual, None),
+                "tw lb mismatch, seed {seed}"
+            );
+            assert_eq!(
+                minor_min_width_elim::<StdRng>(&eg, None, &mut scratch),
+                minor_min_width::<StdRng>(&residual, None),
+                "mmw mismatch, seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -396,6 +396,8 @@ fn search_json(
             );
             let _ = writeln!(s, "    \"open_peak\": {},", st.open_peak);
             let _ = writeln!(s, "    \"seen_peak\": {},", st.seen_peak);
+            let _ = writeln!(s, "    \"open_peak_bytes\": {},", st.open_peak_bytes);
+            let _ = writeln!(s, "    \"seen_peak_bytes\": {},", st.seen_peak_bytes);
             s.push_str("    \"worker_caches\": [");
             for (i, c) in st.worker_caches.iter().enumerate() {
                 if i > 0 {

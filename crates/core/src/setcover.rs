@@ -8,6 +8,7 @@
 //! external dependency — see DESIGN.md, substitution 3).
 
 use ghd_hypergraph::{BitSet, Hypergraph};
+use ghd_prng::hash::FxBuildHasher;
 use ghd_prng::{Rng, RngExt};
 use std::collections::HashMap;
 
@@ -229,7 +230,16 @@ struct CacheEntry {
 /// A cache is valid for **one hypergraph**: keys are target bitsets only,
 /// so reusing it across hypergraphs replays covers from the wrong edge set.
 pub struct CoverCache {
-    map: HashMap<Box<[u64]>, CacheEntry>,
+    /// Boxed-key path (FxHash — the keys are whole `u64` words, exactly the
+    /// input FxHash mixes best, and SipHash's DoS resistance buys nothing
+    /// against self-generated bags).
+    map: HashMap<Box<[u64]>, CacheEntry, FxBuildHasher>,
+    /// Dense path: entries indexed by a caller-supplied interned key (see
+    /// `ghd_search::StateInterner`), so the closed set and the cover cache
+    /// share one canonical key storage and probing here is a vector index.
+    dense: Vec<CacheEntry>,
+    /// Occupied (fact-holding) entries of `dense`.
+    dense_live: usize,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -254,7 +264,9 @@ impl CoverCache {
     /// A cache holding at most `capacity` entries (min 1) before resetting.
     pub fn with_capacity(capacity: usize) -> Self {
         CoverCache {
-            map: HashMap::new(),
+            map: HashMap::default(),
+            dense: Vec::new(),
+            dense_live: 0,
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
@@ -268,14 +280,24 @@ impl CoverCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
-            entries: self.map.len(),
+            entries: self.map.len() + self.dense_live,
         }
     }
 
     /// Drops all entries (counts them as evictions) but keeps the counters.
     pub fn clear(&mut self) {
-        self.evictions += self.map.len() as u64;
+        self.evictions += (self.map.len() + self.dense_live) as u64;
         self.map.clear();
+        self.dense.clear();
+        self.dense_live = 0;
+    }
+
+    /// Bytes reserved by the cache's own storage (keys interned elsewhere
+    /// are not counted; the boxed-key path estimates per-entry overhead).
+    pub fn bytes(&self) -> usize {
+        self.dense.capacity() * std::mem::size_of::<CacheEntry>()
+            + self.map.capacity()
+                * (std::mem::size_of::<CacheEntry>() + std::mem::size_of::<Box<[u64]>>())
     }
 
     fn entry_mut(&mut self, target: &BitSet) -> &mut CacheEntry {
@@ -286,6 +308,30 @@ impl CoverCache {
         self.map
             .entry(target.blocks().into())
             .or_default()
+    }
+
+    fn occupied(e: &CacheEntry) -> bool {
+        // a stored fact always sets one of these: `exact`, a `lower ≥ 1`
+        // (caps are ≥ 1 past the zero-cap short circuit) or a greedy size
+        e.exact.is_some() || e.lower > 0 || e.greedy.is_some()
+    }
+
+    /// Dense-path counterpart of [`CoverCache::entry_mut`]; the caller is
+    /// about to record a fact, which is what makes the slot occupied.
+    fn dense_entry_mut(&mut self, key: u32) -> &mut CacheEntry {
+        let k = key as usize;
+        if self.dense.len() <= k {
+            self.dense.resize(k + 1, CacheEntry::default());
+        }
+        if !Self::occupied(&self.dense[k]) {
+            if self.dense_live >= self.capacity {
+                self.evictions += self.dense_live as u64;
+                self.dense.iter_mut().for_each(|e| *e = CacheEntry::default());
+                self.dense_live = 0;
+            }
+            self.dense_live += 1;
+        }
+        &mut self.dense[k]
     }
 
     /// Memoizing counterpart of [`exact_cover_size_capped`]: same contract,
@@ -322,6 +368,61 @@ impl CoverCache {
             }
         }
         (s, ok)
+    }
+
+    /// [`CoverCache::exact_cover_size_capped`] on the dense path: `key` must
+    /// be the dense id of `target`'s blocks in the caller's interner (each
+    /// distinct target set ↔ one id). Same contract, same values; probing is
+    /// a vector index and the key bits are stored once, in the interner.
+    pub fn exact_cover_size_capped_interned(
+        &mut self,
+        key: u32,
+        target: &BitSet,
+        h: &Hypergraph,
+        cap: usize,
+    ) -> (usize, bool) {
+        if cap == 0 {
+            return (0, true);
+        }
+        if let Some(e) = self.dense.get(key as usize) {
+            if let Some(exact) = e.exact {
+                self.hits += 1;
+                return ((exact as usize).min(cap), true);
+            }
+            if e.lower as usize >= cap {
+                self.hits += 1;
+                return (cap, true);
+            }
+        }
+        self.misses += 1;
+        let (s, ok) = exact_cover_size_capped(target, h, cap);
+        if ok {
+            let e = self.dense_entry_mut(key);
+            if s < cap {
+                e.exact = Some(s as u32);
+                e.lower = e.lower.max(s as u32);
+            } else {
+                // completed search found nothing below cap ⇒ optimal ≥ cap
+                e.lower = e.lower.max(cap as u32);
+            }
+        }
+        (s, ok)
+    }
+
+    /// [`CoverCache::greedy_cover_size`] on the dense path (see
+    /// [`CoverCache::exact_cover_size_capped_interned`] for the key
+    /// contract).
+    pub fn greedy_cover_size_interned(&mut self, key: u32, target: &BitSet, h: &Hypergraph) -> usize {
+        if let Some(e) = self.dense.get(key as usize) {
+            if let Some(g) = e.greedy {
+                self.hits += 1;
+                return g as usize;
+            }
+        }
+        self.misses += 1;
+        let g = greedy_cover_size::<ghd_prng::rngs::StdRng>(target, h, None);
+        self.dense_entry_mut(key).greedy = Some(g as u32);
+        g
     }
 
     /// Memoizing counterpart of the deterministic
@@ -518,6 +619,59 @@ mod tests {
         assert!(total.hits > 0, "repeated caps should hit: {total:?}");
         assert!(total.misses > 0);
         assert!(total.entries > 0);
+    }
+
+    #[test]
+    fn dense_path_matches_boxed_key_path() {
+        // one interned id per distinct target, as a search-side interner
+        // would assign them; both paths must produce identical values and
+        // identical hit/miss streams
+        for trial in 0..10u64 {
+            let h = ghd_hypergraph::generators::hypergraphs::random_hypergraph(12, 9, 4, trial);
+            let mut boxed = CoverCache::new();
+            let mut dense = CoverCache::new();
+            let mut ids: Vec<BitSet> = Vec::new();
+            let mut rng = StdRng::seed_from_u64(trial ^ 0xD5);
+            for _ in 0..8 {
+                let target =
+                    BitSet::from_iter(12, (0..12).filter(|_| rng.random_range(0..3) == 0));
+                let key = match ids.iter().position(|t| *t == target) {
+                    Some(i) => i as u32,
+                    None => {
+                        ids.push(target.clone());
+                        (ids.len() - 1) as u32
+                    }
+                };
+                for cap in [1, 2, 3, usize::MAX] {
+                    assert_eq!(
+                        boxed.exact_cover_size_capped(&target, &h, cap),
+                        dense.exact_cover_size_capped_interned(key, &target, &h, cap),
+                        "trial {trial} cap {cap}"
+                    );
+                }
+                assert_eq!(
+                    boxed.greedy_cover_size(&target, &h),
+                    dense.greedy_cover_size_interned(key, &target, &h),
+                    "trial {trial}"
+                );
+                assert_eq!(boxed.stats(), dense.stats(), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_capacity_overflow_resets_and_counts_evictions() {
+        let h = hg(4, &[&[0, 1], &[2, 3], &[0, 2], &[1, 3]]);
+        let mut cache = CoverCache::with_capacity(2);
+        for v in 0..4u32 {
+            let target = BitSet::from_iter(4, [v as usize]);
+            cache.greedy_cover_size_interned(v, &target, &h);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 2, "expected a capacity reset: {stats:?}");
+        assert!(stats.entries <= 2);
+        assert_eq!(stats.misses, 4);
+        assert!(cache.bytes() > 0);
     }
 
     #[test]

@@ -95,6 +95,23 @@ impl BitSet {
         self.blocks.iter_mut().for_each(|b| *b = 0);
     }
 
+    /// Makes `self` an exact copy of `other`, reusing the existing block
+    /// allocation whenever it is large enough (a `clone_from` that scratch
+    /// buffers can rely on not to allocate in the steady state).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&other.blocks);
+        self.capacity = other.capacity;
+    }
+
+    /// Empties the set and re-dimensions it for values in `0..capacity`,
+    /// reusing the existing block allocation whenever possible.
+    pub fn reset(&mut self, capacity: usize) {
+        self.blocks.clear();
+        self.blocks.resize(capacity.div_ceil(BITS), 0);
+        self.capacity = capacity;
+    }
+
     /// In-place union: `self ∪= other`.
     pub fn union_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.capacity, other.capacity);

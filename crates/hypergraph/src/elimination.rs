@@ -14,13 +14,16 @@ use crate::bitset::BitSet;
 use crate::graph::Graph;
 
 /// One elimination step, retained so it can be undone.
-#[derive(Clone, Debug)]
+///
+/// The step does not own its fill edges: they live in the eliminator's shared
+/// `fill_log`, of which this records the length before the elimination. The
+/// eliminated vertex's neighbourhood needs no copy at all — `adj[vertex]` is
+/// never touched while the vertex is dead, so it still holds the
+/// elimination-time neighbourhood when `restore` runs.
+#[derive(Clone, Copy, Debug)]
 struct Step {
     vertex: usize,
-    /// Neighbours of `vertex` at the moment of elimination.
-    neighbors: Vec<usize>,
-    /// Fill edges `(u, v)` added to make those neighbours a clique.
-    fill: Vec<(usize, usize)>,
+    fill_start: usize,
 }
 
 /// A graph supporting `eliminate` / `restore` in LIFO order.
@@ -30,6 +33,12 @@ pub struct EliminationGraph {
     alive: BitSet,
     n_alive: usize,
     stack: Vec<Step>,
+    /// Append-only log of fill edges; `restore` truncates back to the
+    /// step's `fill_start` (the thesis' `E` log).
+    fill_log: Vec<(u32, u32)>,
+    /// Reusable neighbour buffer so `eliminate` allocates nothing in the
+    /// steady state.
+    scratch: Vec<usize>,
 }
 
 impl EliminationGraph {
@@ -41,6 +50,8 @@ impl EliminationGraph {
             alive: BitSet::full(n),
             n_alive: n,
             stack: Vec::new(),
+            fill_log: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -99,28 +110,27 @@ impl EliminationGraph {
     /// label minus one, i.e. the width contribution of this step).
     pub fn eliminate(&mut self, v: usize) -> usize {
         debug_assert!(self.is_alive(v), "eliminating a dead vertex");
-        let neighbors = self.adj[v].to_vec();
+        let mut neighbors = std::mem::take(&mut self.scratch);
+        neighbors.clear();
+        neighbors.extend(self.adj[v].iter());
         let deg = neighbors.len();
-        let mut fill = Vec::new();
+        let fill_start = self.fill_log.len();
         for (i, &u) in neighbors.iter().enumerate() {
             for &w in &neighbors[i + 1..] {
                 if !self.adj[u].contains(w) {
                     self.adj[u].insert(w);
                     self.adj[w].insert(u);
-                    fill.push((u, w));
+                    self.fill_log.push((u as u32, w as u32));
                 }
             }
         }
         for &u in &neighbors {
             self.adj[u].remove(v);
         }
+        self.scratch = neighbors;
         self.alive.remove(v);
         self.n_alive -= 1;
-        self.stack.push(Step {
-            vertex: v,
-            neighbors,
-            fill,
-        });
+        self.stack.push(Step { vertex: v, fill_start });
         deg
     }
 
@@ -130,33 +140,40 @@ impl EliminationGraph {
     /// Panics if nothing has been eliminated.
     pub fn restore(&mut self) -> usize {
         let step = self.stack.pop().expect("restore with empty stack");
-        for &(u, w) in &step.fill {
-            self.adj[u].remove(w);
-            self.adj[w].remove(u);
+        for &(u, w) in &self.fill_log[step.fill_start..] {
+            self.adj[u as usize].remove(w as usize);
+            self.adj[w as usize].remove(u as usize);
         }
-        for &u in &step.neighbors {
+        self.fill_log.truncate(step.fill_start);
+        // `adj[step.vertex]` was never modified while dead, so it still holds
+        // exactly the elimination-time neighbourhood.
+        let nb = std::mem::take(&mut self.adj[step.vertex]);
+        for u in nb.iter() {
             self.adj[u].insert(step.vertex);
         }
-        // `adj[step.vertex]` was never modified while dead, so it still holds
-        // exactly `step.neighbors`.
+        self.adj[step.vertex] = nb;
         self.alive.insert(step.vertex);
         self.n_alive += 1;
         step.vertex
     }
 
     /// Number of fill edges the elimination of `v` would create right now.
+    ///
+    /// Counted without materialising the neighbourhood: each `u ∈ N(v)`
+    /// misses `|N(v)| − 1 − |N(u) ∩ N(v)|` of its `|N(v)| − 1` potential
+    /// partners, and every missing pair is counted from both ends.
     pub fn fill_in_count(&self, v: usize) -> usize {
         debug_assert!(self.is_alive(v));
-        let nb = self.adj[v].to_vec();
-        let mut missing = 0;
-        for (i, &u) in nb.iter().enumerate() {
-            for &w in &nb[i + 1..] {
-                if !self.adj[u].contains(w) {
-                    missing += 1;
-                }
-            }
+        let nb = &self.adj[v];
+        let deg = nb.len();
+        if deg < 2 {
+            return 0;
         }
-        missing
+        let mut present = 0usize;
+        for u in nb.iter() {
+            present += self.adj[u].intersection_len(nb);
+        }
+        deg * (deg - 1) / 2 - present / 2
     }
 
     /// `true` iff alive vertex `v` is *simplicial*: its neighbourhood is a
@@ -168,24 +185,23 @@ impl EliminationGraph {
     /// `true` iff alive vertex `v` is *almost simplicial*: all but one of its
     /// neighbours induce a clique (Definition 23).
     pub fn is_almost_simplicial(&self, v: usize) -> bool {
-        let nb = self.adj[v].to_vec();
-        if nb.len() <= 1 {
+        let nb = &self.adj[v];
+        let deg = nb.len();
+        if deg <= 1 {
             return true;
         }
         // v is almost simplicial iff there is a neighbour z such that
-        // N(v) \ {z} is a clique.
-        'outer: for &z in &nb {
-            for (i, &u) in nb.iter().enumerate() {
+        // N(v) \ {z} is a clique — i.e. every u ≠ z has at most one
+        // non-neighbour inside N(v), and if it has one, that one is z.
+        'outer: for z in nb.iter() {
+            for u in nb.iter() {
                 if u == z {
                     continue;
                 }
-                for &w in &nb[i + 1..] {
-                    if w == z {
-                        continue;
-                    }
-                    if !self.adj[u].contains(w) {
-                        continue 'outer;
-                    }
+                let missing = (deg - 1) - self.adj[u].intersection_len(nb);
+                let ok = missing == 0 || (missing == 1 && !self.adj[u].contains(z));
+                if !ok {
+                    continue 'outer;
                 }
             }
             return true;

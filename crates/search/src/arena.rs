@@ -1,0 +1,96 @@
+//! Bump arena of fixed-width `u64` rows — the backing store for interned
+//! search states (§5.2.1's append-only state storage, flattened).
+//!
+//! Every state key in one search has the same width (`⌈n/64⌉` blocks of the
+//! alive bitset), so rows live contiguously in a single `Vec<u64>` and a
+//! dense `u32` id addresses a row by offset arithmetic. Rows are immutable
+//! once pushed; the arena only ever grows, which is what makes borrowed
+//! `&[u64]` row views safe to hand out between pushes.
+
+/// A bump arena of immutable rows, each exactly `width` words long.
+pub struct WordArena {
+    words: Vec<u64>,
+    width: usize,
+    rows: u32,
+}
+
+impl WordArena {
+    /// An empty arena for rows of `width` words.
+    pub fn new(width: usize) -> Self {
+        WordArena {
+            words: Vec::new(),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// `true` iff no row was pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a row, returning its dense id (ids count up from 0).
+    #[inline]
+    pub fn push(&mut self, row: &[u64]) -> u32 {
+        debug_assert_eq!(row.len(), self.width);
+        debug_assert!(self.rows < u32::MAX, "arena id space exhausted");
+        let id = self.rows;
+        self.words.extend_from_slice(row);
+        self.rows += 1;
+        id
+    }
+
+    /// Borrows row `id`.
+    #[inline]
+    pub fn row(&self, id: u32) -> &[u64] {
+        let start = id as usize * self.width;
+        &self.words[start..start + self.width]
+    }
+
+    /// Bytes currently reserved by the backing allocation.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_roundtrip_and_ids_are_dense() {
+        let mut a = WordArena::new(2);
+        assert!(a.is_empty());
+        assert_eq!(a.push(&[1, 2]), 0);
+        assert_eq!(a.push(&[3, 4]), 1);
+        assert_eq!(a.push(&[1, 2]), 2, "the arena does not deduplicate");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(0), &[1, 2]);
+        assert_eq!(a.row(1), &[3, 4]);
+        assert_eq!(a.row(2), &[1, 2]);
+        assert!(a.bytes() >= 3 * 2 * 8);
+    }
+
+    #[test]
+    fn zero_width_rows_are_legal() {
+        let mut a = WordArena::new(0);
+        assert_eq!(a.push(&[]), 0);
+        assert_eq!(a.push(&[]), 1);
+        assert_eq!(a.row(1), &[] as &[u64]);
+        assert_eq!(a.len(), 2);
+    }
+}

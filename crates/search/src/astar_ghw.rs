@@ -2,16 +2,17 @@
 //! generalized hypertree width, built from the BB-ghw cost and heuristic
 //! functions on the A\*-tw state machinery.
 
-use crate::astar_tw::{path_of, transform, HeapEntry, Node};
-use crate::bb_ghw::{bag_cover_size, residual_ghw_lb};
+use crate::astar_tw::{path_of_into, transform, Node};
+use crate::bb_ghw::residual_ghw_lb;
 use crate::common::{Budget, SearchLimits, SearchResult, Telemetry};
+use crate::interner::StateInterner;
+use crate::queue::BucketQueue;
 use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
-use ghd_bounds::ksc::ghw_lower_bound;
+use ghd_bounds::ksc::{ghw_lower_bound, KscTable};
+use ghd_bounds::lower::LbScratch;
 use ghd_bounds::upper::ghw_upper_bound;
-use ghd_core::setcover::{CoverCache, CoverMethod};
-use ghd_hypergraph::{EliminationGraph, Hypergraph};
-use ghd_prng::hash::FxBuildHasher;
-use std::collections::{BinaryHeap, HashMap};
+use ghd_core::setcover::CoverCache;
+use ghd_hypergraph::{BitSet, EliminationGraph, Hypergraph};
 
 /// Computes the generalized hypertree width of `h` with A\*. Exact when it
 /// terminates within limits; otherwise the maximum visited f-value is
@@ -45,14 +46,21 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
     // the transposition cache answers repeats without re-running the cover
     // branch and bound
     let mut cache = CoverCache::new();
+    let ksc = KscTable::new(h);
+    let mut lb_scratch = LbScratch::new();
     let mut eg = EliminationGraph::new(&primal);
     let mut nodes: Vec<Node> = Vec::new();
-    let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut queue = BucketQueue::new();
     let mut lb = root_lb;
-    // duplicate detection, as in A*-tw (see DESIGN.md). Keys are the alive
-    // bitset's blocks; probes hash the borrowed `&[u64]` directly (FxHash on
-    // whole words) and the boxed key is materialised only on first insert.
-    let mut seen: HashMap<Box<[u64]>, u32, FxBuildHasher> = HashMap::default();
+    // One interner canonicalises every vertex-set this search touches:
+    // closed-set keys (alive blocks) and cover-cache targets (bag ∩ covered,
+    // alive ∩ covered) share the same arena and id space. Dominance state
+    // lives in a dense side table indexed by interned id (`u32::MAX` =
+    // never visited); `seen_count` counts closed-set insertions only, so the
+    // reported seen-peak matches the old per-map gauge.
+    let mut seen = StateInterner::for_vertices(n);
+    let mut seen_g: Vec<u32> = Vec::new();
+    let mut seen_count: usize = 0;
 
     let root_children: Vec<u32> = match find_simplicial(&eg) {
         Some(w) => vec![w as u32],
@@ -68,28 +76,27 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
         reduced: root_reduced,
         children: root_children,
     });
-    queue.push(HeapEntry {
-        f: root_lb as u32,
-        depth: 0,
-        id: 0,
-    });
+    queue.push(root_lb, 0, 0);
 
     let mut current_path: Vec<u32> = Vec::new();
+    let mut target_path: Vec<u32> = Vec::new();
+    let mut bag = BitSet::new(n);
     let mut degraded = false;
 
-    while let Some(entry) = queue.pop() {
+    while let Some(entry_id) = queue.pop() {
+        let entry_f = nodes[entry_id as usize].f;
         if !ticker.tick() {
             let lower_bound = if degraded {
                 root_lb.min(ub)
             } else {
-                lb.max(entry.f as usize).min(ub)
+                lb.max(entry_f as usize).min(ub)
             };
             telemetry.sample(budget.elapsed(), ub, lower_bound);
             telemetry.cache(cache.stats());
             return SearchResult {
                 upper_bound: ub,
                 lower_bound,
-                exact: !degraded && lb.max(entry.f as usize) >= ub,
+                exact: !degraded && lb.max(entry_f as usize) >= ub,
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
                 elapsed: budget.elapsed(),
@@ -98,8 +105,8 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 faults: Vec::new(),
             };
         }
-        let s_id = entry.id as usize;
-        let target_path = path_of(&nodes, entry.id);
+        let s_id = entry_id as usize;
+        path_of_into(&nodes, entry_id, &mut target_path);
         transform(&mut eg, &mut current_path, &target_path);
         if (nodes[s_id].f as usize) > lb {
             lb = nodes[s_id].f as usize;
@@ -110,9 +117,10 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
         // in any order realises exactly g
         let s_g = nodes[s_id].g as usize;
         let done = eg.num_alive() == 0 || {
-            let mut target = eg.alive().clone();
-            target.intersect_with(&covered);
-            cache.greedy_cover_size(&target, h) <= s_g
+            bag.copy_from(eg.alive());
+            bag.intersect_with(&covered);
+            let (key, _) = seen.intern(bag.blocks());
+            cache.greedy_cover_size_interned(key, &bag, h) <= s_g
         };
         if done {
             let in_path: std::collections::HashSet<u32> = target_path.iter().copied().collect();
@@ -149,10 +157,15 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             } else {
                 None
             };
-            let mut bag = eg.neighbors(v_us).clone();
+            // vertices in no hyperedge are unconstrained and need no cover
+            // support, so the bag is restricted to the covered set up front
+            bag.copy_from(eg.neighbors(v_us));
             bag.insert(v_us);
-            let (k, cover_exact) =
-                bag_cover_size(h, &covered, &bag, CoverMethod::Exact, ub, Some(&mut cache));
+            bag.intersect_with(&covered);
+            let (k, cover_exact) = {
+                let (key, _) = seen.intern(bag.blocks());
+                cache.exact_cover_size_capped_interned(key, &bag, h, ub)
+            };
             if !cover_exact {
                 degraded = true;
                 telemetry.prune(|p| p.capped_covers += 1);
@@ -162,19 +175,22 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
             let t_g = s_g.max(k);
             let mut t_f = t_g.max(s_f);
             if (t_f as usize) < ub {
-                t_f = t_f.max(residual_ghw_lb(h, &eg) as u32);
+                t_f = t_f.max(residual_ghw_lb(&eg, &mut lb_scratch, &ksc) as u32);
             }
             let dominated = (t_f as usize) < ub && {
-                match seen.get_mut(eg.alive().blocks()) {
-                    Some(best) if *best <= t_g => true,
-                    Some(best) => {
-                        *best = t_g;
-                        false
+                let (key, _) = seen.intern(eg.alive().blocks());
+                let k = key as usize;
+                if seen_g.len() <= k {
+                    seen_g.resize(k + 1, u32::MAX);
+                }
+                if seen_g[k] <= t_g {
+                    true
+                } else {
+                    if seen_g[k] == u32::MAX {
+                        seen_count += 1;
                     }
-                    None => {
-                        seen.insert(eg.alive().blocks().into(), t_g);
-                        false
-                    }
+                    seen_g[k] = t_g;
+                    false
                 }
             };
             if (t_f as usize) >= ub {
@@ -199,7 +215,7 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 };
                 let id = nodes.len() as u32;
                 nodes.push(Node {
-                    parent: entry.id,
+                    parent: entry_id,
                     vertex: v,
                     g: t_g,
                     f: t_f,
@@ -207,15 +223,20 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                     reduced,
                     children,
                 });
-                queue.push(HeapEntry {
-                    f: t_f,
-                    depth: s_depth + 1,
-                    id,
-                });
+                queue.push(t_f as usize, (s_depth + 1) as usize, id);
             }
             eg.restore();
         }
-        telemetry.peaks(queue.len(), seen.len());
+        if telemetry.on() {
+            telemetry.peaks(
+                queue.len(),
+                seen_count,
+                queue.bytes(),
+                seen.bytes()
+                    + seen_g.capacity() * std::mem::size_of::<u32>()
+                    + cache.bytes(),
+            );
+        }
     }
 
     let lower_bound = if degraded { root_lb } else { ub };
@@ -239,6 +260,7 @@ mod tests {
     use super::*;
     use crate::bb_ghw::{bb_ghw, BbGhwConfig};
     use ghd_core::bucket::ghd_from_ordering;
+    use ghd_core::setcover::CoverMethod;
     use ghd_core::EliminationOrdering;
     use ghd_hypergraph::generators::hypergraphs;
 

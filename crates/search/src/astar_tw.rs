@@ -11,13 +11,12 @@
 //! anytime treewidth lower bound.
 
 use crate::common::{Budget, SearchLimits, SearchResult, Telemetry};
+use crate::interner::StateInterner;
+use crate::queue::BucketQueue;
 use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
-use ghd_bounds::lower::tw_lower_bound;
+use ghd_bounds::lower::{tw_lower_bound, tw_lower_bound_elim, LbScratch};
 use ghd_bounds::upper::tw_upper_bound;
 use ghd_hypergraph::{EliminationGraph, Graph};
-use ghd_prng::hash::FxBuildHasher;
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BinaryHeap, HashMap};
 
 pub(crate) struct Node {
     pub parent: u32,
@@ -30,40 +29,15 @@ pub(crate) struct Node {
     pub children: Vec<u32>,
 }
 
-/// Max-heap entry ordered so that `pop` yields minimum f, ties broken by
-/// maximum depth (deeper states are closer to a goal, §5.3).
-#[derive(PartialEq, Eq)]
-pub(crate) struct HeapEntry {
-    pub f: u32,
-    pub depth: u32,
-    pub id: u32,
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        other
-            .f
-            .cmp(&self.f)
-            .then(self.depth.cmp(&other.depth))
-            .then(other.id.cmp(&self.id))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Rebuilds the elimination path (root → node) of `id`.
-pub(crate) fn path_of(nodes: &[Node], mut id: u32) -> Vec<u32> {
-    let mut path = Vec::new();
+/// Rebuilds the elimination path (root → node) of `id` into `path`
+/// (a reusable scratch buffer — states store only `(parent, vertex)`).
+pub(crate) fn path_of_into(nodes: &[Node], mut id: u32, path: &mut Vec<u32>) {
+    path.clear();
     while id != 0 {
         path.push(nodes[id as usize].vertex);
         id = nodes[id as usize].parent;
     }
     path.reverse();
-    path
 }
 
 /// Transforms `eg` from the state reached via `current` to the state of
@@ -111,14 +85,17 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
 
     let mut eg = EliminationGraph::new(g);
     let mut nodes: Vec<Node> = Vec::new();
-    let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut queue = BucketQueue::new();
     let mut lb = root_lb;
+    let mut lb_scratch = LbScratch::new();
     // duplicate detection: two states with the same eliminated set have the
     // same residual graph; the one with smaller g dominates (an improvement
-    // over the thesis' A*, see DESIGN.md). Keys are the alive bitset's
-    // blocks; probes hash the borrowed `&[u64]` directly (FxHash on whole
-    // words) and the boxed key is materialised only on first insert.
-    let mut seen: HashMap<Box<[u64]>, u32, FxBuildHasher> = HashMap::default();
+    // over the thesis' A*, see DESIGN.md). The alive bitset's blocks are
+    // hash-consed into `seen` (probes hash the borrowed `&[u64]`, the
+    // canonical copy lands once in the bump arena) and the best g per state
+    // lives in the dense side table `seen_g` (`u32::MAX` = unvisited).
+    let mut seen = StateInterner::for_vertices(n);
+    let mut seen_g: Vec<u32> = Vec::new();
 
     // root state
     let root_children: Vec<u32> = match find_reduction_tw(&eg, root_lb) {
@@ -135,23 +112,21 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
         reduced: root_reduced,
         children: root_children,
     });
-    queue.push(HeapEntry {
-        f: root_lb as u32,
-        depth: 0,
-        id: 0,
-    });
+    queue.push(root_lb, 0, 0);
 
     let mut current_path: Vec<u32> = Vec::new();
+    let mut target_path: Vec<u32> = Vec::new();
 
-    while let Some(entry) = queue.pop() {
+    while let Some(entry_id) = queue.pop() {
+        let entry_f = nodes[entry_id as usize].f;
         if !ticker.tick() {
             // anytime: report the best proven lower bound (§5.3)
-            let lower_bound = lb.max(entry.f as usize).min(ub);
+            let lower_bound = lb.max(entry_f as usize).min(ub);
             telemetry.sample(budget.elapsed(), ub, lower_bound);
             return SearchResult {
                 upper_bound: ub,
                 lower_bound,
-                exact: lb.max(entry.f as usize) >= ub,
+                exact: lb.max(entry_f as usize) >= ub,
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
                 elapsed: budget.elapsed(),
@@ -160,8 +135,8 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                 faults: Vec::new(),
             };
         }
-        let s_id = entry.id as usize;
-        let target_path = path_of(&nodes, entry.id);
+        let s_id = entry_id as usize;
+        path_of_into(&nodes, entry_id, &mut target_path);
         transform(&mut eg, &mut current_path, &target_path);
 
         // new lower bound found: the visited f-sequence is nondecreasing
@@ -211,20 +186,22 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             let t_g = s_g.max(d);
             let mut t_f = t_g.max(s_f);
             if (t_f as usize) < ub {
-                let h = tw_lower_bound::<ghd_prng::rngs::StdRng>(&eg.to_graph(), None) as u32;
+                let h =
+                    tw_lower_bound_elim::<ghd_prng::rngs::StdRng>(&eg, None, &mut lb_scratch)
+                        as u32;
                 t_f = t_f.max(h);
             }
             let dominated = (t_f as usize) < ub && {
-                match seen.get_mut(eg.alive().blocks()) {
-                    Some(best) if *best <= t_g => true,
-                    Some(best) => {
-                        *best = t_g;
-                        false
-                    }
-                    None => {
-                        seen.insert(eg.alive().blocks().into(), t_g);
-                        false
-                    }
+                let (key, _) = seen.intern(eg.alive().blocks());
+                let k = key as usize;
+                if seen_g.len() <= k {
+                    seen_g.resize(k + 1, u32::MAX);
+                }
+                if seen_g[k] <= t_g {
+                    true
+                } else {
+                    seen_g[k] = t_g;
+                    false
                 }
             };
             if (t_f as usize) >= ub {
@@ -249,7 +226,7 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                 };
                 let id = nodes.len() as u32;
                 nodes.push(Node {
-                    parent: entry.id,
+                    parent: entry_id,
                     vertex: v,
                     g: t_g,
                     f: t_f,
@@ -257,15 +234,18 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
                     reduced,
                     children,
                 });
-                queue.push(HeapEntry {
-                    f: t_f,
-                    depth: s_depth + 1,
-                    id,
-                });
+                queue.push(t_f as usize, (s_depth + 1) as usize, id);
             }
             eg.restore();
         }
-        telemetry.peaks(queue.len(), seen.len());
+        if telemetry.on() {
+            telemetry.peaks(
+                queue.len(),
+                seen.len(),
+                queue.bytes(),
+                seen.bytes() + seen_g.capacity() * std::mem::size_of::<u32>(),
+            );
+        }
     }
 
     // queue exhausted: every state with f < ub was visited → tw = ub

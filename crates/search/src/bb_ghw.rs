@@ -13,9 +13,10 @@ use crate::common::{
     anytime_lb, complete_ordering, Budget, IncumbentSample, SearchLimits, SearchResult,
     SearchStats, Telemetry, Ticker,
 };
+use crate::interner::StateInterner;
 use crate::rules::{find_simplicial, pr2_allowed_children, swappable_ghw};
-use ghd_bounds::ksc::tw_ksc_width;
-use ghd_bounds::lower::tw_lower_bound;
+use ghd_bounds::ksc::KscTable;
+use ghd_bounds::lower::{tw_lower_bound_elim, LbScratch};
 use ghd_bounds::upper::ghw_upper_bound;
 use ghd_core::setcover::{
     exact_cover_size_capped, greedy_cover_size, CacheStats, CoverCache, CoverMethod,
@@ -54,42 +55,22 @@ impl Default for BbGhwConfig {
     }
 }
 
-/// Cover size of a bag, capped at `cap` (any value ≥ `cap` prunes the
-/// child identically, so `min(true, cap)` is all the search needs — and the
-/// cap prunes the set-cover branch and bound enormously). The second
-/// component is `false` iff the cover search exhausted its internal budget
-/// and the size is only an upper estimate.
-pub(crate) fn bag_cover_size(
-    h: &Hypergraph,
-    covered: &BitSet,
-    bag: &BitSet,
-    method: CoverMethod,
-    cap: usize,
-    cache: Option<&mut CoverCache>,
-) -> (usize, bool) {
-    // vertices in no hyperedge are unconstrained and need no cover support
-    let mut bag = bag.clone();
-    bag.intersect_with(covered);
-    match (method, cache) {
-        (CoverMethod::Exact, Some(c)) => c.exact_cover_size_capped(&bag, h, cap),
-        (CoverMethod::Exact, None) => exact_cover_size_capped(&bag, h, cap),
-        (CoverMethod::Greedy, Some(c)) => (c.greedy_cover_size(&bag, h), true),
-        (CoverMethod::Greedy, None) => (
-            greedy_cover_size::<ghd_prng::rngs::StdRng>(&bag, h, None),
-            true,
-        ),
-    }
-}
-
 /// Residual lower bound: treewidth bound on the current graph lifted through
-/// the k-set-cover bound (Fig 8.1).
-pub(crate) fn residual_ghw_lb(h: &Hypergraph, eg: &EliminationGraph) -> usize {
+/// the k-set-cover bound (Fig 8.1). Computes the same value as
+/// `tw_ksc_width(h, &eg.to_graph(), tw_lower_bound(&eg.to_graph(), None))`
+/// without materialising the residual graph: the treewidth bound runs
+/// directly on the elimination graph through `scratch`, and the k-set-cover
+/// answer comes from the precomputed prefix-sum table.
+pub(crate) fn residual_ghw_lb(
+    eg: &EliminationGraph,
+    scratch: &mut LbScratch,
+    ksc: &KscTable,
+) -> usize {
     if eg.num_alive() == 0 {
         return 0;
     }
-    let residual = eg.to_graph();
-    let tw_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&residual, None);
-    tw_ksc_width(h, &residual, tw_lb)
+    let tw_lb = tw_lower_bound_elim::<ghd_prng::rngs::StdRng>(eg, None, scratch);
+    ksc.bound(tw_lb + 1)
 }
 
 struct Dfs<'a> {
@@ -103,11 +84,21 @@ struct Dfs<'a> {
     suffix: Vec<usize>,
     root_lb: usize,
     bag_scratch: BitSet,
+    /// Scratch for the goal-test target (`alive ∩ covered`).
+    target_scratch: BitSet,
+    /// Reusable buffers for the residual treewidth lower bound.
+    lb_scratch: LbScratch,
+    /// Prefix-sum table answering k-set-cover queries for `h`.
+    ksc: &'a KscTable,
     /// Set when a capped cover exhausted its budget: the result may no
     /// longer be proven optimal.
     degraded: bool,
     /// Transposition cache for per-bag covers (None = disabled).
     cache: Option<CoverCache>,
+    /// Hash-consed canonical ids for the cache's target bitsets; present iff
+    /// `cache` is. Keys route the cache onto its dense array store, so the
+    /// interner and the cache share one canonical copy of each target.
+    interner: Option<StateInterner>,
     /// Incumbent upper bound shared between root-split workers. `None` in
     /// sequential mode. Improvements are published with `fetch_min`; every
     /// expansion syncs `self.ub` down to the global value, so one worker's
@@ -127,6 +118,40 @@ struct Dfs<'a> {
 }
 
 impl Dfs<'_> {
+    /// Cover size of `self.bag_scratch` (already restricted to covered
+    /// vertices), capped at the incumbent: any value ≥ `ub` prunes the child
+    /// identically, so `min(true size, ub)` is all the search needs — and
+    /// the cap prunes the set-cover branch and bound enormously. The second
+    /// component is `false` iff the cover search exhausted its internal
+    /// budget and the size is only an upper estimate.
+    fn bag_cover(&mut self) -> (usize, bool) {
+        match (self.cfg.cover, self.cache.as_mut()) {
+            (CoverMethod::Exact, Some(c)) => {
+                let (key, _) = self
+                    .interner
+                    .as_mut()
+                    .expect("interner accompanies the cache")
+                    .intern(self.bag_scratch.blocks());
+                c.exact_cover_size_capped_interned(key, &self.bag_scratch, self.h, self.ub)
+            }
+            (CoverMethod::Exact, None) => {
+                exact_cover_size_capped(&self.bag_scratch, self.h, self.ub)
+            }
+            (CoverMethod::Greedy, Some(c)) => {
+                let (key, _) = self
+                    .interner
+                    .as_mut()
+                    .expect("interner accompanies the cache")
+                    .intern(self.bag_scratch.blocks());
+                (c.greedy_cover_size_interned(key, &self.bag_scratch, self.h), true)
+            }
+            (CoverMethod::Greedy, None) => (
+                greedy_cover_size::<ghd_prng::rngs::StdRng>(&self.bag_scratch, self.h, None),
+                true,
+            ),
+        }
+    }
+
     /// Records a width improvement discovered by this search.
     fn improve(&mut self, w: usize) {
         self.ub = w;
@@ -159,13 +184,22 @@ impl Dfs<'_> {
             return true;
         }
         let alive_cover = {
-            let mut target = self.eg.alive().clone();
-            target.intersect_with(&self.covered);
+            self.target_scratch.copy_from(self.eg.alive());
+            self.target_scratch.intersect_with(&self.covered);
             match self.cache.as_mut() {
                 // identical value to the uncached call: the cache memoizes
                 // the same deterministic first-maximum greedy
-                Some(c) => c.greedy_cover_size(&target, self.h),
-                None => greedy_cover_size::<ghd_prng::rngs::StdRng>(&target, self.h, None),
+                Some(c) => {
+                    let (key, _) = self
+                        .interner
+                        .as_mut()
+                        .expect("interner accompanies the cache")
+                        .intern(self.target_scratch.blocks());
+                    c.greedy_cover_size_interned(key, &self.target_scratch, self.h)
+                }
+                None => {
+                    greedy_cover_size::<ghd_prng::rngs::StdRng>(&self.target_scratch, self.h, None)
+                }
             }
         };
         let w = g.max(alive_cover);
@@ -207,16 +241,12 @@ impl Dfs<'_> {
             } else {
                 None
             };
-            self.bag_scratch = self.eg.neighbors(v).clone();
+            // vertices in no hyperedge are unconstrained and need no cover
+            // support, so the bag is restricted to the covered set up front
+            self.bag_scratch.copy_from(self.eg.neighbors(v));
             self.bag_scratch.insert(v);
-            let (k, cover_exact) = bag_cover_size(
-                self.h,
-                &self.covered,
-                &self.bag_scratch,
-                self.cfg.cover,
-                self.ub,
-                self.cache.as_mut(),
-            );
+            self.bag_scratch.intersect_with(&self.covered);
+            let (k, cover_exact) = self.bag_cover();
             if !cover_exact {
                 self.degraded = true;
                 self.telemetry.prune(|p| p.capped_covers += 1);
@@ -226,7 +256,8 @@ impl Dfs<'_> {
             let child_g = g.max(k);
             let mut child_f = child_g.max(f);
             if child_f < self.ub {
-                child_f = child_f.max(residual_ghw_lb(self.h, &self.eg));
+                child_f =
+                    child_f.max(residual_ghw_lb(&self.eg, &mut self.lb_scratch, self.ksc));
             }
             let ok = if child_f < self.ub {
                 self.search(child_g, child_f, grandchildren.as_ref())
@@ -290,6 +321,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         };
     }
     let primal = h.primal_graph();
+    let ksc = KscTable::new(h);
     let mut dfs = Dfs {
         h,
         covered: h.covered_vertices(),
@@ -301,8 +333,12 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         suffix: Vec::new(),
         root_lb,
         bag_scratch: BitSet::new(n),
+        target_scratch: BitSet::new(n),
+        lb_scratch: LbScratch::new(),
+        ksc: &ksc,
         degraded: false,
         cache: cfg.use_cover_cache.then(CoverCache::new),
+        interner: cfg.use_cover_cache.then(|| StateInterner::for_vertices(n)),
         shared_ub: None,
         found: usize::MAX,
         expiry_floor: usize::MAX,
@@ -408,6 +444,7 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
         cache: Option<CacheStats>,
         stats: Option<SearchStats>,
     }
+    let ksc = KscTable::new(h);
     let run_task = |&v: &usize| {
         let mut allowed = BitSet::new(n);
         allowed.insert(v);
@@ -422,8 +459,12 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
             suffix: Vec::new(),
             root_lb,
             bag_scratch: BitSet::new(n),
+            target_scratch: BitSet::new(n),
+            lb_scratch: LbScratch::new(),
+            ksc: &ksc,
             degraded: false,
             cache: cfg.use_cover_cache.then(CoverCache::new),
+            interner: cfg.use_cover_cache.then(|| StateInterner::for_vertices(n)),
             shared_ub: Some(&incumbent),
             found: usize::MAX,
             expiry_floor: usize::MAX,

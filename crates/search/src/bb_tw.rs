@@ -7,7 +7,7 @@ use crate::common::{
     SearchStats, Telemetry, Ticker,
 };
 use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
-use ghd_bounds::lower::{minor_min_width, tw_lower_bound};
+use ghd_bounds::lower::{minor_min_width_elim, tw_lower_bound, tw_lower_bound_elim, LbScratch};
 use ghd_bounds::upper::tw_upper_bound;
 use ghd_hypergraph::{BitSet, EliminationGraph, Graph};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,6 +69,8 @@ struct Dfs<'a> {
     /// lower bound on any completion through a node and is monotone along
     /// root-to-leaf paths.
     expiry_floor: usize,
+    /// Reusable buffers for the per-node lower bound heuristics.
+    lb_scratch: LbScratch,
     /// Telemetry collector (no-op unless `limits.collect_stats`).
     telemetry: Telemetry,
 }
@@ -87,11 +89,21 @@ impl Dfs<'_> {
         }
     }
 
-    fn node_lb(&self) -> usize {
+    fn node_lb(&mut self) -> usize {
+        // the `_elim` variants compute the same values as running the bound
+        // on `self.eg.to_graph()` but reuse the scratch buffers
         match self.cfg.lb_mode {
             LbMode::None => 0,
-            LbMode::Mmw => minor_min_width::<ghd_prng::rngs::StdRng>(&self.eg.to_graph(), None),
-            LbMode::MmwGammaR => tw_lower_bound::<ghd_prng::rngs::StdRng>(&self.eg.to_graph(), None),
+            LbMode::Mmw => minor_min_width_elim::<ghd_prng::rngs::StdRng>(
+                &self.eg,
+                None,
+                &mut self.lb_scratch,
+            ),
+            LbMode::MmwGammaR => tw_lower_bound_elim::<ghd_prng::rngs::StdRng>(
+                &self.eg,
+                None,
+                &mut self.lb_scratch,
+            ),
         }
     }
 
@@ -216,6 +228,7 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
         shared_ub: None,
         found: usize::MAX,
         expiry_floor: usize::MAX,
+        lb_scratch: LbScratch::new(),
         telemetry,
     };
     let completed = dfs.search(0, root_lb, None);
@@ -304,6 +317,7 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
             shared_ub: Some(&incumbent),
             found: usize::MAX,
             expiry_floor: usize::MAX,
+            lb_scratch: LbScratch::new(),
             telemetry: Telemetry::new(cfg.limits.collect_stats),
         };
         let completed = dfs.search(0, root_lb, Some(&allowed));

@@ -315,6 +315,11 @@ pub struct SearchStats {
     pub open_peak: u64,
     /// A\* seen-set high-water mark (0 for the BB searches).
     pub seen_peak: u64,
+    /// Peak bytes reserved by the A\* open list (bucket queue; 0 for BB).
+    pub open_peak_bytes: u64,
+    /// Peak bytes reserved by the A\* closed set (state interner plus its
+    /// dense g-side-table; 0 for BB).
+    pub seen_peak_bytes: u64,
     /// Per-worker cover-cache stats (parallel BB-ghw; empty elsewhere).
     pub worker_caches: Vec<CacheStats>,
     /// Contained worker panics observed during the run (parallel searches
@@ -334,6 +339,8 @@ impl SearchStats {
             out.incumbents.extend(p.incumbents);
             out.open_peak = out.open_peak.max(p.open_peak);
             out.seen_peak = out.seen_peak.max(p.seen_peak);
+            out.open_peak_bytes = out.open_peak_bytes.max(p.open_peak_bytes);
+            out.seen_peak_bytes = out.seen_peak_bytes.max(p.seen_peak_bytes);
             out.worker_caches.extend(p.worker_caches);
             out.faults.extend(p.faults);
         }
@@ -384,12 +391,16 @@ impl Telemetry {
         }
     }
 
-    /// Updates the A\* high-water marks.
+    /// Updates the A\* high-water marks (entry counts and reserved bytes).
+    /// The byte figures can cost a structure walk to compute, so callers
+    /// should evaluate them only under an [`Telemetry::on`] gate.
     #[inline]
-    pub fn peaks(&mut self, open: usize, seen: usize) {
+    pub fn peaks(&mut self, open: usize, seen: usize, open_bytes: usize, seen_bytes: usize) {
         if let Some(s) = &mut self.inner {
             s.open_peak = s.open_peak.max(open as u64);
             s.seen_peak = s.seen_peak.max(seen as u64);
+            s.open_peak_bytes = s.open_peak_bytes.max(open_bytes as u64);
+            s.seen_peak_bytes = s.seen_peak_bytes.max(seen_bytes as u64);
         }
     }
 
@@ -584,6 +595,8 @@ mod tests {
             },
             open_peak: f,
             seen_peak: 10 - f,
+            open_peak_bytes: f * 100,
+            seen_peak_bytes: (10 - f) * 100,
             worker_caches: Vec::new(),
             faults: Vec::new(),
         };
@@ -591,6 +604,8 @@ mod tests {
         assert_eq!(m.prunes.f_prunes, 5);
         assert_eq!(m.open_peak, 3);
         assert_eq!(m.seen_peak, 8);
+        assert_eq!(m.open_peak_bytes, 300, "byte peaks merged as max");
+        assert_eq!(m.seen_peak_bytes, 800);
         assert_eq!(
             m.incumbents.iter().map(|s| s.upper_bound).collect::<Vec<_>>(),
             vec![9, 8],
@@ -603,7 +618,7 @@ mod tests {
         let mut t = Telemetry::new(false);
         t.sample(Duration::ZERO, 5, 1);
         t.prune(|p| p.f_prunes += 1);
-        t.peaks(10, 10);
+        t.peaks(10, 10, 100, 100);
         assert!(!t.on());
         assert!(t.finish().is_none());
     }

@@ -8,16 +8,22 @@
 //! [`SearchLimits`] budget they report the best upper bound found plus a
 //! proven lower bound.
 
+pub mod arena;
 pub mod astar_ghw;
 pub mod astar_tw;
 pub mod bb_ghw;
 pub mod bb_tw;
 pub mod common;
+pub mod interner;
 pub mod preprocess;
+pub mod queue;
 pub mod rules;
 
+pub use arena::WordArena;
 pub use astar_ghw::astar_ghw;
 pub use astar_tw::astar_tw;
+pub use interner::StateInterner;
+pub use queue::BucketQueue;
 pub use bb_ghw::{bb_ghw, bb_ghw_parallel, BbGhwConfig};
 pub use bb_tw::{bb_tw, bb_tw_parallel, BbConfig, LbMode};
 pub use common::{

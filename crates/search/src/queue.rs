@@ -1,0 +1,209 @@
+//! Monotone bucket queue for the A\* open lists.
+//!
+//! The f-values of both A\* variants are widths bounded by `n`, and thanks
+//! to pathmax (`t_f = max(t_g, h, s_f)`) every push carries an f no smaller
+//! than the last popped f. That makes a bucket queue with an advancing floor
+//! exact: `pop` scans from the floor upward and never has to look back.
+//!
+//! The pop order replicates the previous `BinaryHeap<HeapEntry>` ordering
+//! bit for bit: **f ascending, depth descending, id ascending**. Buckets are
+//! indexed by f; inside a bucket, lanes are indexed by depth and drained
+//! from the highest occupied lane down; inside a lane, ids leave in FIFO
+//! order, which *is* ascending id order because node ids are allocated (and
+//! pushed, exactly once each) in globally increasing order.
+
+/// One FIFO lane of node ids for a fixed `(f, depth)` cell.
+#[derive(Default)]
+struct Lane {
+    ids: Vec<u32>,
+    head: usize,
+}
+
+/// All lanes of one f-value.
+#[derive(Default)]
+struct Bucket {
+    lanes: Vec<Lane>,
+    /// Highest depth that may hold entries (re-raised on every push; lanes
+    /// above it are empty). Only meaningful while `len > 0`.
+    ceil: usize,
+    len: usize,
+}
+
+/// A monotone priority queue of `(f, depth, id)` entries with O(1) push and
+/// amortised O(1) pop.
+#[derive(Default)]
+pub struct BucketQueue {
+    buckets: Vec<Bucket>,
+    /// Lowest f that may hold entries; advanced lazily by `pop`.
+    floor: usize,
+    len: usize,
+}
+
+impl BucketQueue {
+    pub fn new() -> Self {
+        BucketQueue::default()
+    }
+
+    /// Entries currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `id` at priority `(f, depth)`.
+    pub fn push(&mut self, f: usize, depth: usize, id: u32) {
+        if self.buckets.len() <= f {
+            self.buckets.resize_with(f + 1, Bucket::default);
+        }
+        if f < self.floor {
+            self.floor = f;
+        }
+        let bucket = &mut self.buckets[f];
+        if bucket.lanes.len() <= depth {
+            bucket.lanes.resize_with(depth + 1, Lane::default);
+        }
+        bucket.lanes[depth].ids.push(id);
+        bucket.ceil = if bucket.len == 0 { depth } else { bucket.ceil.max(depth) };
+        bucket.len += 1;
+        self.len += 1;
+    }
+
+    /// Dequeues the id with minimum f, ties broken by maximum depth, then
+    /// minimum id.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.floor].len == 0 {
+            self.floor += 1;
+        }
+        let bucket = &mut self.buckets[self.floor];
+        loop {
+            let lane = &mut bucket.lanes[bucket.ceil];
+            if lane.head < lane.ids.len() {
+                let id = lane.ids[lane.head];
+                lane.head += 1;
+                if lane.head == lane.ids.len() {
+                    lane.ids.clear();
+                    lane.head = 0;
+                }
+                bucket.len -= 1;
+                self.len -= 1;
+                return Some(id);
+            }
+            debug_assert!(bucket.ceil > 0, "non-empty bucket with all lanes empty");
+            bucket.ceil -= 1;
+        }
+    }
+
+    /// Bytes reserved by every bucket, lane and id slot. Walks the structure
+    /// (cheap: both dimensions are bounded by n), so call it only under an
+    /// enabled-telemetry gate.
+    pub fn bytes(&self) -> usize {
+        let mut bytes = self.buckets.capacity() * std::mem::size_of::<Bucket>();
+        for bucket in &self.buckets {
+            bytes += bucket.lanes.capacity() * std::mem::size_of::<Lane>();
+            for lane in &bucket.lanes {
+                bytes += lane.ids.capacity() * std::mem::size_of::<u32>();
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghd_prng::rngs::StdRng;
+    use ghd_prng::RngExt;
+    use std::collections::BinaryHeap;
+
+    /// The ordering previously used by the searches' `BinaryHeap`.
+    #[derive(PartialEq, Eq)]
+    struct ModelEntry {
+        f: u32,
+        depth: u32,
+        id: u32,
+    }
+
+    impl Ord for ModelEntry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .f
+                .cmp(&self.f)
+                .then(self.depth.cmp(&other.depth))
+                .then(other.id.cmp(&self.id))
+        }
+    }
+
+    impl PartialOrd for ModelEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// Differential test against the heap model under the searches' real
+    /// usage pattern: ids pushed in increasing order, every pushed f at
+    /// least the last popped f (pathmax monotonicity).
+    #[test]
+    fn matches_binary_heap_order_on_monotone_workloads() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut queue = BucketQueue::new();
+            let mut model: BinaryHeap<ModelEntry> = BinaryHeap::new();
+            let mut next_id = 0u32;
+            let push = |q: &mut BucketQueue,
+                            m: &mut BinaryHeap<ModelEntry>,
+                            rng: &mut StdRng,
+                            next_id: &mut u32,
+                            f_min: u32| {
+                let f = f_min + rng.random_range(0..4) as u32;
+                let depth = rng.random_range(0..6) as u32;
+                q.push(f as usize, depth as usize, *next_id);
+                m.push(ModelEntry { f, depth, id: *next_id });
+                *next_id += 1;
+            };
+            push(&mut queue, &mut model, &mut rng, &mut next_id, 0);
+            for _ in 0..500 {
+                let expected = model.pop().unwrap();
+                let got = queue.pop().unwrap();
+                assert_eq!(got, expected.id, "seed {seed}");
+                assert_eq!(queue.len(), model.len());
+                // children of the popped state: pushes with f >= popped f
+                for _ in 0..rng.random_range(0..4) {
+                    push(&mut queue, &mut model, &mut rng, &mut next_id, expected.f);
+                }
+                if model.is_empty() {
+                    break;
+                }
+            }
+            while let Some(expected) = model.pop() {
+                assert_eq!(queue.pop(), Some(expected.id), "seed {seed} drain");
+            }
+            assert!(queue.is_empty());
+            assert_eq!(queue.pop(), None);
+        }
+    }
+
+    #[test]
+    fn ties_leave_depth_descending_then_id_ascending() {
+        let mut q = BucketQueue::new();
+        q.push(3, 0, 0);
+        q.push(3, 2, 1);
+        q.push(3, 2, 2);
+        q.push(2, 1, 3);
+        q.push(3, 1, 4);
+        assert_eq!(q.pop(), Some(3), "smallest f first");
+        assert_eq!(q.pop(), Some(1), "deepest lane first, FIFO inside");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+        assert!(q.bytes() > 0);
+    }
+}

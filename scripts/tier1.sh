@@ -23,11 +23,13 @@ cargo clippy --offline -q --workspace --all-targets -- -D warnings
 echo "==> fuzz_inputs (seeded byte mutations across every parser; a panic fails)"
 cargo run --offline -q --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
 
-echo "==> bench_smoke (cover cache on/off, writes BENCH_search.json)"
-cargo run --offline -q --release -p ghd-bench --bin bench_smoke
+echo "==> bench_smoke (cover cache on/off + A* rows, writes BENCH_search.json)"
+GHD_BENCH_SAMPLES="${GHD_BENCH_SAMPLES:-3}" \
+    cargo run --offline -q --release -p ghd-bench --bin bench_smoke
 
-echo "==> validate BENCH_search.json (schema, lb <= ub, certified widths, incumbent traces)"
-cargo run --offline -q --release -p ghd-bench --bin validate_bench -- BENCH_search.json
+echo "==> validate BENCH_search.json (schema, certified widths, >25% wall-clock regressions)"
+cargo run --offline -q --release -p ghd-bench --bin validate_bench -- \
+    BENCH_search.json --baseline results/BENCH_search_baseline.json
 
 echo "==> bench_join (naive vs columnar relation engine, writes BENCH_csp.json)"
 cargo run --offline -q --release -p ghd-bench --bin bench_join -- --runs 1

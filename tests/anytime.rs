@@ -324,3 +324,56 @@ fn cover_cache_is_transparent_and_effective() {
         );
     }
 }
+
+/// The A\* searches are fully deterministic run-to-run: repeated invocations
+/// produce the same widths, orderings and node counts, and — with telemetry
+/// on — the same open/seen peak gauges *and peak byte gauges*. The byte
+/// gauges come from the bucket queue and the state interner, whose layouts
+/// are functions of the (deterministic) expansion sequence alone.
+#[test]
+fn astar_runs_are_reproducible_including_peak_bytes() {
+    let g = graphs::gnm_random(15, 42, 11);
+    let h = hypergraphs::random_hypergraph(12, 8, 3, 9);
+    for cap in [Some(40u64), None] {
+        let limits = match cap {
+            Some(n) => SearchLimits::with_nodes(n).stats(true),
+            None => SearchLimits::unlimited().stats(true),
+        };
+        let (a1, a2) = (astar_tw(&g, limits), astar_tw(&g, limits));
+        let (b1, b2) = (astar_ghw(&h, limits), astar_ghw(&h, limits));
+        for (name, x, y) in [("astar_tw", &a1, &a2), ("astar_ghw", &b1, &b2)] {
+            let tag = format!("{name} cap {cap:?}");
+            assert_eq!(x.upper_bound, y.upper_bound, "{tag}: ub");
+            assert_eq!(x.lower_bound, y.lower_bound, "{tag}: lb");
+            assert_eq!(x.ordering, y.ordering, "{tag}: ordering");
+            assert_eq!(x.nodes_expanded, y.nodes_expanded, "{tag}: nodes");
+            let (sx, sy) = (x.stats.as_ref().unwrap(), y.stats.as_ref().unwrap());
+            assert_eq!(sx.open_peak, sy.open_peak, "{tag}: open_peak");
+            assert_eq!(sx.seen_peak, sy.seen_peak, "{tag}: seen_peak");
+            assert_eq!(sx.open_peak_bytes, sy.open_peak_bytes, "{tag}: open bytes");
+            assert_eq!(sx.seen_peak_bytes, sy.seen_peak_bytes, "{tag}: seen bytes");
+            if x.nodes_expanded > 2 {
+                assert!(sx.open_peak_bytes > 0, "{tag}: open bytes recorded");
+                assert!(sx.seen_peak_bytes > 0, "{tag}: seen bytes recorded");
+            }
+        }
+    }
+}
+
+/// BB-tw / BB-ghw keep reporting zero peak gauges (depth-first search has no
+/// open list or closed set), so the new byte columns stay meaningful: a
+/// nonzero value always identifies a best-first run.
+#[test]
+fn bb_runs_report_zero_peak_gauges() {
+    let g = graphs::gnm_random(14, 38, 3);
+    let h = hypergraphs::random_hypergraph(11, 7, 3, 3);
+    let limits = SearchLimits::unlimited().stats(true);
+    let b1 = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
+    let b2 = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
+    for (name, r) in [("bb_tw", &b1), ("bb_ghw", &b2)] {
+        let st = r.stats.as_ref().unwrap();
+        assert_eq!(st.open_peak, 0, "{name}");
+        assert_eq!(st.open_peak_bytes, 0, "{name}");
+        assert_eq!(st.seen_peak_bytes, 0, "{name}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Differential tests between the exact solvers: on seeded random batches
+//! the A\* searches and the branch-and-bound searches must agree on the
+//! optimum width — they explore the same elimination-ordering space with
+//! the same cost functions, so any divergence is a bug in one of them.
+
+use ghd::core::bucket::ghd_from_ordering;
+use ghd::core::eval::TwEvaluator;
+use ghd::core::{CoverMethod, EliminationOrdering};
+use ghd::hypergraph::generators::{graphs, hypergraphs};
+use ghd::search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+
+#[test]
+fn astar_tw_and_bb_tw_agree_on_random_graphs() {
+    for seed in 0..12u64 {
+        let g = graphs::gnm_random(15, 40, seed);
+        let a = astar_tw(&g, SearchLimits::unlimited());
+        let b = bb_tw(&g, &BbConfig::default());
+        assert!(a.exact, "A*-tw incomplete on seed {seed}");
+        assert!(b.exact, "BB-tw incomplete on seed {seed}");
+        assert_eq!(a.upper_bound, b.upper_bound, "seed {seed}");
+        // both orderings must realise the common optimum
+        for (name, r) in [("astar", &a), ("bb", &b)] {
+            let sigma = EliminationOrdering::new(r.ordering.clone().unwrap()).unwrap();
+            let w = TwEvaluator::new(&g).width(&sigma);
+            assert_eq!(w, a.upper_bound, "{name} witness, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn astar_tw_and_bb_tw_agree_on_sparse_and_dense_batches() {
+    for (n, m) in [(14usize, 20usize), (13, 55), (16, 32)] {
+        for seed in 0..4u64 {
+            let g = graphs::gnm_random(n, m, 1000 + seed);
+            let a = astar_tw(&g, SearchLimits::unlimited());
+            let b = bb_tw(&g, &BbConfig::default());
+            assert!(a.exact && b.exact, "n={n} m={m} seed {seed}");
+            assert_eq!(a.upper_bound, b.upper_bound, "n={n} m={m} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn astar_ghw_and_bb_ghw_agree_on_random_hypergraphs() {
+    for seed in 0..12u64 {
+        let h = hypergraphs::random_hypergraph(12, 8, 3, seed);
+        let a = astar_ghw(&h, SearchLimits::unlimited());
+        let b = bb_ghw(&h, &BbGhwConfig::default());
+        assert!(a.exact, "A*-ghw incomplete on seed {seed}");
+        assert!(b.exact, "BB-ghw incomplete on seed {seed}");
+        assert_eq!(a.upper_bound, b.upper_bound, "seed {seed}");
+        for (name, r) in [("astar", &a), ("bb", &b)] {
+            let sigma = EliminationOrdering::new(r.ordering.clone().unwrap()).unwrap();
+            let ghd = ghd_from_ordering(&h, &sigma, CoverMethod::Exact);
+            ghd.verify(&h).unwrap();
+            assert_eq!(ghd.width(), a.upper_bound, "{name} witness, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn astar_ghw_and_bb_ghw_agree_on_wider_arity_batches() {
+    for (n, m, arity) in [(11usize, 6usize, 4usize), (13, 9, 3), (10, 10, 5)] {
+        for seed in 0..4u64 {
+            let h = hypergraphs::random_hypergraph(n, m, arity, 2000 + seed);
+            let a = astar_ghw(&h, SearchLimits::unlimited());
+            let b = bb_ghw(&h, &BbGhwConfig::default());
+            assert!(a.exact && b.exact, "n={n} m={m} arity={arity} seed {seed}");
+            assert_eq!(
+                a.upper_bound, b.upper_bound,
+                "n={n} m={m} arity={arity} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn structured_families_agree_across_all_four_solvers() {
+    // grids: tw known, ghw solvers compared on the 2d grid hypergraph
+    for n in 3..=4usize {
+        let g = graphs::grid(n);
+        let a = astar_tw(&g, SearchLimits::unlimited());
+        let b = bb_tw(&g, &BbConfig::default());
+        assert!(a.exact && b.exact);
+        assert_eq!(a.upper_bound, n, "grid{n}");
+        assert_eq!(b.upper_bound, n, "grid{n}");
+    }
+    for n in 4..=5usize {
+        let h = hypergraphs::grid2d(n);
+        let a = astar_ghw(&h, SearchLimits::unlimited());
+        let b = bb_ghw(&h, &BbGhwConfig::default());
+        assert!(a.exact && b.exact, "grid2d_{n}");
+        assert_eq!(a.upper_bound, b.upper_bound, "grid2d_{n}");
+    }
+}
