@@ -184,8 +184,73 @@ fn check(doc: &Json) -> Vec<String> {
             }
         }
     }
+    // Parallel threads-sweep rows: the work-stealing and root-split walls
+    // against the sequential search, plus the steal counters. Mandatory —
+    // bench_smoke always emits the section now.
+    if doc.get("hw_threads").and_then(Json::as_f64).is_none() {
+        err("top-level `hw_threads` number missing".to_string());
+    }
+    match doc.get("threads_sweep").and_then(Json::as_array) {
+        None => err("top-level `threads_sweep` array missing".to_string()),
+        Some([]) => err("`threads_sweep` is empty".to_string()),
+        Some(rs) => {
+            for (i, r) in rs.iter().enumerate() {
+                let name = r
+                    .get("instance")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        err(format!("threads_sweep[{i}]: `instance` string missing"));
+                        format!("threads_sweep[{i}]")
+                    });
+                for &key in SWEEP_REQUIRED_NUMBERS {
+                    if r.get(key).and_then(Json::as_f64).is_none() {
+                        err(format!("{name}: number `{key}` missing"));
+                    }
+                }
+                if r.get("exact").and_then(Json::as_bool).is_none() {
+                    err(format!("{name}: boolean `exact` missing"));
+                }
+                match r.get("certified").and_then(Json::as_bool) {
+                    Some(true) => {}
+                    Some(false) => err(format!("{name}: width is not certified")),
+                    None => err(format!("{name}: boolean `certified` missing")),
+                }
+                // scheduler conservation: every execution is either the seed
+                // task or a published one (retries re-execute a published id)
+                if let (Some(published), Some(executed), Some(retried)) = (
+                    r.get("published").and_then(Json::as_f64),
+                    r.get("executed").and_then(Json::as_f64),
+                    r.get("retried").and_then(Json::as_f64),
+                ) {
+                    if executed != published + 1.0 + retried {
+                        err(format!(
+                            "{name}: executed {executed} != published {published} + 1 + retried {retried}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
     errs
 }
+
+/// Required numeric keys of every `threads_sweep` record.
+const SWEEP_REQUIRED_NUMBERS: &[&str] = &[
+    "threads",
+    "vertices",
+    "edges",
+    "width",
+    "wall_s_seq",
+    "wall_s_steal",
+    "wall_s_rootsplit",
+    "speedup_steal",
+    "speedup_rootsplit",
+    "published",
+    "executed",
+    "stolen",
+    "retried",
+];
 
 /// Required numeric keys of every `astar_results` record.
 const ASTAR_REQUIRED_NUMBERS: &[&str] = &[
@@ -210,10 +275,12 @@ const ASTAR_REQUIRED_NUMBERS: &[&str] = &[
 fn check_regressions(doc: &Json, base: &Json) -> Vec<String> {
     let mut errs = Vec::new();
     // (section, match keys, wall key) — BB rows match by instance alone,
-    // A* rows by (instance, algo)
-    let sections: [(&str, bool, &str); 2] = [
+    // A* rows by (instance, algo); sweep row names embed the thread count
+    // (`grid2d_6@t4`), so instance alone is already unique
+    let sections: [(&str, bool, &str); 3] = [
         ("results", false, "wall_s_cache_on"),
         ("astar_results", true, "wall_s"),
+        ("threads_sweep", false, "wall_s_steal"),
     ];
     for (section, match_algo, wall_key) in sections {
         let rows = doc.get(section).and_then(Json::as_array).unwrap_or(&[]);
@@ -316,8 +383,8 @@ fn main() {
 mod tests {
     use super::*;
 
-    /// A complete, valid document exercising both sections.
-    const WELL_FORMED: &str = r#"{"bench": "bb_ghw_cover_cache", "results": [
+    /// A complete, valid document exercising all three sections.
+    const WELL_FORMED: &str = r#"{"bench": "bb_ghw_cover_cache", "hw_threads": 8, "results": [
                 {"instance": "g", "vertices": 4, "edges": 4, "width": 2,
                  "width_cache_off": 2, "lower_bound": 2, "exact": true,
                  "certified": true, "faults": [],
@@ -333,6 +400,13 @@ mod tests {
                  "wall_s": 0.2, "wall_s_min": 0.18, "samples": 3,
                  "nodes_expanded": 120, "open_peak": 40, "seen_peak": 80,
                  "open_peak_bytes": 4096, "seen_peak_bytes": 9000}
+            ],
+            "threads_sweep": [
+                {"instance": "g@t4", "threads": 4, "vertices": 4, "edges": 4,
+                 "width": 2, "exact": true, "certified": true,
+                 "wall_s_seq": 0.08, "wall_s_steal": 0.03, "wall_s_rootsplit": 0.06,
+                 "speedup_steal": 2.6667, "speedup_rootsplit": 1.3333,
+                 "published": 10, "executed": 11, "stolen": 6, "retried": 0}
             ]}"#;
 
     #[test]
@@ -405,15 +479,17 @@ mod tests {
         let doc = Json::parse(&ok).unwrap();
         assert_eq!(check_regressions(&doc, &base), Vec::<String>::new());
 
-        // far past the envelope on both sections: both flagged
+        // far past the envelope on all three sections: all flagged
         let bad = WELL_FORMED
             .replace("\"wall_s_cache_on\": 0.05", "\"wall_s_cache_on\": 0.5")
-            .replace("\"wall_s\": 0.2", "\"wall_s\": 2.0");
+            .replace("\"wall_s\": 0.2", "\"wall_s\": 2.0")
+            .replace("\"wall_s_steal\": 0.03", "\"wall_s_steal\": 0.9");
         let doc = Json::parse(&bad).unwrap();
         let errs = check_regressions(&doc, &base);
-        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert_eq!(errs.len(), 3, "{errs:?}");
         assert!(errs.iter().any(|e| e.starts_with("g: ")), "{errs:?}");
         assert!(errs.iter().any(|e| e.starts_with("astar_tw/a: ")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("g@t4: ")), "{errs:?}");
 
         // a non-exact row burns its budget by construction; never compared
         let capped = WELL_FORMED.replace(
@@ -427,6 +503,33 @@ mod tests {
         let renamed = WELL_FORMED.replace("\"instance\": \"a\"", "\"instance\": \"a2\"");
         let doc = Json::parse(&renamed).unwrap();
         assert_eq!(check_regressions(&doc, &base), Vec::<String>::new());
+    }
+
+    #[test]
+    fn sweep_rows_need_counters_that_balance() {
+        // the section itself is mandatory, as is the hw_threads gauge
+        let doc = Json::parse(r#"{"bench": "x", "results": [{"instance": "g"}]}"#).unwrap();
+        let errs = check(&doc);
+        assert!(errs.iter().any(|e| e.contains("`threads_sweep` array missing")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("`hw_threads` number missing")), "{errs:?}");
+
+        // every execution must be accounted for: seed + published + retries
+        let broken = WELL_FORMED.replace("\"executed\": 11", "\"executed\": 13");
+        let doc = Json::parse(&broken).unwrap();
+        let errs = check(&doc);
+        assert!(
+            errs.iter().any(|e| e.contains("executed 13 != published 10 + 1 + retried 0")),
+            "{errs:?}"
+        );
+
+        // an uncertified sweep width fails the gate
+        let uncert = WELL_FORMED.replace(
+            "\"width\": 2, \"exact\": true, \"certified\": true,",
+            "\"width\": 2, \"exact\": true, \"certified\": false,",
+        );
+        let doc = Json::parse(&uncert).unwrap();
+        let errs = check(&doc);
+        assert!(errs.contains(&"g@t4: width is not certified".to_string()), "{errs:?}");
     }
 
     #[test]

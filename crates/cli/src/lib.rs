@@ -29,7 +29,10 @@ use ghd_core::{CoverMethod, EliminationOrdering};
 use ghd_ga::{ga_ghw, ga_tw, sa_ghw, sa_tw, saiga_ghw, GaConfig, SaConfig, SaigaConfig};
 use ghd_hypergraph::generators::{graphs, hypergraphs};
 use ghd_hypergraph::{io, Graph, Hypergraph};
-use ghd_search::{astar_ghw, astar_tw, bb_ghw, bb_tw, BbConfig, BbGhwConfig, SearchLimits};
+use ghd_search::{
+    astar_ghw, astar_tw, bb_ghw, bb_ghw_parallel, bb_tw, bb_tw_parallel, BbConfig, BbGhwConfig,
+    SearchLimits, StealConfig,
+};
 use std::time::Duration;
 
 /// Error category of a failed command, mapped to a BSD-`sysexits` exit
@@ -134,15 +137,19 @@ USAGE:
                 gnm N M SEED | adder N | bridge N | clique N |
                 grid2d-h N | grid3d-h N | circuit V E SEED
   ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time SECONDS]
-         [--nodes N] [--stats json] [--td]
+         [--nodes N] [--threads T] [--steal-depth D] [--stats json] [--td]
   ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy]
-         [--time SECONDS] [--nodes N] [--stats json] [--show]
+         [--time SECONDS] [--nodes N] [--threads T] [--steal-depth D]
+         [--stats json] [--show]
   ghd bounds <file>
   ghd validate <instance-file> <td-file>
 
 Budgets (exact searches): default 10s wall clock; --time 0 = unlimited;
 --nodes N = global node-expansion budget shared by every worker thread.
 --stats json prints the result and its telemetry as one JSON object.
+--threads T (--method bb only) runs the work-stealing parallel search
+(T = 0 uses all cores); widths and orderings are identical to the
+sequential search. --steal-depth D tunes its task-publication cutoff.
 
 Graph files: DIMACS .col (`p edge`) or PACE .gr (`p tw`).
 Hypergraph files: CSP hypergraph library format `name(v1,v2,…).`
@@ -270,6 +277,41 @@ fn limits_from(opts: &[(&str, Option<&str>)]) -> Result<SearchLimits, String> {
         limits = limits.stats(true);
     }
     Ok(limits)
+}
+
+/// Parses `--threads` / `--steal-depth` for the BB searches. Returns
+/// `None` without `--threads` (sequential search); with it, the thread
+/// count (`0` = all cores) and the [`StealConfig`]. `--steal-depth` alone
+/// is rejected — it only tunes the parallel runtime.
+fn steal_opts(
+    opts: &[(&str, Option<&str>)],
+    method: &str,
+) -> Result<Option<(usize, StealConfig)>, String> {
+    let threads = opt(opts, "threads");
+    let depth = opt(opts, "steal-depth");
+    if threads.is_none() && !flag(opts, "threads") {
+        if depth.is_some() || flag(opts, "steal-depth") {
+            return Err("--steal-depth requires --threads".to_string());
+        }
+        return Ok(None);
+    }
+    if method != "bb" {
+        return Err(format!("--threads requires --method bb (got `{method}`)"));
+    }
+    let threads = match threads {
+        Some(s) => parse_num(s, "--threads")?,
+        None => return Err("--threads requires a value (0 = all cores)".to_string()),
+    };
+    let mut steal = StealConfig::default();
+    if let Some(s) = depth {
+        steal.depth = parse_num(s, "--steal-depth")?;
+        if steal.depth == 0 {
+            return Err(format!("bad --steal-depth: `{s}` (must be >= 1)"));
+        }
+    } else if flag(opts, "steal-depth") {
+        return Err("--steal-depth requires a value".to_string());
+    }
+    Ok(Some((threads, steal)))
 }
 
 /// Parses `--stats json` (the only supported format for now).
@@ -409,6 +451,18 @@ fn search_json(
                     c.hits, c.misses, c.evictions, c.entries
                 );
             }
+            s.push_str("],\n");
+            s.push_str("    \"worker_steals\": [");
+            for (i, c) in st.worker_steals.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"published\": {}, \"executed\": {}, \"stolen\": {}, \"retried\": {}}}",
+                    c.published, c.executed, c.stolen, c.retried
+                );
+            }
             s.push_str("]\n  }\n");
         }
         None => s.push_str("  \"stats\": null\n"),
@@ -423,10 +477,17 @@ fn cmd_tw(args: &[String]) -> CmdResult {
     let g = load_graph(&read_file(path)?)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
+    let parallel = steal_opts(&opts, method)?;
+    let run_bb = |limits: SearchLimits| match parallel {
+        Some((threads, steal)) => {
+            bb_tw_parallel(&g, &BbConfig { limits, steal, ..BbConfig::default() }, threads)
+        }
+        None => bb_tw(&g, &BbConfig { limits, ..BbConfig::default() }),
+    };
     if stats_format(&opts)?.is_some() {
         let r = match method {
             "astar" => astar_tw(&g, limits),
-            "bb" => bb_tw(&g, &BbConfig { limits, ..BbConfig::default() }),
+            "bb" => run_bb(limits),
             other => {
                 return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
             }
@@ -456,7 +517,7 @@ fn cmd_tw(args: &[String]) -> CmdResult {
             )
         }
         "bb" => {
-            let r = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
+            let r = run_bb(limits);
             (
                 describe("BB-tw", r.upper_bound, r.lower_bound, r.exact),
                 r.upper_bound,
@@ -518,10 +579,17 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
     let h = io::parse_hypergraph(&read_file(path)?).map_err(CmdError::data)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
+    let parallel = steal_opts(&opts, method)?;
+    let run_bb = |limits: SearchLimits| match parallel {
+        Some((threads, steal)) => {
+            bb_ghw_parallel(&h, &BbGhwConfig { limits, steal, ..BbGhwConfig::default() }, threads)
+        }
+        None => bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() }),
+    };
     if stats_format(&opts)?.is_some() {
         let r = match method {
             "astar" => astar_ghw(&h, limits),
-            "bb" => bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() }),
+            "bb" => run_bb(limits),
             other => {
                 return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
             }
@@ -551,7 +619,7 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
             )
         }
         "bb" => {
-            let r = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
+            let r = run_bb(limits);
             (
                 describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact),
                 r.upper_bound,
@@ -957,6 +1025,57 @@ mod tests {
         assert!(run_args(&["tw", &gpath, "--method", "ga", "--stats", "json"]).is_err());
         assert!(run_args(&["tw", &gpath, "--stats", "xml"]).is_err());
         assert!(run_args(&["tw", &gpath, "--stats"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_runs_the_work_stealing_search() {
+        use ghd_core::json::Json;
+        // parallel output is identical to sequential — same width, same
+        // summary — because widths and orderings are schedule-independent
+        let col = run_args(&["gen", "queen", "4"]).unwrap();
+        let gpath = tmp("steal.col", &col);
+        let seq = run_args(&["tw", &gpath, "--method", "bb"]).unwrap();
+        for t in ["1", "2", "4"] {
+            let par = run_args(&["tw", &gpath, "--method", "bb", "--threads", t]).unwrap();
+            assert_eq!(par, seq, "threads {t}");
+        }
+        let hg = run_args(&["gen", "grid2d-h", "5"]).unwrap();
+        let hpath = tmp("steal.hg", &hg);
+        let seq = run_args(&["ghw", &hpath, "--method", "bb"]).unwrap();
+        let par = run_args(&[
+            "ghw", &hpath, "--method", "bb", "--threads", "4", "--steal-depth", "2",
+        ])
+        .unwrap();
+        assert_eq!(par, seq);
+        // the stats JSON carries per-worker steal counters
+        let out = run_args(&[
+            "ghw", &hpath, "--method", "bb", "--threads", "2", "--stats", "json",
+        ])
+        .unwrap();
+        let v = Json::parse(&out).expect("stats JSON");
+        let steals = v
+            .get("stats")
+            .and_then(|s| s.get("worker_steals"))
+            .and_then(Json::as_array)
+            .expect("worker_steals array");
+        assert_eq!(steals.len(), 2, "one counter block per worker");
+        let executed: f64 = steals
+            .iter()
+            .map(|s| s.get("executed").and_then(Json::as_f64).unwrap())
+            .sum();
+        let published: f64 = steals
+            .iter()
+            .map(|s| s.get("published").and_then(Json::as_f64).unwrap())
+            .sum();
+        assert_eq!(executed, published + 1.0, "seed + each publication once");
+        // flag validation
+        assert!(run_args(&["tw", &gpath, "--method", "bb", "--steal-depth", "2"]).is_err());
+        assert!(run_args(&["tw", &gpath, "--method", "astar", "--threads", "2"]).is_err());
+        assert!(run_args(&["tw", &gpath, "--method", "bb", "--threads"]).is_err());
+        assert!(
+            run_args(&["tw", &gpath, "--method", "bb", "--threads", "2", "--steal-depth", "0"])
+                .is_err()
+        );
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! external dependency — see DESIGN.md, substitution 3).
 
 use ghd_hypergraph::{BitSet, Hypergraph};
-use ghd_prng::hash::FxBuildHasher;
+use ghd_prng::hash::{fx_hash_words, FxBuildHasher};
 use ghd_prng::{Rng, RngExt};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Strategy for solving the per-bag set cover problems.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -442,6 +443,150 @@ impl CoverCache {
     }
 }
 
+/// A lock-striped concurrent [`CoverCache`] shared by all workers of a
+/// parallel search.
+///
+/// The store is split into a power-of-two number of stripes, each an
+/// independent [`CoverCache`] (boxed-key path) behind its own [`Mutex`];
+/// a query locks only the stripe its target hashes to. Cover computations
+/// run *outside* the lock, so a slow exact cover on one bag never blocks
+/// other workers probing the same stripe: the worst case is two workers
+/// computing the same bag concurrently, which is benign because only proven
+/// facts are stored and facts for a given bag are identical (`exact`) or
+/// monotone (`lower`). The proven-facts-only discipline is inherited from
+/// [`CoverCache`] unchanged, so cached and uncached parallel runs return
+/// identical widths.
+///
+/// Like [`CoverCache`], one instance is valid for **one hypergraph**.
+pub struct StripedCoverCache {
+    stripes: Vec<Mutex<CoverCache>>,
+    mask: usize,
+}
+
+impl StripedCoverCache {
+    /// A cache with `stripes` stripes (rounded up to a power of two, min 1)
+    /// and [`CoverCache::DEFAULT_CAPACITY`] entries in total.
+    pub fn new(stripes: usize) -> Self {
+        Self::with_capacity(stripes, CoverCache::DEFAULT_CAPACITY)
+    }
+
+    /// A cache with `capacity` total entries split evenly across the
+    /// stripes.
+    pub fn with_capacity(stripes: usize, capacity: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        let per = (capacity / n).max(1);
+        StripedCoverCache {
+            stripes: (0..n).map(|_| Mutex::new(CoverCache::with_capacity(per))).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of stripes (a power of two).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, key: &[u64]) -> &Mutex<CoverCache> {
+        // Mix the high hash bits into the stripe index so it stays
+        // decorrelated from the bucket index the stripe's own FxHash map
+        // derives from the low bits.
+        let h = fx_hash_words(key);
+        &self.stripes[((h >> 48) as usize ^ h as usize) & self.mask]
+    }
+
+    /// A panicked worker can only have held a stripe lock across pure
+    /// probe/record sections (never across a cover computation), so the
+    /// protected state is never torn: recover the guard instead of
+    /// propagating poison.
+    fn lock(stripe: &Mutex<CoverCache>) -> std::sync::MutexGuard<'_, CoverCache> {
+        stripe.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Concurrent counterpart of [`CoverCache::exact_cover_size_capped`]:
+    /// same contract, same values. The third component reports whether the
+    /// query was answered from the cache, so callers can attribute the
+    /// hit/miss to the executing worker.
+    pub fn exact_cover_size_capped(
+        &self,
+        target: &BitSet,
+        h: &Hypergraph,
+        cap: usize,
+    ) -> (usize, bool, bool) {
+        if cap == 0 {
+            return (0, true, false);
+        }
+        let stripe = self.stripe(target.blocks());
+        {
+            let mut c = Self::lock(stripe);
+            if let Some(e) = c.map.get(target.blocks()) {
+                if let Some(exact) = e.exact {
+                    c.hits += 1;
+                    return ((exact as usize).min(cap), true, true);
+                }
+                if e.lower as usize >= cap {
+                    c.hits += 1;
+                    return (cap, true, true);
+                }
+            }
+            c.misses += 1;
+        }
+        // Compute with the stripe unlocked; duplicated concurrent work on
+        // the same bag is benign (identical facts, monotone bounds).
+        let (s, ok) = exact_cover_size_capped(target, h, cap);
+        if ok {
+            let mut c = Self::lock(stripe);
+            let e = c.entry_mut(target);
+            if s < cap {
+                e.exact = Some(s as u32);
+                e.lower = e.lower.max(s as u32);
+            } else {
+                // completed search found nothing below cap ⇒ optimal ≥ cap
+                e.lower = e.lower.max(cap as u32);
+            }
+        }
+        (s, ok, false)
+    }
+
+    /// Concurrent counterpart of [`CoverCache::greedy_cover_size`]:
+    /// identical values; the second component reports a cache hit.
+    pub fn greedy_cover_size(&self, target: &BitSet, h: &Hypergraph) -> (usize, bool) {
+        let stripe = self.stripe(target.blocks());
+        {
+            let mut c = Self::lock(stripe);
+            if let Some(e) = c.map.get(target.blocks()) {
+                if let Some(g) = e.greedy {
+                    c.hits += 1;
+                    return (g as usize, true);
+                }
+            }
+            c.misses += 1;
+        }
+        let g = greedy_cover_size::<ghd_prng::rngs::StdRng>(target, h, None);
+        Self::lock(stripe).entry_mut(target).greedy = Some(g as u32);
+        (g, false)
+    }
+
+    /// Aggregated counters. Unlike [`CacheStats::absorb_parallel`] (which
+    /// maxes the `entries` gauge across *independent* caches), the stripes
+    /// are disjoint shards of one logical store, so `entries` is summed.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.stripes {
+            let st = Self::lock(s).stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+            total.entries += st.entries;
+        }
+        total
+    }
+
+    /// Bytes reserved across all stripes.
+    pub fn bytes(&self) -> usize {
+        self.stripes.iter().map(|s| Self::lock(s).bytes()).sum()
+    }
+}
+
 struct ExactState<'a> {
     cands: &'a [(usize, BitSet)],
     best: Vec<usize>,
@@ -777,5 +922,67 @@ mod tests {
             greedy_cover(&target, &h, Some(&mut r1)),
             greedy_cover(&target, &h, Some(&mut r2))
         );
+    }
+
+    #[test]
+    fn striped_cache_matches_the_plain_cache() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let h = ghd_hypergraph::generators::hypergraphs::random_hypergraph(18, 14, 5, 9);
+        let striped = StripedCoverCache::new(4);
+        let mut plain = CoverCache::new();
+        for _ in 0..400 {
+            let mut target = BitSet::new(18);
+            for v in 0..18 {
+                if rng.random_range(0..3) == 0 {
+                    target.insert(v);
+                }
+            }
+            let cap = rng.random_range(1..6) as usize;
+            let (s, ok, _) = striped.exact_cover_size_capped(&target, &h, cap);
+            assert_eq!((s, ok), plain.exact_cover_size_capped(&target, &h, cap));
+            let (g, _) = striped.greedy_cover_size(&target, &h);
+            assert_eq!(g, plain.greedy_cover_size(&target, &h));
+        }
+        let st = striped.stats();
+        let pt = plain.stats();
+        assert_eq!(st.hits, pt.hits, "hit pattern identical to the plain cache");
+        assert_eq!(st.misses, pt.misses);
+        assert_eq!(st.entries, pt.entries, "stripe entries sum to the plain count");
+        assert!(st.hits > 0 && st.entries > 0);
+    }
+
+    #[test]
+    fn striped_cache_is_consistent_under_concurrent_hammering() {
+        let h = ghd_hypergraph::generators::hypergraphs::random_hypergraph(16, 12, 4, 3);
+        let striped = StripedCoverCache::new(8);
+        let workers = 4;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let striped = &striped;
+                let h = &h;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(w as u64);
+                    for _ in 0..300 {
+                        let mut target = BitSet::new(16);
+                        for v in 0..16 {
+                            if rng.random_range(0..3) == 0 {
+                                target.insert(v);
+                            }
+                        }
+                        let cap = rng.random_range(1..6) as usize;
+                        let (s, ok, _) = striped.exact_cover_size_capped(&target, h, cap);
+                        // the striped answer must equal fresh recomputation
+                        assert_eq!((s, ok), exact_cover_size_capped(&target, h, cap));
+                        let (g, _) = striped.greedy_cover_size(&target, h);
+                        assert_eq!(g, greedy_cover_size::<StdRng>(&target, h, None));
+                    }
+                });
+            }
+        });
+        let st = striped.stats();
+        // Every query is accounted exactly once as a hit or a miss.
+        assert_eq!(st.hits + st.misses, (workers * 300 * 2) as u64);
+        assert!(striped.bytes() > 0);
+        assert_eq!(striped.stripe_count(), 8);
     }
 }

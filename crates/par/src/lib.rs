@@ -72,6 +72,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 pub mod fault;
+pub mod steal;
 
 /// Structured record of one contained task panic: which worker thread was
 /// executing which task (input index) and the stringified panic payload.

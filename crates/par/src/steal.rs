@@ -1,0 +1,272 @@
+//! Chase–Lev-style work-stealing deques over `u32` task ids.
+//!
+//! Each worker owns one [`WorkDeque`]: the owner pushes and pops at the
+//! *bottom* (LIFO, so a worker keeps drilling into the subtree it just
+//! split), while any other worker steals from the *top* (FIFO, so thieves
+//! take the oldest — largest — published subproblem). The implementation
+//! follows Chase & Lev, "Dynamic Circular Work-Stealing Deque" (SPAA '05),
+//! restricted to a fixed-capacity power-of-two ring of [`AtomicU32`] slots:
+//!
+//! * built on `std::sync::atomic` only — no dependencies, no `unsafe`;
+//! * `top` is a monotonically increasing counter, so the thief CAS is
+//!   ABA-free;
+//! * a slot at ring index `b & mask` is only rewritten once the entry
+//!   `capacity` positions earlier has been consumed (enforced by the
+//!   fullness check in [`WorkDeque::push`]), so payload loads are never
+//!   torn or recycled mid-read;
+//! * when the ring is full, `push` returns `false` and the owner executes
+//!   the task inline instead of publishing it.
+//!
+//! # Ownership contract
+//!
+//! All methods take `&self` and are memory-safe from any thread, but the
+//! *scheduling* contract is single-owner: exactly one thread may call
+//! [`WorkDeque::push`]/[`WorkDeque::pop`] on a given deque; every other
+//! thread must go through [`WorkDeque::steal`]. Violating this cannot cause
+//! undefined behaviour (there is no `unsafe` here) but can lose or
+//! duplicate task ids, which breaks the caller's pending-task accounting.
+//!
+//! `SeqCst` is used throughout. The deque sits on the task *publishing*
+//! path, which is orders of magnitude colder than node expansion in the
+//! branch-and-bound searches; correctness-by-inspection is worth more here
+//! than the handful of cycles weaker orderings would save.
+
+use std::sync::atomic::{AtomicIsize, AtomicU32, Ordering::SeqCst};
+
+/// Outcome of a [`WorkDeque::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; retrying may succeed.
+    Retry,
+    /// Took the oldest published task id.
+    Taken(u32),
+}
+
+/// A fixed-capacity Chase–Lev deque of `u32` task ids.
+pub struct WorkDeque {
+    /// Next slot a thief will claim; only ever incremented (CAS).
+    top: AtomicIsize,
+    /// One past the owner's most recent push; only the owner writes it.
+    bottom: AtomicIsize,
+    slots: Box<[AtomicU32]>,
+    mask: isize,
+}
+
+impl WorkDeque {
+    /// A deque holding at most `cap` ids (rounded up to a power of two,
+    /// minimum 8).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(8).next_power_of_two();
+        let slots: Vec<AtomicU32> = (0..cap).map(|_| AtomicU32::new(0)).collect();
+        WorkDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: slots.into_boxed_slice(),
+            mask: cap as isize - 1,
+        }
+    }
+
+    /// Maximum number of ids the ring can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Snapshot of the current length. Racy by nature: only a hint for
+    /// victim selection, never a correctness signal.
+    #[inline]
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        (b - t).max(0) as usize
+    }
+
+    /// `true` iff the deque was observed empty (racy hint, like [`len`]).
+    ///
+    /// [`len`]: WorkDeque::len
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: publishes `id` at the bottom. Returns `false` (without
+    /// publishing) if the ring is full — the caller should execute the task
+    /// inline instead.
+    pub fn push(&self, id: u32) -> bool {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        if b - t >= self.slots.len() as isize {
+            return false;
+        }
+        self.slots[(b & self.mask) as usize].store(id, SeqCst);
+        self.bottom.store(b + 1, SeqCst);
+        true
+    }
+
+    /// Owner-only: takes the most recently pushed id (LIFO), racing thieves
+    /// for the final element.
+    pub fn pop(&self) -> Option<u32> {
+        let b = self.bottom.load(SeqCst) - 1;
+        self.bottom.store(b, SeqCst);
+        let t = self.top.load(SeqCst);
+        if t > b {
+            // Already empty; restore the canonical empty state.
+            self.bottom.store(b + 1, SeqCst);
+            return None;
+        }
+        let id = self.slots[(b & self.mask) as usize].load(SeqCst);
+        if t == b {
+            // Final element: race any concurrent thief for it.
+            let won = self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            self.bottom.store(b + 1, SeqCst);
+            return if won { Some(id) } else { None };
+        }
+        Some(id)
+    }
+
+    /// Thief: attempts to take the oldest id from the top.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let id = self.slots[(t & self.mask) as usize].load(SeqCst);
+        if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            Steal::Taken(id)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Thief convenience: retries [`steal`] until it yields a task or the
+    /// deque is observed empty.
+    ///
+    /// [`steal`]: WorkDeque::steal
+    pub fn steal_persistent(&self) -> Option<u32> {
+        loop {
+            match self.steal() {
+                Steal::Taken(id) => return Some(id),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn owner_sees_lifo_order() {
+        let d = WorkDeque::with_capacity(16);
+        for id in 0..10 {
+            assert!(d.push(id));
+        }
+        assert_eq!(d.len(), 10);
+        for id in (0..10).rev() {
+            assert_eq!(d.pop(), Some(id));
+        }
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn thief_sees_fifo_order_and_races_resolve() {
+        let d = WorkDeque::with_capacity(8);
+        for id in [7u32, 8, 9] {
+            assert!(d.push(id));
+        }
+        assert_eq!(d.steal(), Steal::Taken(7));
+        assert_eq!(d.pop(), Some(9));
+        assert_eq!(d.steal(), Steal::Taken(8));
+        assert_eq!(d.steal(), Steal::Empty);
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_push_without_clobbering() {
+        let d = WorkDeque::with_capacity(8);
+        for id in 0..8 {
+            assert!(d.push(id));
+        }
+        assert!(!d.push(99), "ring is full");
+        // Drain one slot from the top and the push succeeds again.
+        assert_eq!(d.steal(), Steal::Taken(0));
+        assert!(d.push(99));
+        let mut seen = Vec::new();
+        while let Some(id) = d.pop() {
+            seen.push(id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7, 99]);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(WorkDeque::with_capacity(0).capacity(), 8);
+        assert_eq!(WorkDeque::with_capacity(9).capacity(), 16);
+        assert_eq!(WorkDeque::with_capacity(64).capacity(), 64);
+    }
+
+    /// Stress: one owner pushing/popping, several thieves stealing; every
+    /// published id must be consumed exactly once, by exactly one thread.
+    #[test]
+    fn concurrent_consumption_is_exactly_once() {
+        const TOTAL: usize = 20_000;
+        const THIEVES: usize = 3;
+        let d = WorkDeque::with_capacity(64);
+        let claimed: Vec<AtomicBool> = (0..TOTAL).map(|_| AtomicBool::new(false)).collect();
+        let consumed = AtomicUsize::new(0);
+
+        let claim = |id: u32| {
+            let first = !claimed[id as usize].swap(true, Ordering::SeqCst);
+            assert!(first, "task {id} consumed twice");
+            consumed.fetch_add(1, Ordering::SeqCst);
+        };
+
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                s.spawn(|| loop {
+                    match d.steal() {
+                        Steal::Taken(id) => claim(id),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if consumed.load(Ordering::SeqCst) == TOTAL {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Owner: publish everything, popping locally whenever the ring
+            // fills up (the "execute inline" path of the scheduler).
+            for id in 0..TOTAL as u32 {
+                while !d.push(id) {
+                    if let Some(local) = d.pop() {
+                        claim(local);
+                    }
+                }
+                // Occasionally work locally too, to mix pop into the race.
+                if id % 7 == 0 {
+                    if let Some(local) = d.pop() {
+                        claim(local);
+                    }
+                }
+            }
+            while let Some(local) = d.pop() {
+                claim(local);
+            }
+            while consumed.load(Ordering::SeqCst) != TOTAL {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), TOTAL);
+        assert!(claimed.iter().all(|c| c.load(Ordering::SeqCst)));
+    }
+}

@@ -4,9 +4,10 @@
 
 use crate::common::{
     anytime_lb, complete_ordering, Budget, IncumbentSample, SearchLimits, SearchResult,
-    SearchStats, Telemetry, Ticker,
+    SearchStats, StealCounters, Telemetry, Ticker,
 };
 use crate::rules::{find_reduction_tw, pr2_allowed_children, swappable_tw};
+use crate::steal::{Scheduler, StealConfig};
 use ghd_bounds::lower::{minor_min_width_elim, tw_lower_bound, tw_lower_bound_elim, LbScratch};
 use ghd_bounds::upper::tw_upper_bound;
 use ghd_hypergraph::{BitSet, EliminationGraph, Graph};
@@ -35,6 +36,8 @@ pub struct BbConfig {
     pub use_pr2: bool,
     /// Per-node lower bound heuristic.
     pub lb_mode: LbMode,
+    /// Work-stealing knobs (used by [`bb_tw_parallel`]).
+    pub steal: StealConfig,
 }
 
 impl Default for BbConfig {
@@ -44,6 +47,7 @@ impl Default for BbConfig {
             use_reductions: true,
             use_pr2: true,
             lb_mode: LbMode::default(),
+            steal: StealConfig::default(),
         }
     }
 }
@@ -73,19 +77,75 @@ struct Dfs<'a> {
     lb_scratch: LbScratch,
     /// Telemetry collector (no-op unless `limits.collect_stats`).
     telemetry: Telemetry,
+    /// Work-stealing scheduler (`None` sequentially).
+    sched: Option<&'a Scheduler>,
+    /// This worker's index in the scheduler.
+    worker: usize,
+    /// Publish children as tasks while `eg.depth()` is at most this.
+    steal_depth: usize,
+    /// Tasks this worker published.
+    published: u64,
+    /// Stop after the first incumbent improvement (witness reconstruction).
+    stop_at_first: bool,
+    stopped: bool,
 }
 
-impl Dfs<'_> {
+impl<'a> Dfs<'a> {
+    /// A sequential-defaults search state; parallel callers override the
+    /// sharing fields afterwards.
+    fn new(g: &Graph, cfg: &'a BbConfig, ticker: Ticker<'a>, ub: usize, root_lb: usize) -> Self {
+        Dfs {
+            eg: EliminationGraph::new(g),
+            cfg,
+            ticker,
+            ub,
+            best_suffix: Vec::new(),
+            suffix: Vec::new(),
+            root_lb,
+            shared_ub: None,
+            found: usize::MAX,
+            expiry_floor: usize::MAX,
+            lb_scratch: LbScratch::new(),
+            telemetry: Telemetry::new(cfg.limits.collect_stats),
+            sched: None,
+            worker: 0,
+            steal_depth: 0,
+            published: 0,
+            stop_at_first: false,
+            stopped: false,
+        }
+    }
+
     fn improve(&mut self, w: usize) {
         self.ub = w;
         self.found = w;
         self.best_suffix = self.suffix.clone();
+        if self.stop_at_first {
+            self.stopped = true;
+        }
         if let Some(s) = self.shared_ub {
             s.fetch_min(w, Ordering::Relaxed);
         }
         if self.telemetry.on() {
             let (elapsed, lb) = (self.ticker.elapsed(), self.root_lb);
             self.telemetry.sample(elapsed, w, lb);
+        }
+    }
+
+    fn can_publish(&self) -> bool {
+        self.sched.is_some() && self.eg.depth() <= self.steal_depth
+    }
+
+    /// Publishes the current state (the elimination prefix in `suffix`) as
+    /// a stealable task; `false` when the deque is full and the caller
+    /// should search inline.
+    fn publish_child(&mut self, g: usize, f: usize) -> bool {
+        let sched = self.sched.expect("checked by can_publish");
+        if sched.publish(self.worker, &self.suffix, g, f) {
+            self.published += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -125,6 +185,9 @@ impl Dfs<'_> {
         let w = g.max(n_alive.saturating_sub(1));
         if w < self.ub {
             self.improve(w);
+            if self.stopped {
+                return true;
+            }
         }
         if n_alive <= g + 1 {
             self.telemetry.prune(|p| p.pr1_closures += 1);
@@ -174,7 +237,11 @@ impl Dfs<'_> {
                 child_f = child_f.max(self.node_lb()).max(f);
             }
             let ok = if child_f < self.ub {
-                self.search(child_g, child_f, grandchildren.as_ref())
+                if self.can_publish() && self.publish_child(child_g, child_f) {
+                    true // another worker (or this one, later) searches it
+                } else {
+                    self.search(child_g, child_f, grandchildren.as_ref())
+                }
             } else {
                 self.telemetry.prune(|p| p.f_prunes += 1);
                 true
@@ -188,9 +255,55 @@ impl Dfs<'_> {
                 }
                 return false;
             }
+            if self.stopped {
+                return true;
+            }
         }
         true
     }
+}
+
+/// Executes one stealable task on `dfs`: replays the elimination prefix,
+/// reconstructs the PR2 filter the inline expansion would have used at the
+/// last prefix vertex, and searches the subtree (republishing children still
+/// above the cutoff).
+fn run_steal_task(dfs: &mut Dfs<'_>, prefix: &[u32], g: usize, f: usize) -> bool {
+    if let Some(s) = dfs.shared_ub {
+        dfs.ub = dfs.ub.min(s.load(Ordering::Relaxed));
+    }
+    if f >= dfs.ub {
+        // the subtree cannot beat the incumbent any more
+        dfs.telemetry.prune(|p| p.f_prunes += 1);
+        return true;
+    }
+    debug_assert_eq!(dfs.eg.depth(), 0, "worker state fully restored between tasks");
+    if prefix.is_empty() {
+        // the seed task: the root expansion itself
+        return dfs.search(g, f, None);
+    }
+    for &u in &prefix[..prefix.len() - 1] {
+        dfs.eg.eliminate(u as usize);
+        dfs.suffix.push(u as usize);
+    }
+    let v = *prefix.last().unwrap() as usize;
+    let forced = if dfs.cfg.use_reductions {
+        find_reduction_tw(&dfs.eg, f)
+    } else {
+        None
+    };
+    let grandchildren = if dfs.cfg.use_pr2 && forced.is_none() {
+        Some(pr2_allowed_children(&dfs.eg, v, swappable_tw))
+    } else {
+        None
+    };
+    dfs.eg.eliminate(v);
+    dfs.suffix.push(v);
+    let ok = dfs.search(g, f, grandchildren.as_ref());
+    for _ in 0..prefix.len() {
+        dfs.suffix.pop();
+        dfs.eg.restore();
+    }
+    ok
 }
 
 /// Computes the treewidth of `g` by branch and bound. Anytime: with limits,
@@ -217,20 +330,8 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
             faults: Vec::new(),
         };
     }
-    let mut dfs = Dfs {
-        eg: EliminationGraph::new(g),
-        cfg,
-        ticker: budget.worker(),
-        ub,
-        best_suffix: Vec::new(),
-        suffix: Vec::new(),
-        root_lb,
-        shared_ub: None,
-        found: usize::MAX,
-        expiry_floor: usize::MAX,
-        lb_scratch: LbScratch::new(),
-        telemetry,
-    };
+    let mut dfs = Dfs::new(g, cfg, budget.worker(), ub, root_lb);
+    dfs.telemetry = telemetry;
     let completed = dfs.search(0, root_lb, None);
     let ordering = Some(complete_ordering(n, &dfs.best_suffix, ub_order.into_vec()));
     let exact = completed;
@@ -254,12 +355,15 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
     }
 }
 
-/// Parallel BB-tw: root elimination choices are fanned out over up to
-/// `threads` workers (`0` = all cores) that share the incumbent upper bound
-/// through an atomic **and share one [`Budget`]** — a `time_limit` of T
-/// finishes in O(T) wall-clock and a `max_nodes` of N expands at most N
-/// states in total, regardless of the thread count. Exact runs are
-/// **width-identical** to [`bb_tw`] (orderings may be different optima).
+/// The PR 4 one-shot root-split parallel BB-tw, kept as the baseline the
+/// work-stealing [`bb_tw_parallel`] is benchmarked against: root elimination
+/// choices are fanned out once over up to `threads` workers (`0` = all
+/// cores) that share the incumbent upper bound through an atomic **and
+/// share one [`Budget`]**. When one root subtree dominates the work — the
+/// common case after the reduction rules collapse the root branching — the
+/// split serialises; the work-stealing runtime exists precisely for those
+/// rows. Exact runs are **width-identical** to [`bb_tw`] (orderings may be
+/// different optima).
 ///
 /// **Fault containment:** every root-split task runs `catch_unwind`-wrapped;
 /// a panicking worker is recorded as a [`ghd_par::WorkerFault`]
@@ -268,7 +372,7 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
 /// on the caller thread. A task that panics on the retry too degrades the
 /// result soundly (`exact == false`, lower bound falls back to the root
 /// heuristic) instead of aborting the process.
-pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
+pub fn bb_tw_parallel_rootsplit(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
     let n = g.num_vertices();
     let budget = Budget::new(cfg.limits);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
@@ -306,20 +410,8 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
     let run_task = |&v: &usize| {
         let mut allowed = BitSet::new(n);
         allowed.insert(v);
-        let mut dfs = Dfs {
-            eg: EliminationGraph::new(g),
-            cfg,
-            ticker: budget.worker(),
-            ub,
-            best_suffix: Vec::new(),
-            suffix: Vec::new(),
-            root_lb,
-            shared_ub: Some(&incumbent),
-            found: usize::MAX,
-            expiry_floor: usize::MAX,
-            lb_scratch: LbScratch::new(),
-            telemetry: Telemetry::new(cfg.limits.collect_stats),
-        };
+        let mut dfs = Dfs::new(g, cfg, budget.worker(), ub, root_lb);
+        dfs.shared_ub = Some(&incumbent);
         let completed = dfs.search(0, root_lb, Some(&allowed));
         (
             completed,
@@ -399,6 +491,210 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult
     }
 }
 
+/// Work-stealing parallel BB-tw (`0` threads = all cores).
+///
+/// Any worker splits off unexplored siblings above the
+/// [`StealConfig::depth`] cutoff as stealable subproblems on its own
+/// Chase–Lev deque (see [`crate::steal`]); idle workers steal the oldest —
+/// largest — published subtree, so all threads stay busy on unbalanced
+/// instances where the one-shot root split of [`bb_tw_parallel_rootsplit`]
+/// serialises. All workers share the incumbent upper bound (an atomic
+/// `fetch_min`) and one [`Budget`]: a `max_nodes` of N expands at most N
+/// states in total regardless of the thread count.
+///
+/// **Determinism:** with enough budget the reported width *and ordering*
+/// are bit-identical to [`bb_tw`] for every thread count and any steal
+/// schedule. The width is schedule-independent because the search is
+/// exhaustive; the ordering is made deterministic by a sequential *witness
+/// reconstruction* pass after the parallel width search — rerunning the
+/// sequential DFS with `ub = w* + 1` and stopping at the first improvement
+/// visits exactly the DFS-first state of width `w*`, which is the state
+/// whose suffix the sequential search records last. Budget-expired runs
+/// keep the parallel best suffix — still a certified witness, but
+/// schedule-dependent.
+///
+/// **Fault containment:** every task runs `catch_unwind`-wrapped via
+/// [`ghd_par::run_contained`]; a faulted task is retried once by its
+/// publisher (the thief's victim) and a second fault folds the task's `f`
+/// into the expiry floor, degrading the run to a sound anytime result.
+/// Stats attribute every counter to the **executing** worker
+/// ([`StealCounters`], [`SearchStats::worker_steals`]).
+pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
+    let n = g.num_vertices();
+    let budget = Budget::new(cfg.limits);
+    let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
+    root_tel.sample(budget.elapsed(), ub, root_lb.min(ub));
+    if root_lb >= ub || n <= 1 {
+        return SearchResult {
+            upper_bound: ub,
+            lower_bound: ub,
+            exact: true,
+            ordering: Some(ub_order.into_vec()),
+            nodes_expanded: 0,
+            elapsed: budget.elapsed(),
+            cover_cache: None,
+            stats: root_tel.finish(),
+            faults: Vec::new(),
+        };
+    }
+    let workers = crate::bb_ghw::steal_workers(threads);
+    let sched = Scheduler::new(workers);
+    let incumbent = AtomicUsize::new(ub);
+    // Seed task: the whole tree, id 0 by the slab's creation-order contract
+    // (FaultPlan::kill_task(0) must hit exactly this first task).
+    let seeded = sched.publish(0, &[], 0, root_lb);
+    debug_assert!(seeded, "a fresh deque accepts the seed");
+
+    struct WorkerOutcome {
+        all_ok: bool,
+        found: usize,
+        best_suffix: Vec<usize>,
+        nodes: u64,
+        expiry_floor: usize,
+        steals: StealCounters,
+        stats: Option<SearchStats>,
+        faults: Vec<ghd_par::WorkerFault>,
+    }
+
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (sched, budget, incumbent) = (&sched, &budget, &incumbent);
+                scope.spawn(move || {
+                    let mut dfs = Dfs::new(g, cfg, budget.worker(), ub, root_lb);
+                    dfs.shared_ub = Some(incumbent);
+                    dfs.sched = Some(sched);
+                    dfs.worker = w;
+                    dfs.steal_depth = cfg.steal.depth.max(1);
+                    let mut steals = StealCounters::default();
+                    let mut faults = Vec::new();
+                    let mut all_ok = true;
+                    while let Some(task) = sched.next(w) {
+                        steals.executed += 1;
+                        if task.stolen {
+                            steals.stolen += 1;
+                        }
+                        if task.retry {
+                            steals.retried += 1;
+                        }
+                        let (prefix, g_cost, f) = (task.prefix, task.g, task.f);
+                        match ghd_par::run_contained(w, task.id as usize, || {
+                            run_steal_task(&mut dfs, &prefix, g_cost, f)
+                        }) {
+                            Ok(ok) => {
+                                all_ok &= ok;
+                                sched.complete(task.id);
+                            }
+                            Err(fault) => {
+                                faults.push(fault);
+                                if !sched.fault(task.id) {
+                                    // second fault: the subtree is lost —
+                                    // its f-bound keeps the result sound
+                                    dfs.expiry_floor = dfs.expiry_floor.min(f);
+                                    all_ok = false;
+                                }
+                                // a panic can leave the traversal state
+                                // mid-elimination: rebuild it
+                                dfs.eg = EliminationGraph::new(g);
+                                dfs.suffix.clear();
+                            }
+                        }
+                    }
+                    steals.published = dfs.published;
+                    WorkerOutcome {
+                        all_ok,
+                        found: dfs.found,
+                        best_suffix: std::mem::take(&mut dfs.best_suffix),
+                        nodes: dfs.ticker.nodes(),
+                        expiry_floor: dfs.expiry_floor,
+                        steals,
+                        stats: dfs.telemetry.finish(),
+                        faults,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|j| j.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    let mut faults = Vec::new();
+    let mut best_ub = ub;
+    let mut best_suffix: Vec<usize> = Vec::new();
+    let mut nodes = 0u64;
+    let mut completed = true;
+    let mut expiry_floor = usize::MAX;
+    let mut steals_all: Vec<StealCounters> = Vec::new();
+    let mut worker_stats: Vec<SearchStats> = Vec::new();
+    for o in outcomes {
+        if o.found < best_ub {
+            best_ub = o.found;
+            best_suffix = o.best_suffix;
+        }
+        nodes += o.nodes;
+        completed &= o.all_ok;
+        expiry_floor = expiry_floor.min(o.expiry_floor);
+        steals_all.push(o.steals);
+        worker_stats.extend(o.stats);
+        faults.extend(o.faults);
+    }
+    faults.sort_by_key(|f| f.task);
+    debug_assert_eq!(
+        sched.published(),
+        1 + steals_all.iter().map(|s| s.published as usize).sum::<usize>(),
+        "every slab entry is the seed or a worker publication"
+    );
+
+    // Witness reconstruction (see the determinism notes above): a
+    // sequential DFS with ub = w* + 1 stopping at its first improvement
+    // reproduces the exact suffix the sequential search reports. Runs on
+    // whatever budget the width phase left; if that expires, the parallel
+    // witness (valid, schedule-dependent) is kept.
+    if completed && best_ub < ub {
+        let mut dfs = Dfs::new(g, cfg, budget.worker(), best_ub + 1, root_lb);
+        dfs.stop_at_first = true;
+        dfs.search(0, root_lb, None);
+        nodes += dfs.ticker.nodes();
+        if dfs.found == best_ub {
+            best_suffix = std::mem::take(&mut dfs.best_suffix);
+        }
+        worker_stats.extend(dfs.telemetry.finish());
+    }
+
+    let ordering = Some(complete_ordering(n, &best_suffix, ub_order.into_vec()));
+    let lower_bound = if completed {
+        best_ub
+    } else {
+        anytime_lb(root_lb, expiry_floor, best_ub)
+    };
+    let stats = root_tel.finish().map(|root| {
+        let mut merged = SearchStats::merge(std::iter::once(root).chain(worker_stats));
+        merged.incumbents.push(IncumbentSample {
+            elapsed: budget.elapsed(),
+            upper_bound: best_ub,
+            lower_bound,
+        });
+        merged.worker_steals = steals_all;
+        merged.faults = faults.clone();
+        merged
+    });
+    SearchResult {
+        upper_bound: best_ub,
+        lower_bound,
+        exact: completed,
+        ordering,
+        nodes_expanded: nodes,
+        elapsed: budget.elapsed(),
+        cover_cache: None,
+        stats,
+        faults,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,7 +744,7 @@ mod tests {
                 use_reductions: red,
                 use_pr2: pr2,
                 lb_mode: lb,
-                limits: SearchLimits::unlimited(),
+                ..BbConfig::default()
             };
             let r = bb_tw(&g, &cfg);
             assert!(r.exact);
@@ -457,11 +753,26 @@ mod tests {
     }
 
     #[test]
-    fn parallel_root_split_is_width_identical() {
+    fn work_stealing_is_width_and_ordering_identical() {
+        for g in [graphs::grid(4), graphs::queen(4), graphs::gnm_random(14, 40, 3)] {
+            let seq = bb_tw(&g, &BbConfig::default());
+            for threads in [1, 2, 4, 8] {
+                let par = bb_tw_parallel(&g, &BbConfig::default(), threads);
+                assert!(par.exact);
+                assert_eq!(par.upper_bound, seq.upper_bound, "threads {threads}");
+                // witness reconstruction makes the full ordering
+                // schedule-independent, not just the width
+                assert_eq!(par.ordering, seq.ordering, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn rootsplit_baseline_is_width_identical() {
         for g in [graphs::grid(4), graphs::queen(4), graphs::gnm_random(14, 40, 3)] {
             let seq = bb_tw(&g, &BbConfig::default());
             for threads in [1, 2, 4] {
-                let par = bb_tw_parallel(&g, &BbConfig::default(), threads);
+                let par = bb_tw_parallel_rootsplit(&g, &BbConfig::default(), threads);
                 assert!(par.exact);
                 assert_eq!(par.upper_bound, seq.upper_bound, "threads {threads}");
                 let sigma = EliminationOrdering::new(par.ordering.unwrap()).unwrap();

@@ -322,11 +322,29 @@ pub struct SearchStats {
     pub seen_peak_bytes: u64,
     /// Per-worker cover-cache stats (parallel BB-ghw; empty elsewhere).
     pub worker_caches: Vec<CacheStats>,
+    /// Per-worker work-stealing counters (parallel BB searches; empty
+    /// elsewhere), one entry per worker in worker order.
+    pub worker_steals: Vec<StealCounters>,
     /// Contained worker panics observed during the run (parallel searches
     /// only; each record names the worker, the root-split task index and the
     /// stringified panic payload). Mirrors [`SearchResult::faults`], which
     /// is populated even when telemetry is off.
     pub faults: Vec<WorkerFault>,
+}
+
+/// Per-worker counters of the work-stealing scheduler. All counters are
+/// attributed to the **executing** worker: a task published by worker 0 but
+/// run by worker 3 counts in worker 3's `executed`/`stolen`, never twice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealCounters {
+    /// Subproblems this worker split off onto its own deque.
+    pub published: u64,
+    /// Tasks this worker ran to completion (own, stolen and retried alike).
+    pub executed: u64,
+    /// Of `executed`, tasks taken from another worker's deque.
+    pub stolen: u64,
+    /// Of `executed`, second attempts at a task whose first run faulted.
+    pub retried: u64,
 }
 
 impl SearchStats {
@@ -342,6 +360,7 @@ impl SearchStats {
             out.open_peak_bytes = out.open_peak_bytes.max(p.open_peak_bytes);
             out.seen_peak_bytes = out.seen_peak_bytes.max(p.seen_peak_bytes);
             out.worker_caches.extend(p.worker_caches);
+            out.worker_steals.extend(p.worker_steals);
             out.faults.extend(p.faults);
         }
         out.incumbents.sort_by_key(|s| s.elapsed);
@@ -598,6 +617,7 @@ mod tests {
             open_peak_bytes: f * 100,
             seen_peak_bytes: (10 - f) * 100,
             worker_caches: Vec::new(),
+            worker_steals: Vec::new(),
             faults: Vec::new(),
         };
         let m = SearchStats::merge([mk(5, 8, 2), mk(1, 9, 3)]);

@@ -18,15 +18,20 @@ pub mod interner;
 pub mod preprocess;
 pub mod queue;
 pub mod rules;
+pub mod sharded;
+pub mod steal;
 
 pub use arena::WordArena;
 pub use astar_ghw::astar_ghw;
 pub use astar_tw::astar_tw;
 pub use interner::StateInterner;
 pub use queue::BucketQueue;
-pub use bb_ghw::{bb_ghw, bb_ghw_parallel, BbGhwConfig};
-pub use bb_tw::{bb_tw, bb_tw_parallel, BbConfig, LbMode};
+pub use sharded::ShardedInterner;
+pub use steal::StealConfig;
+pub use bb_ghw::{bb_ghw, bb_ghw_parallel, bb_ghw_parallel_rootsplit, BbGhwConfig};
+pub use bb_tw::{bb_tw, bb_tw_parallel, bb_tw_parallel_rootsplit, BbConfig, LbMode};
 pub use common::{
-    Budget, IncumbentSample, PruneCounters, SearchLimits, SearchResult, SearchStats, Ticker,
+    Budget, IncumbentSample, PruneCounters, SearchLimits, SearchResult, SearchStats,
+    StealCounters, Ticker,
 };
 pub use preprocess::{preprocess_tw, tw_with_preprocessing, Preprocessed};

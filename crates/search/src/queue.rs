@@ -80,6 +80,14 @@ impl BucketQueue {
             return None;
         }
         while self.buckets[self.floor].len == 0 {
+            // monotonicity means the floor never looks back: release the
+            // drained bucket's lane storage (ids and lanes alike) instead of
+            // carrying empty capacity to the end of the run — long searches
+            // sweep through many f-values and the open-list gauge
+            // (`open_peak_bytes`) should reflect live frontier, not history
+            let drained = &mut self.buckets[self.floor];
+            drained.lanes = Vec::new();
+            drained.ceil = 0;
             self.floor += 1;
         }
         let bucket = &mut self.buckets[self.floor];
@@ -205,5 +213,33 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert_eq!(q.pop(), None);
         assert!(q.bytes() > 0);
+    }
+
+    /// Advancing the floor must release the drained buckets' lane storage,
+    /// not just empty it: a long search sweeps through many f-values and
+    /// would otherwise retain every historical bucket's capacity.
+    #[test]
+    fn advancing_the_floor_releases_drained_bucket_capacity() {
+        let mut q = BucketQueue::new();
+        for id in 0..512u32 {
+            q.push(1, (id % 8) as usize, id);
+        }
+        q.push(5, 0, 512);
+        let loaded = q.bytes();
+        for _ in 0..512 {
+            q.pop();
+        }
+        // popping the f=5 entry advances the floor past the drained f=1
+        // bucket and frees its lanes
+        assert_eq!(q.pop(), Some(512));
+        assert!(
+            q.bytes() < loaded / 2,
+            "drained capacity retained: {} of {loaded} bytes",
+            q.bytes()
+        );
+        // the queue stays fully usable for later (higher-f) pushes
+        q.push(6, 3, 513);
+        assert_eq!(q.pop(), Some(513));
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,288 @@
+//! Work-stealing scheduler for the branch-and-bound searches.
+//!
+//! The root-splitting parallelism of earlier revisions assigned one worker
+//! per root child and ran strictly sequentially below, so one heavy subtree
+//! serialised the whole run. Here *any* worker can split off unexplored
+//! siblings above a depth cutoff as stealable subproblems:
+//!
+//! * each worker owns a [`ghd_par::steal::WorkDeque`] (Chase–Lev ring of
+//!   `u32` task ids): the owner pushes/pops LIFO at the bottom, idle
+//!   workers steal FIFO from the top, taking the oldest — shallowest, hence
+//!   largest — published subtree;
+//! * task payloads live in a global append-only slab guarded by a [`Mutex`]
+//!   (touched once per published task, which is orders of magnitude colder
+//!   than node expansion); ids are slab indices, so task numbering follows
+//!   creation order and the seed task is always id 0 — the contract the
+//!   fault-injection tests pin with `FaultPlan::kill_task(n)`;
+//! * a task is `(prefix, g, f)`: the elimination prefix from the root, the
+//!   g-cost after it, and the pathmax f-bound. The executing worker replays
+//!   the prefix on its own [`EliminationGraph`] and searches the subtree,
+//!   republishing children that are still above the cutoff;
+//! * termination is an atomic pending-task count: workers spin (yielding)
+//!   until every published task has been completed or permanently faulted.
+//!
+//! # Fault and expiry semantics
+//!
+//! Task execution is wrapped in [`ghd_par::run_contained`]; a faulted task
+//! is re-enqueued **once**, on the retry list of the worker that published
+//! it (the thief's victim), and a second fault completes the task with its
+//! `f` folded into the expiry floor — the run degrades to an anytime
+//! result instead of aborting. After budget expiry, draining a task costs
+//! one failed `Ticker::tick` which likewise folds its `f` into the expiry
+//! floor, so certified anytime bounds need no special casing.
+//!
+//! [`EliminationGraph`]: ghd_hypergraph::EliminationGraph
+
+use ghd_par::steal::{Steal, WorkDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Default depth cutoff below which subtrees are no longer split off. Depth
+/// 3 keeps the task pool far larger than any realistic worker count while
+/// the per-task replay cost (≤ 3 eliminations) stays negligible against the
+/// subtree searched beneath it.
+pub const DEFAULT_STEAL_DEPTH: usize = 3;
+
+/// Ring capacity of each worker's deque; overflow falls back to searching
+/// the child inline, which bounds the open-task memory.
+const DEQUE_CAPACITY: usize = 1024;
+
+/// Tuning knobs of the work-stealing runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Publish children as stealable tasks while the elimination depth is
+    /// at most this value; deeper subtrees are searched inline.
+    pub depth: usize,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            depth: DEFAULT_STEAL_DEPTH,
+        }
+    }
+}
+
+/// One stealable subproblem (see the module docs).
+struct TaskBody {
+    /// Vertices eliminated between the root and this subtree, in order.
+    prefix: Box<[u32]>,
+    /// g-cost after eliminating the prefix.
+    g: u32,
+    /// Pathmax f-bound of the subtree.
+    f: u32,
+    /// Worker that published the task (retries go back to it).
+    owner: u32,
+    /// A fault was already retried once; the next one is permanent.
+    retried: bool,
+}
+
+/// A task handed to a worker by [`Scheduler::next`].
+pub(crate) struct TaskRun {
+    pub id: u32,
+    pub prefix: Box<[u32]>,
+    pub g: usize,
+    pub f: usize,
+    /// Taken from another worker's deque.
+    pub stolen: bool,
+    /// Second attempt after a contained fault.
+    pub retry: bool,
+}
+
+pub(crate) struct Scheduler {
+    deques: Vec<WorkDeque>,
+    slab: Mutex<Vec<TaskBody>>,
+    /// Per-worker retry lists for once-faulted tasks (owner drains its own).
+    retries: Vec<Mutex<Vec<u32>>>,
+    /// Published tasks not yet completed or permanently faulted.
+    pending: AtomicUsize,
+}
+
+/// A worker panics only inside `run_contained` (never while holding a
+/// scheduler lock), so the guarded state cannot be torn: recover the guard
+/// instead of propagating poison.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Scheduler {
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            deques: (0..workers)
+                .map(|_| WorkDeque::with_capacity(DEQUE_CAPACITY))
+                .collect(),
+            slab: Mutex::new(Vec::new()),
+            retries: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes a subproblem onto `worker`'s own deque. Returns `false`
+    /// without publishing when the deque is full — the caller searches the
+    /// child inline instead. Only `worker` itself may call this (it is the
+    /// deque owner), which also makes the room check stable: thieves only
+    /// ever *remove* entries.
+    pub fn publish(&self, worker: usize, prefix: &[usize], g: usize, f: usize) -> bool {
+        let deque = &self.deques[worker];
+        if deque.len() >= deque.capacity() {
+            return false;
+        }
+        let id = {
+            let mut slab = lock(&self.slab);
+            let id = u32::try_from(slab.len()).expect("task slab outgrew u32 ids");
+            slab.push(TaskBody {
+                prefix: prefix.iter().map(|&v| v as u32).collect(),
+                g: g as u32,
+                f: f.min(u32::MAX as usize) as u32,
+                owner: worker as u32,
+                retried: false,
+            });
+            id
+        };
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let pushed = deque.push(id);
+        debug_assert!(pushed, "room was checked under deque ownership");
+        true
+    }
+
+    fn task(&self, id: u32, stolen: bool, retry: bool) -> TaskRun {
+        let slab = lock(&self.slab);
+        let t = &slab[id as usize];
+        TaskRun {
+            id,
+            prefix: t.prefix.clone(),
+            g: t.g as usize,
+            f: t.f as usize,
+            stolen,
+            retry,
+        }
+    }
+
+    /// Blocks (yielding) until a task is available for `worker` or every
+    /// published task has been completed; `None` means the run is over.
+    /// Priority: own retries, then own deque (LIFO), then stealing from the
+    /// other workers round-robin.
+    pub fn next(&self, worker: usize) -> Option<TaskRun> {
+        loop {
+            if let Some(id) = lock(&self.retries[worker]).pop() {
+                return Some(self.task(id, false, true));
+            }
+            if let Some(id) = self.deques[worker].pop() {
+                return Some(self.task(id, false, false));
+            }
+            let n = self.deques.len();
+            let mut contended = false;
+            for k in 1..n {
+                match self.deques[(worker + k) % n].steal() {
+                    Steal::Taken(id) => return Some(self.task(id, true, false)),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended && self.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks a task finished (successfully searched, pruned, or drained
+    /// after expiry).
+    pub fn complete(&self, _id: u32) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records a contained fault on `id`. The first fault re-enqueues the
+    /// task on its publisher's retry list and returns `true`; a second
+    /// fault completes the task permanently and returns `false` (the caller
+    /// folds its `f` into the expiry floor).
+    pub fn fault(&self, id: u32) -> bool {
+        let owner = {
+            let mut slab = lock(&self.slab);
+            let t = &mut slab[id as usize];
+            if t.retried {
+                None
+            } else {
+                t.retried = true;
+                Some(t.owner as usize)
+            }
+        };
+        match owner {
+            Some(owner) => {
+                lock(&self.retries[owner]).push(id);
+                true
+            }
+            None => {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                false
+            }
+        }
+    }
+
+    /// Total tasks ever published (the slab is append-only).
+    pub fn published(&self) -> usize {
+        lock(&self.slab).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_task_gets_id_zero_and_creation_order_ids() {
+        let s = Scheduler::new(2);
+        assert!(s.publish(0, &[], 0, 3));
+        assert!(s.publish(0, &[5], 1, 3));
+        assert!(s.publish(1, &[5, 7], 2, 4));
+        assert_eq!(s.published(), 3);
+        // worker 1 drains its own deque first
+        let t = s.next(1).unwrap();
+        assert_eq!((t.id, t.stolen), (2, false));
+        assert_eq!(&*t.prefix, &[5, 7]);
+        assert_eq!((t.g, t.f), (2, 4));
+        s.complete(t.id);
+        // then steals worker 0's oldest task — the seed, id 0
+        let t = s.next(1).unwrap();
+        assert_eq!((t.id, t.stolen), (0, true));
+        assert!(t.prefix.is_empty());
+        s.complete(t.id);
+        let t = s.next(0).unwrap();
+        assert_eq!((t.id, t.stolen), (1, false));
+        s.complete(t.id);
+        assert!(s.next(0).is_none(), "all tasks completed");
+        assert!(s.next(1).is_none());
+    }
+
+    #[test]
+    fn first_fault_requeues_to_the_owner_second_is_permanent() {
+        let s = Scheduler::new(2);
+        assert!(s.publish(0, &[3], 0, 2));
+        // worker 1 steals it and faults: the task goes back to worker 0
+        let t = s.next(1).unwrap();
+        assert!(t.stolen);
+        assert!(s.fault(t.id), "first fault is retried");
+        let t = s.next(0).unwrap();
+        assert!(t.retry, "owner re-runs its own published task");
+        assert!(!t.stolen);
+        // second fault is permanent and completes the task
+        assert!(!s.fault(t.id));
+        assert!(s.next(0).is_none());
+        assert!(s.next(1).is_none());
+    }
+
+    #[test]
+    fn full_deque_refuses_publication() {
+        let s = Scheduler::new(1);
+        let mut accepted = 0usize;
+        while s.publish(0, &[], 0, 1) {
+            accepted += 1;
+            assert!(accepted <= DEQUE_CAPACITY, "publish must fail at capacity");
+        }
+        assert_eq!(accepted, DEQUE_CAPACITY);
+        // draining frees room again
+        let t = s.next(0).unwrap();
+        s.complete(t.id);
+        assert!(s.publish(0, &[], 0, 1));
+    }
+}

@@ -20,6 +20,29 @@ cargo test --offline -q --profile relassert -p ghd-par -p ghd-search -p ghd-ga
 echo "==> clippy -D warnings (whole workspace, all targets)"
 cargo clippy --offline -q --workspace --all-targets -- -D warnings
 
+echo "==> thread-sweep determinism (widths and orderings equal across --threads 1/2/4)"
+GHD="target/release/ghd"
+SWEEP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+"$GHD" gen grid2d-h 6 > "$SWEEP_DIR/h.hg"
+"$GHD" gen queen 4 > "$SWEEP_DIR/g.col"
+"$GHD" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 > "$SWEEP_DIR/ghw_seq.txt"
+"$GHD" tw "$SWEEP_DIR/g.col" --method bb --time 0 > "$SWEEP_DIR/tw_seq.txt"
+for T in 1 2 4; do
+    "$GHD" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 --threads "$T" > "$SWEEP_DIR/ghw_t$T.txt"
+    cmp -s "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/ghw_t$T.txt" || {
+        echo "ghw --threads $T diverged from the sequential output:" >&2
+        diff "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/ghw_t$T.txt" >&2 || true
+        exit 1
+    }
+    "$GHD" tw "$SWEEP_DIR/g.col" --method bb --time 0 --threads "$T" > "$SWEEP_DIR/tw_t$T.txt"
+    cmp -s "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/tw_t$T.txt" || {
+        echo "tw --threads $T diverged from the sequential output:" >&2
+        diff "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/tw_t$T.txt" >&2 || true
+        exit 1
+    }
+done
+
 echo "==> fuzz_inputs (seeded byte mutations across every parser; a panic fails)"
 cargo run --offline -q --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
 
