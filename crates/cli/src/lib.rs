@@ -123,6 +123,8 @@ pub fn run(args: &[String]) -> CmdResult {
         Some("ghw") => cmd_ghw(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CmdError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -143,6 +145,9 @@ USAGE:
          [--stats json] [--show]
   ghd bounds <file>
   ghd validate <instance-file> <td-file>
+  ghd serve <addr> [--workers N] [--queue N] [--cache-mb M]
+  ghd submit <addr> tw|ghw <file> [solve flags…]
+  ghd submit <addr> ping|stats|shutdown
 
 Budgets (exact searches): default 10s wall clock; --time 0 = unlimited;
 --nodes N = global node-expansion budget shared by every worker thread.
@@ -153,6 +158,13 @@ sequential search. --steal-depth D tunes its task-publication cutoff.
 
 Graph files: DIMACS .col (`p edge`) or PACE .gr (`p tw`).
 Hypergraph files: CSP hypergraph library format `name(v1,v2,…).`
+
+Serve: <addr> is `unix:PATH` or a TCP address (`127.0.0.1:7171`; port 0
+picks a free port, printed on stderr). --workers 0 (default) uses all
+cores; the solve queue is bounded (--queue, default 64) and a full queue
+answers `busy`; exact self-certified answers enter a canonical-form cache
+(--cache-mb, default 32). `ghd submit` answers are byte-identical to the
+one-shot `ghd tw`/`ghd ghw` output for the same file and flags.
 ";
 
 /// Splits `args` into positionals and `--key [value]` options.
@@ -188,6 +200,18 @@ fn flag(opts: &[(&str, Option<&str>)], key: &str) -> bool {
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad {what}: `{s}`"))
+}
+
+/// Parses a wall-clock budget. `f64::from_str` happily accepts `inf` and
+/// `nan` — the first would panic inside `Duration::from_secs_f64`, the
+/// second silently passes every sign check — so budgets are restricted to
+/// finite, non-negative numbers here, uniformly for every `--time` flag.
+fn parse_secs(s: &str, what: &str) -> Result<f64, String> {
+    let secs: f64 = parse_num(s, what)?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("bad {what}: `{s}` (must be a finite number >= 0)"));
+    }
+    Ok(secs)
 }
 
 fn read_file(path: &str) -> Result<String, CmdError> {
@@ -264,10 +288,7 @@ fn limits_from(opts: &[(&str, Option<&str>)]) -> Result<SearchLimits, String> {
         SearchLimits::unlimited()
     };
     if let Some(s) = time {
-        let secs: f64 = parse_num(s, "--time")?;
-        if secs < 0.0 {
-            return Err(format!("bad --time: `{s}` (must be >= 0)"));
-        }
+        let secs = parse_secs(s, "--time")?;
         limits.time_limit = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
     }
     if let Some(s) = nodes {
@@ -440,6 +461,8 @@ fn search_json(
             let _ = writeln!(s, "    \"seen_peak\": {},", st.seen_peak);
             let _ = writeln!(s, "    \"open_peak_bytes\": {},", st.open_peak_bytes);
             let _ = writeln!(s, "    \"seen_peak_bytes\": {},", st.seen_peak_bytes);
+            let _ = writeln!(s, "    \"queue_degraded\": {},", st.queue_degraded);
+            let _ = writeln!(s, "    \"interner_overflow\": {},", st.interner_overflow);
             s.push_str("    \"worker_caches\": [");
             for (i, c) in st.worker_caches.iter().enumerate() {
                 if i > 0 {
@@ -471,10 +494,44 @@ fn search_json(
     s
 }
 
+/// A fully rendered solve answer plus the metadata `ghd-serve` needs for
+/// cache admission and telemetry. `body` is byte-identical to what the
+/// one-shot CLI prints for the same instance text and flags — both paths
+/// run through [`solve_tw_text`] / [`solve_ghw_text`], so the identity
+/// holds by construction, not by convention.
+pub struct SolveReport {
+    /// Complete stdout of the command (summary, optional decomposition).
+    pub body: String,
+    /// The certified width (upper bound for heuristic methods).
+    pub width: usize,
+    /// `true` iff the width is proven optimal.
+    pub exact: bool,
+    /// `true` iff an ordering was independently re-verified.
+    pub certified: bool,
+    /// `true` iff the answer may enter the decomposition cache: exact,
+    /// certified, and free of wall-clock telemetry (`--stats` bodies embed
+    /// `elapsed_s`, which is not reproducible).
+    pub cacheable: bool,
+    /// Node expansions spent producing the answer (0 for heuristics).
+    pub nodes_expanded: u64,
+    /// Worker faults contained during the search.
+    pub faults: usize,
+}
+
 fn cmd_tw(args: &[String]) -> CmdResult {
-    let (pos, opts) = split_opts(args);
+    let (pos, _) = split_opts(args);
     let path = *pos.first().ok_or("tw <graph-file> — see `ghd --help`")?;
-    let g = load_graph(&read_file(path)?)?;
+    let text = read_file(path)?;
+    Ok(solve_tw_text(&text, args)?.body)
+}
+
+/// Solves a treewidth request from instance *text* + flags (positionals in
+/// `args` are ignored). This is the whole of `ghd tw` after file loading;
+/// `ghd-serve` calls it directly so daemon answers match the one-shot CLI
+/// byte for byte.
+pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdError> {
+    let (_, opts) = split_opts(args);
+    let g = load_graph(text)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
     let parallel = steal_opts(&opts, method)?;
@@ -504,9 +561,17 @@ fn cmd_tw(args: &[String]) -> CmdResult {
             }
             None => false,
         };
-        return Ok(search_json("tw", method, g.num_vertices(), g.num_edges(), &r, certified));
+        return Ok(SolveReport {
+            body: search_json("tw", method, g.num_vertices(), g.num_edges(), &r, certified),
+            width: r.upper_bound,
+            exact: r.exact,
+            certified,
+            cacheable: false, // stats bodies embed wall-clock telemetry
+            nodes_expanded: r.nodes_expanded,
+            faults: r.faults.len(),
+        });
     }
-    let (summary, claimed, exact, ordering) = match method {
+    let (summary, claimed, exact, ordering, nodes, faults) = match method {
         "astar" => {
             let r = astar_tw(&g, limits);
             (
@@ -514,6 +579,8 @@ fn cmd_tw(args: &[String]) -> CmdResult {
                 r.upper_bound,
                 r.exact,
                 r.ordering,
+                r.nodes_expanded,
+                r.faults.len(),
             )
         }
         "bb" => {
@@ -523,6 +590,8 @@ fn cmd_tw(args: &[String]) -> CmdResult {
                 r.upper_bound,
                 r.exact,
                 r.ordering,
+                r.nodes_expanded,
+                r.faults.len(),
             )
         }
         "ga" => {
@@ -532,6 +601,8 @@ fn cmd_tw(args: &[String]) -> CmdResult {
                 r.best_width,
                 false,
                 Some(r.best_ordering),
+                0,
+                0,
             )
         }
         "sa" => {
@@ -541,24 +612,29 @@ fn cmd_tw(args: &[String]) -> CmdResult {
                 r.best_width,
                 false,
                 Some(r.best_ordering),
+                0,
+                0,
             )
         }
         "minfill" => {
             let (w, o) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
-            (format!("min-fill: width <= {w}"), w, false, Some(o.into_vec()))
+            (format!("min-fill: width <= {w}"), w, false, Some(o.into_vec()), 0, 0)
         }
         other => return Err(CmdError::usage(format!("unknown method `{other}`"))),
     };
     // verify-on-emit: no width is printed unless its certificate passes
-    match &ordering {
-        Some(o) => certify_tw(&g, o, claimed, exact)?,
+    let certified = match &ordering {
+        Some(o) => {
+            certify_tw(&g, o, claimed, exact)?;
+            true
+        }
         None if exact => {
             return Err(CmdError::internal(
                 "certificate rejected: exact width without a realising ordering",
             ))
         }
-        None => {}
-    }
+        None => false,
+    };
     let mut out = format!(
         "graph: {} vertices, {} edges\n{summary}\n",
         g.num_vertices(),
@@ -570,13 +646,29 @@ fn cmd_tw(args: &[String]) -> CmdResult {
         let td = ghd_core::bucket::vertex_elimination(&g, &sigma);
         out.push_str(&write_td(&td));
     }
-    Ok(out)
+    Ok(SolveReport {
+        body: out,
+        width: claimed,
+        exact,
+        certified,
+        cacheable: exact && certified,
+        nodes_expanded: nodes,
+        faults,
+    })
 }
 
 fn cmd_ghw(args: &[String]) -> CmdResult {
-    let (pos, opts) = split_opts(args);
+    let (pos, _) = split_opts(args);
     let path = *pos.first().ok_or("ghw <hypergraph-file> — see `ghd --help`")?;
-    let h = io::parse_hypergraph(&read_file(path)?).map_err(CmdError::data)?;
+    let text = read_file(path)?;
+    Ok(solve_ghw_text(&text, args)?.body)
+}
+
+/// Solves a ghw request from instance *text* + flags; the `ghw` twin of
+/// [`solve_tw_text`].
+pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdError> {
+    let (_, opts) = split_opts(args);
+    let h = io::parse_hypergraph(text).map_err(CmdError::data)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?;
     let parallel = steal_opts(&opts, method)?;
@@ -606,9 +698,17 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
             }
             None => false,
         };
-        return Ok(search_json("ghw", method, h.num_vertices(), h.num_edges(), &r, certified));
+        return Ok(SolveReport {
+            body: search_json("ghw", method, h.num_vertices(), h.num_edges(), &r, certified),
+            width: r.upper_bound,
+            exact: r.exact,
+            certified,
+            cacheable: false, // stats bodies embed wall-clock telemetry
+            nodes_expanded: r.nodes_expanded,
+            faults: r.faults.len(),
+        });
     }
-    let (summary, claimed, exact, ordering) = match method {
+    let (summary, claimed, exact, ordering, nodes, faults) = match method {
         "astar" => {
             let r = astar_ghw(&h, limits);
             (
@@ -616,6 +716,8 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
                 r.upper_bound,
                 r.exact,
                 r.ordering,
+                r.nodes_expanded,
+                r.faults.len(),
             )
         }
         "bb" => {
@@ -625,6 +727,8 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
                 r.upper_bound,
                 r.exact,
                 r.ordering,
+                r.nodes_expanded,
+                r.faults.len(),
             )
         }
         "ga" => {
@@ -634,6 +738,8 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
                 r.best_width,
                 false,
                 Some(r.best_ordering),
+                0,
+                0,
             )
         }
         "saiga" => {
@@ -643,6 +749,8 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
                 r.result.best_width,
                 false,
                 Some(r.result.best_ordering),
+                0,
+                0,
             )
         }
         "sa" => {
@@ -652,6 +760,8 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
                 r.best_width,
                 false,
                 Some(r.best_ordering),
+                0,
+                0,
             )
         }
         "greedy" => {
@@ -661,20 +771,25 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
                 w,
                 false,
                 Some(o.into_vec()),
+                0,
+                0,
             )
         }
         other => return Err(CmdError::usage(format!("unknown method `{other}`"))),
     };
     // verify-on-emit: no width is printed unless its certificate passes
-    match &ordering {
-        Some(o) => certify_ghw(&h, o, claimed, exact)?,
+    let certified = match &ordering {
+        Some(o) => {
+            certify_ghw(&h, o, claimed, exact)?;
+            true
+        }
         None if exact => {
             return Err(CmdError::internal(
                 "certificate rejected: exact width without a realising ordering",
             ))
         }
-        None => {}
-    }
+        None => false,
+    };
     let mut out = format!(
         "hypergraph: {} vertices, {} hyperedges\n{summary}\n",
         h.num_vertices(),
@@ -688,7 +803,166 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
             .map_err(|e| CmdError::internal(format!("certificate rejected: {e}")))?;
         out.push_str(&write_ghd(&ghd, &h));
     }
-    Ok(out)
+    Ok(SolveReport {
+        body: out,
+        width: claimed,
+        exact,
+        certified,
+        cacheable: exact && certified,
+        nodes_expanded: nodes,
+        faults,
+    })
+}
+
+/// The [`ghd_serve::Solver`] backed by this crate's own solve functions
+/// ([`solve_tw_text`] / [`solve_ghw_text`]), so daemon answers match the
+/// one-shot CLI byte for byte.
+pub struct CliSolver;
+
+/// The normalized flag set as a cache-signature component: last
+/// occurrence wins per key (mirroring [`opt`]'s resolution), then sorted,
+/// so flag order never splits cache entries. Spelling a default out
+/// (`--method astar` vs nothing) still yields distinct signatures — a
+/// harmless duplicate entry, never a wrong answer.
+fn signature_of(cmd: &str, opts: &[(&str, Option<&str>)]) -> String {
+    let mut kv: Vec<(&str, &str)> = Vec::new();
+    for (k, v) in opts {
+        kv.retain(|(seen, _)| seen != k);
+        kv.push((k, v.unwrap_or("")));
+    }
+    kv.sort_unstable();
+    let mut s = cmd.to_string();
+    for (k, v) in kv {
+        s.push_str(" --");
+        s.push_str(k);
+        s.push('=');
+        s.push_str(v);
+    }
+    s
+}
+
+impl ghd_serve::Solver for CliSolver {
+    fn cache_key(
+        &self,
+        cmd: &str,
+        instance: &str,
+        args: &[String],
+    ) -> Option<ghd_serve::CacheKey> {
+        let (_, opts) = split_opts(args);
+        // --stats bodies embed wall-clock telemetry: never cached
+        // (malformed --stats values go uncached too — the solve path
+        // reports the usage error)
+        if !matches!(stats_format(&opts), Ok(None)) {
+            return None;
+        }
+        // canonical text = the parsed instance re-serialized by the
+        // workspace writers, so comments/whitespace/format never split
+        // cache entries; unparseable instances simply go uncached (the
+        // solve path reports the parse error)
+        let (canon, hash) = match cmd {
+            "tw" => {
+                let g = load_graph(instance).ok()?;
+                (io::write_dimacs(&g), ghd_core::canon::graph_hash(&g))
+            }
+            "ghw" => {
+                let h = io::parse_hypergraph(instance).ok()?;
+                (io::write_hypergraph(&h), ghd_core::canon::hypergraph_hash(&h))
+            }
+            _ => return None,
+        };
+        Some(ghd_serve::CacheKey { hash, canon, signature: signature_of(cmd, &opts) })
+    }
+
+    fn solve(
+        &self,
+        cmd: &str,
+        instance: &str,
+        args: &[String],
+    ) -> Result<ghd_serve::SolveOutcome, ghd_serve::SolveError> {
+        let report = match cmd {
+            "tw" => solve_tw_text(instance, args),
+            "ghw" => solve_ghw_text(instance, args),
+            other => Err(CmdError::usage(format!("unknown solve command `{other}`"))),
+        }
+        .map_err(|e| ghd_serve::SolveError {
+            code: i64::from(e.exit_code()),
+            message: e.to_string(),
+        })?;
+        Ok(ghd_serve::SolveOutcome {
+            body: report.body,
+            width: report.width,
+            exact: report.exact,
+            certified: report.certified,
+            cacheable: report.cacheable,
+            nodes_expanded: report.nodes_expanded,
+            faults: report.faults,
+        })
+    }
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    let (pos, opts) = split_opts(args);
+    let addr = *pos
+        .first()
+        .ok_or("serve <addr> — e.g. `ghd serve 127.0.0.1:7171` or `ghd serve unix:/tmp/ghd.sock`")?;
+    let mut cfg = ghd_serve::ServerConfig::default();
+    if let Some(s) = opt(&opts, "workers") {
+        cfg.workers = parse_num(s, "--workers")?; // 0 = all cores
+    }
+    if let Some(s) = opt(&opts, "queue") {
+        cfg.queue = parse_num(s, "--queue")?;
+        if cfg.queue == 0 {
+            return Err(CmdError::usage(format!("bad --queue: `{s}` (must be >= 1)")));
+        }
+    }
+    if let Some(s) = opt(&opts, "cache-mb") {
+        cfg.cache_bytes = parse_num::<usize>(s, "--cache-mb")? << 20;
+    }
+    let server = ghd_serve::Server::bind(addr, cfg, std::sync::Arc::new(CliSolver))
+        .map_err(|e| CmdError::usage(format!("cannot bind `{addr}`: {e}")))?;
+    // readiness line on stderr: stdout stays the command's output channel
+    eprintln!("ghd-serve listening on {}", server.local_addr());
+    Ok(server.run())
+}
+
+fn cmd_submit(args: &[String]) -> CmdResult {
+    let usage = "submit <addr> tw|ghw <file> [flags…] | submit <addr> ping|stats|shutdown";
+    let addr = args.first().ok_or(usage)?;
+    let cmd = args.get(1).ok_or(usage)?.as_str();
+    let req = match cmd {
+        "tw" | "ghw" => {
+            let path = args.get(2).ok_or(usage)?;
+            let instance = read_file(path)?;
+            // flags after the file go to the daemon verbatim
+            ghd_serve::Request::solve(None, cmd, &instance, &args[3..])
+        }
+        "ping" | "stats" | "shutdown" => ghd_serve::Request::control(None, cmd),
+        other => return Err(CmdError::usage(format!("unknown submit command `{other}`\n{usage}"))),
+    };
+    let mut client = ghd_serve::Client::connect(addr)
+        .map_err(|e| CmdError::no_input(format!("cannot connect to `{addr}`: {e}")))?;
+    let resp = client
+        .request(&req)
+        .map_err(|e| CmdError::data(format!("transport error: {e}")))?;
+    if resp.ok {
+        let mut body = resp.body.unwrap_or_default();
+        // control answers are bare tokens; give them their newline
+        if !body.is_empty() && !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Ok(body)
+    } else {
+        let message = resp.error.unwrap_or_else(|| "unspecified server error".into());
+        Err(match resp.code {
+            // the daemon's code is the CLI's own sysexits category
+            Some(64) => CmdError::usage(message),
+            Some(65) => CmdError::data(message),
+            Some(66) => CmdError::no_input(message),
+            // busy/draining (503) and contained panics (70) are server
+            // conditions: surface as internal
+            _ => CmdError::internal(message),
+        })
+    }
 }
 
 fn describe(name: &str, ub: usize, lb: usize, exact: bool) -> String {
@@ -720,8 +994,8 @@ fn ga_cfg(opts: &[(&str, Option<&str>)]) -> Result<GaConfig, String> {
     }
     cfg.seed = seed_of(opts)?;
     if let Some(s) = opt(opts, "time") {
-        let secs: f64 = parse_num(s, "--time")?;
-        cfg.time_limit = Some(Duration::from_secs_f64(secs));
+        let secs = parse_secs(s, "--time")?;
+        cfg.time_limit = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
     }
     Ok(cfg)
 }
@@ -1076,6 +1350,75 @@ mod tests {
             run_args(&["tw", &gpath, "--method", "bb", "--threads", "2", "--steal-depth", "0"])
                 .is_err()
         );
+    }
+
+    #[test]
+    fn budget_and_thread_flags_reject_junk_with_exit_64() {
+        let col = run_args(&["gen", "grid", "3"]).unwrap();
+        let gpath = tmp("junk.col", &col);
+        // every budget/thread flag rejects non-numeric and out-of-domain
+        // values the same way: usage error, exit 64, never a panic.
+        // (`f64::from_str` accepts `inf`/`nan`; `inf` used to reach
+        // `Duration::from_secs_f64` and abort, `nan` slipped past every
+        // sign check and silently meant "unlimited".)
+        let cases: &[&[&str]] = &[
+            &["tw", &gpath, "--time", "abc"],
+            &["tw", &gpath, "--time", "inf"],
+            &["tw", &gpath, "--time", "+infinity"],
+            &["tw", &gpath, "--time", "nan"],
+            &["tw", &gpath, "--time", "-1"],
+            &["tw", &gpath, "--nodes", "-1"],
+            &["tw", &gpath, "--nodes", "abc"],
+            &["tw", &gpath, "--nodes", "1.5"],
+            &["tw", &gpath, "--method", "bb", "--threads", "-2"],
+            &["tw", &gpath, "--method", "bb", "--threads", "abc"],
+            &["tw", &gpath, "--method", "ga", "--time", "inf"],
+            &["tw", &gpath, "--method", "ga", "--time", "nan"],
+        ];
+        for case in cases {
+            let e = run_args(case).expect_err(&format!("{case:?} must be rejected"));
+            assert_eq!(e.kind, ErrorKind::Usage, "{case:?}: {e}");
+            assert_eq!(e.exit_code(), 64, "{case:?}");
+            assert!(e.message.starts_with("bad --"), "{case:?}: {e}");
+        }
+        // `--time 0` stays the documented "unlimited" escape hatch, and
+        // `0` threads means "all cores", not a rejection
+        assert!(run_args(&["tw", &gpath, "--time", "0"]).is_ok());
+        assert!(run_args(&["tw", &gpath, "--method", "bb", "--threads", "0"]).is_ok());
+    }
+
+    #[test]
+    fn solve_text_entry_points_match_the_file_commands() {
+        // the serve daemon calls these directly; byte-identity with the
+        // one-shot CLI is the contract
+        let col = run_args(&["gen", "queen", "4"]).unwrap();
+        let gpath = tmp("solve.col", &col);
+        let args: Vec<String> = vec!["--method".into(), "bb".into()];
+        let report = solve_tw_text(&col, &args).unwrap();
+        let oneshot =
+            run_args(&["tw", &gpath, "--method", "bb"]).unwrap();
+        assert_eq!(report.body, oneshot);
+        assert!(report.exact && report.certified && report.cacheable);
+        assert!(report.nodes_expanded > 0);
+        assert_eq!(report.width, 11);
+
+        let hg = run_args(&["gen", "clique", "6"]).unwrap();
+        let hpath = tmp("solve.hg", &hg);
+        let report = solve_ghw_text(&hg, &args).unwrap();
+        let oneshot = run_args(&["ghw", &hpath, "--method", "bb"]).unwrap();
+        assert_eq!(report.body, oneshot);
+        assert_eq!(report.width, 3);
+        // heuristic answers are certified upper bounds but never cacheable
+        let ga: Vec<String> =
+            ["--method", "ga", "--generations", "10", "--population", "20"]
+                .iter().map(|s| s.to_string()).collect();
+        let report = solve_tw_text(&col, &ga).unwrap();
+        assert!(report.certified && !report.exact && !report.cacheable);
+        // stats bodies are never cacheable either (embedded wall clock)
+        let stats: Vec<String> =
+            ["--method", "bb", "--stats", "json"].iter().map(|s| s.to_string()).collect();
+        let report = solve_ghw_text(&hg, &stats).unwrap();
+        assert!(report.exact && report.certified && !report.cacheable);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! ```
 
 pub mod bucket;
+pub mod canon;
 pub mod io;
 pub mod eval;
 pub mod json;

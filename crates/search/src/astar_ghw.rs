@@ -86,6 +86,11 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
     while let Some(entry_id) = queue.pop() {
         let entry_f = nodes[entry_id as usize].f;
         if !ticker.tick() {
+            // a detected below-floor push voids the visited-f argument,
+            // exactly like a capped cover does
+            let qd = queue.degraded();
+            degraded |= qd;
+            telemetry.note(|s| s.queue_degraded |= qd);
             let lower_bound = if degraded {
                 root_lb.min(ub)
             } else {
@@ -128,6 +133,9 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
                 (0..n).filter(|&v| !in_path.contains(&(v as u32))).collect();
             order.extend(target_path.iter().rev().map(|&v| v as usize));
             let width = s_g.max(1);
+            let qd = queue.degraded();
+            degraded |= qd;
+            telemetry.note(|s| s.queue_degraded |= qd);
             let lower_bound = if degraded { root_lb.min(width) } else { width };
             telemetry.sample(budget.elapsed(), width, lower_bound);
             telemetry.cache(cache.stats());
@@ -239,6 +247,9 @@ pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
         }
     }
 
+    let qd = queue.degraded();
+    degraded |= qd;
+    telemetry.note(|s| s.queue_degraded |= qd);
     let lower_bound = if degraded { root_lb } else { ub };
     telemetry.sample(budget.elapsed(), ub, lower_bound.min(ub));
     telemetry.cache(cache.stats());

@@ -120,13 +120,21 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     while let Some(entry_id) = queue.pop() {
         let entry_f = nodes[entry_id as usize].f;
         if !ticker.tick() {
-            // anytime: report the best proven lower bound (§5.3)
-            let lower_bound = lb.max(entry_f as usize).min(ub);
+            // anytime: report the best proven lower bound (§5.3). A
+            // degraded queue (below-floor push, detected and clamped)
+            // voids the visited-f argument: fall back to the root bound.
+            let qd = queue.degraded();
+            telemetry.note(|s| s.queue_degraded |= qd);
+            let lower_bound = if qd {
+                root_lb.min(ub)
+            } else {
+                lb.max(entry_f as usize).min(ub)
+            };
             telemetry.sample(budget.elapsed(), ub, lower_bound);
             return SearchResult {
                 upper_bound: ub,
                 lower_bound,
-                exact: lb.max(entry_f as usize) >= ub,
+                exact: !qd && lb.max(entry_f as usize) >= ub,
                 ordering: Some(ub_order.into_vec()),
                 nodes_expanded: ticker.nodes(),
                 elapsed: budget.elapsed(),
@@ -153,11 +161,16 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
             };
             order.extend(target_path.iter().rev().map(|&v| v as usize));
             let width = nodes[s_id].g as usize;
-            telemetry.sample(budget.elapsed(), width, width);
+            // optimality of the first goal relies on the proven pop order;
+            // a degraded queue can only claim the ordering as an upper bound
+            let qd = queue.degraded();
+            telemetry.note(|s| s.queue_degraded |= qd);
+            let lower_bound = if qd { root_lb.min(width) } else { width };
+            telemetry.sample(budget.elapsed(), width, lower_bound);
             return SearchResult {
                 upper_bound: width,
-                lower_bound: width,
-                exact: true,
+                lower_bound,
+                exact: !qd,
                 ordering: Some(order),
                 nodes_expanded: ticker.nodes(),
                 elapsed: budget.elapsed(),
@@ -249,11 +262,15 @@ pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     }
 
     // queue exhausted: every state with f < ub was visited → tw = ub
-    telemetry.sample(budget.elapsed(), ub, ub);
+    // (unless a detected below-floor push voided the visit order)
+    let qd = queue.degraded();
+    telemetry.note(|s| s.queue_degraded |= qd);
+    let lower_bound = if qd { root_lb.min(ub) } else { ub };
+    telemetry.sample(budget.elapsed(), ub, lower_bound);
     SearchResult {
         upper_bound: ub,
-        lower_bound: ub,
-        exact: true,
+        lower_bound,
+        exact: !qd,
         ordering: Some(ub_order.into_vec()),
         nodes_expanded: ticker.nodes(),
         elapsed: budget.elapsed(),

@@ -80,6 +80,27 @@ pub(crate) fn residual_ghw_lb(
     ksc.bound(tw_lb + 1)
 }
 
+/// Interns `key` into the worker's shard; `None` (with the sticky overflow
+/// flag raised) when the shard's id space is exhausted. Free function so it
+/// can borrow the interner while the caller holds `&mut` to the cache.
+fn try_intern_key(
+    interner: &mut Option<StateInterner>,
+    overflow: &mut bool,
+    key: &[u64],
+) -> Option<u32> {
+    match interner
+        .as_mut()
+        .expect("interner accompanies the cache")
+        .try_intern(key)
+    {
+        Some((id, _)) => Some(id),
+        None => {
+            *overflow = true;
+            None
+        }
+    }
+}
+
 struct Dfs<'a> {
     h: &'a Hypergraph,
     covered: BitSet,
@@ -100,6 +121,13 @@ struct Dfs<'a> {
     /// Set when a capped cover exhausted its budget: the result may no
     /// longer be proven optimal.
     degraded: bool,
+    /// Set when the interner shard refused a fresh key because its
+    /// worker-local id space (`2^LOCAL_BITS` states, shrinkable in tests)
+    /// is exhausted. A checked condition in every build mode: instead of
+    /// wrapping ids into another worker's range, this worker folds its
+    /// remaining work into the expiry floor — exactly like a second fault —
+    /// so bounds stay sound and `exact` is withdrawn.
+    interner_overflow: bool,
     /// Transposition cache for per-bag covers (None = disabled).
     cache: Option<CoverCache>,
     /// Hash-consed canonical ids for the cache's target bitsets; present iff
@@ -178,6 +206,7 @@ impl<'a> Dfs<'a> {
             lb_scratch: LbScratch::new(),
             ksc,
             degraded: false,
+            interner_overflow: false,
             cache: cfg.use_cover_cache.then(CoverCache::new),
             interner: cfg.use_cover_cache.then(|| StateInterner::for_vertices(n)),
             shared_ub: None,
@@ -217,23 +246,29 @@ impl<'a> Dfs<'a> {
         }
         match (self.cfg.cover, self.cache.as_mut()) {
             (CoverMethod::Exact, Some(c)) => {
-                let (key, _) = self
-                    .interner
-                    .as_mut()
-                    .expect("interner accompanies the cache")
-                    .intern(self.bag_scratch.blocks());
-                c.exact_cover_size_capped_interned(key, &self.bag_scratch, self.h, self.ub)
+                match try_intern_key(&mut self.interner, &mut self.interner_overflow, self.bag_scratch.blocks()) {
+                    Some(key) => {
+                        c.exact_cover_size_capped_interned(key, &self.bag_scratch, self.h, self.ub)
+                    }
+                    // shard id space exhausted: compute uncached — the
+                    // value is identical, and `search` degrades this
+                    // worker at its next node
+                    None => exact_cover_size_capped(&self.bag_scratch, self.h, self.ub),
+                }
             }
             (CoverMethod::Exact, None) => {
                 exact_cover_size_capped(&self.bag_scratch, self.h, self.ub)
             }
             (CoverMethod::Greedy, Some(c)) => {
-                let (key, _) = self
-                    .interner
-                    .as_mut()
-                    .expect("interner accompanies the cache")
-                    .intern(self.bag_scratch.blocks());
-                (c.greedy_cover_size_interned(key, &self.bag_scratch, self.h), true)
+                match try_intern_key(&mut self.interner, &mut self.interner_overflow, self.bag_scratch.blocks()) {
+                    Some(key) => {
+                        (c.greedy_cover_size_interned(key, &self.bag_scratch, self.h), true)
+                    }
+                    None => (
+                        greedy_cover_size::<ghd_prng::rngs::StdRng>(&self.bag_scratch, self.h, None),
+                        true,
+                    ),
+                }
             }
             (CoverMethod::Greedy, None) => (
                 greedy_cover_size::<ghd_prng::rngs::StdRng>(&self.bag_scratch, self.h, None),
@@ -285,6 +320,14 @@ impl<'a> Dfs<'a> {
             self.expiry_floor = self.expiry_floor.min(f);
             return false;
         }
+        if self.interner_overflow {
+            // the shard's id space is exhausted (checked, never wrapped):
+            // abandon this worker's remaining work like a second fault —
+            // every abandoned node's f joins the expiry floor, so the
+            // anytime bounds stay sound while `exact` is withdrawn
+            self.expiry_floor = self.expiry_floor.min(f);
+            return false;
+        }
         if let Some(s) = self.shared_ub {
             self.ub = self.ub.min(s.load(Ordering::Relaxed));
         }
@@ -302,14 +345,18 @@ impl<'a> Dfs<'a> {
             match self.cache.as_mut() {
                 // identical value to the uncached call: the cache memoizes
                 // the same deterministic first-maximum greedy
-                Some(c) => {
-                    let (key, _) = self
-                        .interner
-                        .as_mut()
-                        .expect("interner accompanies the cache")
-                        .intern(self.target_scratch.blocks());
-                    c.greedy_cover_size_interned(key, &self.target_scratch, self.h)
-                }
+                Some(c) => match try_intern_key(
+                    &mut self.interner,
+                    &mut self.interner_overflow,
+                    self.target_scratch.blocks(),
+                ) {
+                    Some(key) => c.greedy_cover_size_interned(key, &self.target_scratch, self.h),
+                    None => greedy_cover_size::<ghd_prng::rngs::StdRng>(
+                        &self.target_scratch,
+                        self.h,
+                        None,
+                    ),
+                },
                 None => {
                     greedy_cover_size::<ghd_prng::rngs::StdRng>(&self.target_scratch, self.h, None)
                 }
@@ -509,6 +556,8 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
     if let Some(s) = cover_cache {
         telemetry.cache(s);
     }
+    let overflow = dfs.interner_overflow;
+    telemetry.note(|s| s.interner_overflow |= overflow);
     telemetry.sample(budget.elapsed(), dfs.ub, lower_bound);
     SearchResult {
         upper_bound: dfs.ub,
@@ -866,6 +915,11 @@ pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> Sea
                     if let Some(a) = attributed {
                         telemetry.cache(a);
                     }
+                    let overflow = dfs.interner_overflow;
+                    telemetry.note(|s| s.interner_overflow |= overflow);
+                    // an overflowed shard abandoned its remaining tasks
+                    // into the expiry floor: the run did not complete
+                    all_ok &= !overflow;
                     WorkerOutcome {
                         all_ok,
                         found: dfs.found,

@@ -325,6 +325,17 @@ pub struct SearchStats {
     /// Per-worker work-stealing counters (parallel BB searches; empty
     /// elsewhere), one entry per worker in worker order.
     pub worker_steals: Vec<StealCounters>,
+    /// `true` iff a bucket queue observed a push below its advancing floor
+    /// (a broken pathmax-monotonicity invariant, detected in release builds
+    /// too). The push is clamped so it still pops, but pop order is no
+    /// longer proven heap-equivalent: the search withdraws its exactness
+    /// claim and reports the conservative root lower bound.
+    pub queue_degraded: bool,
+    /// `true` iff an interner shard exhausted its worker-local id space
+    /// (`2^LOCAL_BITS` states) and its worker degraded soundly — folding
+    /// into the expiry floor like a second fault — instead of silently
+    /// wrapping ids into another worker's range.
+    pub interner_overflow: bool,
     /// Contained worker panics observed during the run (parallel searches
     /// only; each record names the worker, the root-split task index and the
     /// stringified panic payload). Mirrors [`SearchResult::faults`], which
@@ -361,6 +372,8 @@ impl SearchStats {
             out.seen_peak_bytes = out.seen_peak_bytes.max(p.seen_peak_bytes);
             out.worker_caches.extend(p.worker_caches);
             out.worker_steals.extend(p.worker_steals);
+            out.queue_degraded |= p.queue_degraded;
+            out.interner_overflow |= p.interner_overflow;
             out.faults.extend(p.faults);
         }
         out.incumbents.sort_by_key(|s| s.elapsed);
@@ -428,6 +441,15 @@ impl Telemetry {
     pub fn cache(&mut self, stats: CacheStats) {
         if let Some(s) = &mut self.inner {
             s.worker_caches.push(stats);
+        }
+    }
+
+    /// Applies an arbitrary update (degradation flags and similar one-off
+    /// markers) when collection is enabled.
+    #[inline]
+    pub fn note(&mut self, f: impl FnOnce(&mut SearchStats)) {
+        if let Some(s) = &mut self.inner {
+            f(s);
         }
     }
 
@@ -616,9 +638,7 @@ mod tests {
             seen_peak: 10 - f,
             open_peak_bytes: f * 100,
             seen_peak_bytes: (10 - f) * 100,
-            worker_caches: Vec::new(),
-            worker_steals: Vec::new(),
-            faults: Vec::new(),
+            ..SearchStats::default()
         };
         let m = SearchStats::merge([mk(5, 8, 2), mk(1, 9, 3)]);
         assert_eq!(m.prunes.f_prunes, 5);

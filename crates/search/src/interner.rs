@@ -28,22 +28,44 @@ pub struct StateInterner {
     /// linear probing, grown at ¾ load.
     table: Vec<u32>,
     mask: usize,
+    /// Hard cap on the id space: [`StateInterner::try_intern`] refuses to
+    /// create fresh keys once `len() == limit` (existing keys still
+    /// resolve). Sharded interners set this to their worker-local id range
+    /// so a packed id can never spill into another worker's bits.
+    limit: u32,
 }
 
 impl StateInterner {
-    /// An interner for keys of `width` words.
+    /// An interner for keys of `width` words, with an effectively unbounded
+    /// id space (`u32::MAX - 1`; the arena would exhaust memory far first).
     pub fn new(width: usize) -> Self {
+        // EMPTY (u32::MAX) is the vacant-slot sentinel, so the last usable
+        // id is u32::MAX - 1.
+        Self::with_limit(width, u32::MAX - 1)
+    }
+
+    /// An interner for keys of `width` words whose id space is capped at
+    /// `limit` distinct keys.
+    pub fn with_limit(width: usize, limit: u32) -> Self {
         let cap = 64;
         StateInterner {
             arena: WordArena::new(width),
             table: vec![EMPTY; cap],
             mask: cap - 1,
+            limit,
         }
     }
 
     /// An interner sized for the block keys of vertex sets over `0..n`.
     pub fn for_vertices(n: usize) -> Self {
         Self::new(n.div_ceil(64))
+    }
+
+    /// `true` once the id space is exhausted: every further
+    /// [`StateInterner::try_intern`] of an unseen key returns `None`.
+    #[inline]
+    pub fn at_capacity(&self) -> bool {
+        self.arena.len() as u64 >= self.limit as u64
     }
 
     /// Number of distinct keys interned so far.
@@ -72,7 +94,21 @@ impl StateInterner {
     /// Interns `key`, returning `(id, fresh)`: the dense id of its canonical
     /// copy, and whether this call created it. Lookup of an already-interned
     /// key allocates nothing.
+    ///
+    /// Panics if the id space is exhausted — callers that can degrade
+    /// gracefully (the sharded parallel searches) use
+    /// [`StateInterner::try_intern`] instead. With the default limit this
+    /// is unreachable in practice.
     pub fn intern(&mut self, key: &[u64]) -> (u32, bool) {
+        self.try_intern(key)
+            .expect("state interner id space exhausted")
+    }
+
+    /// Interns `key` like [`StateInterner::intern`], but returns `None`
+    /// instead of creating a fresh key once the id-space limit is reached.
+    /// Already-interned keys still resolve (`Some((id, false))`) at
+    /// capacity, so hits keep working after overflow.
+    pub fn try_intern(&mut self, key: &[u64]) -> Option<(u32, bool)> {
         if self.arena.len() * 4 >= self.table.len() * 3 {
             self.grow();
         }
@@ -80,12 +116,15 @@ impl StateInterner {
         loop {
             let slot = self.table[i];
             if slot == EMPTY {
+                if self.at_capacity() {
+                    return None;
+                }
                 let id = self.arena.push(key);
                 self.table[i] = id;
-                return (id, true);
+                return Some((id, true));
             }
             if self.arena.row(slot) == key {
-                return (slot, false);
+                return Some((slot, false));
             }
             i = (i + 1) & self.mask;
         }
@@ -160,6 +199,29 @@ mod tests {
     impl StateInterner {
         fn arena_width(&self) -> usize {
             self.arena.width()
+        }
+    }
+
+    /// At the id-space limit, fresh keys are refused (`None`) while
+    /// already-interned keys keep resolving — the behaviour the sharded
+    /// overflow degrade path relies on.
+    #[test]
+    fn capacity_limit_refuses_fresh_keys_but_keeps_hits() {
+        let mut interner = StateInterner::with_limit(1, 3);
+        assert!(!interner.at_capacity());
+        let ids: Vec<u32> = (0..3u64)
+            .map(|w| {
+                let (id, fresh) = interner.try_intern(&[w]).expect("under the limit");
+                assert!(fresh);
+                id
+            })
+            .collect();
+        assert!(interner.at_capacity());
+        assert_eq!(interner.try_intern(&[99]), None, "fresh key refused at capacity");
+        assert_eq!(interner.try_intern(&[1]), Some((ids[1], false)), "hits still resolve");
+        assert_eq!(interner.len(), 3, "no id was created past the limit");
+        for (w, id) in ids.iter().enumerate() {
+            assert_eq!(interner.get(*id), &[w as u64]);
         }
     }
 }

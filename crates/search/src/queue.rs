@@ -37,6 +37,11 @@ pub struct BucketQueue {
     /// Lowest f that may hold entries; advanced lazily by `pop`.
     floor: usize,
     len: usize,
+    /// Sticky: a push landed below the advancing floor and was clamped to
+    /// it. Pathmax makes this unreachable from the A\* searches; if it ever
+    /// fires, pop order is no longer proven heap-equivalent and callers
+    /// must withdraw exactness claims (see [`BucketQueue::degraded`]).
+    degraded: bool,
 }
 
 impl BucketQueue {
@@ -55,13 +60,32 @@ impl BucketQueue {
         self.len == 0
     }
 
+    /// `true` iff a below-floor push was ever detected (and clamped). Sticky
+    /// for the lifetime of the queue.
+    #[inline]
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Enqueues `id` at priority `(f, depth)`.
-    pub fn push(&mut self, f: usize, depth: usize, id: u32) {
+    ///
+    /// Monotonicity contract: `f` must be at least the f of the last popped
+    /// entry (the advancing floor). Pathmax guarantees this for both A\*
+    /// searches. A violating push is detected in **all** build modes (one
+    /// branch that the well-behaved path takes anyway) and routed soundly:
+    /// the entry is clamped to the floor bucket — it still pops, merely
+    /// earlier than its claimed priority — and the queue turns sticky
+    /// [`BucketQueue::degraded`], which callers surface through
+    /// `SearchStats` and use to withdraw exactness claims. Lowering the
+    /// floor instead would silently revisit buckets whose lane storage
+    /// `pop` already released.
+    pub fn push(&mut self, mut f: usize, depth: usize, id: u32) {
+        if f < self.floor {
+            f = self.floor;
+            self.degraded = true;
+        }
         if self.buckets.len() <= f {
             self.buckets.resize_with(f + 1, Bucket::default);
-        }
-        if f < self.floor {
-            self.floor = f;
         }
         let bucket = &mut self.buckets[f];
         if bucket.lanes.len() <= depth {
@@ -241,5 +265,30 @@ mod tests {
         q.push(6, 3, 513);
         assert_eq!(q.pop(), Some(513));
         assert!(q.is_empty());
+    }
+
+    /// A push below the advancing floor violates the monotonicity contract.
+    /// It must be *detected* (not silently mis-filed) in every build mode:
+    /// the entry is clamped to the floor bucket — so it still pops — and the
+    /// queue turns sticky-degraded.
+    #[test]
+    fn below_floor_push_is_clamped_and_flagged() {
+        let mut q = BucketQueue::new();
+        q.push(4, 0, 0);
+        q.push(7, 1, 1);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1)); // floor advanced to 7
+        assert!(!q.degraded(), "well-behaved workload stays clean");
+
+        q.push(2, 0, 2); // below the floor: invariant break
+        assert!(q.degraded(), "violation detected, not silent");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(2), "clamped entry still pops");
+        assert!(q.is_empty());
+
+        // the flag is sticky and later well-formed pushes still work
+        q.push(9, 2, 3);
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.degraded());
     }
 }

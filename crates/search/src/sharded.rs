@@ -25,6 +25,8 @@
 //! [`WordArena`]: crate::arena::WordArena
 
 use crate::interner::StateInterner;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Bits of a packed id reserved for the owning worker.
 pub const WORKER_BITS: u32 = 5;
@@ -33,12 +35,73 @@ pub const LOCAL_BITS: u32 = 32 - WORKER_BITS;
 /// Maximum number of workers the packing supports.
 pub const MAX_WORKERS: usize = 1 << WORKER_BITS;
 
+/// Test-only override of the per-shard id capacity (0 = off). Lets the
+/// overflow regression test hit the `2^27`-state degrade path without
+/// interning 134M states.
+static CAP_OVERRIDE: AtomicU32 = AtomicU32::new(0);
+
+fn cap_scope_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Worker-local id capacity per shard: `2^LOCAL_BITS` states, unless
+/// shrunk by [`shrink_local_capacity_for_tests`]. Every shard constructed
+/// by [`ShardedInterner`] is capped here, so a local id out of packing
+/// range is impossible by construction — overflow surfaces as a refused
+/// `try_intern`, never as a wrapped id.
+#[inline]
+pub fn local_capacity() -> u32 {
+    match CAP_OVERRIDE.load(Ordering::Relaxed) {
+        0 => 1u32 << LOCAL_BITS,
+        cap => cap,
+    }
+}
+
+/// RAII guard of a shrunken-capacity test scope; restores the real
+/// `2^LOCAL_BITS` capacity on drop.
+#[doc(hidden)]
+pub struct CapacityScope {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for CapacityScope {
+    fn drop(&mut self) {
+        CAP_OVERRIDE.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Shrinks the per-shard id capacity for the lifetime of the returned
+/// guard (test hook; scope-locked so concurrent tests serialise instead of
+/// trampling each other's capacity).
+#[doc(hidden)]
+pub fn shrink_local_capacity_for_tests(cap: u32) -> CapacityScope {
+    assert!(cap > 0 && cap <= (1 << LOCAL_BITS));
+    let guard = cap_scope_lock().lock().unwrap_or_else(|p| p.into_inner());
+    CAP_OVERRIDE.store(cap, Ordering::SeqCst);
+    CapacityScope { _guard: guard }
+}
+
 /// Packs `(worker, local_id)` into one owner-tagged `u32`.
+///
+/// Out-of-range inputs are a checked condition in **all** build modes: a
+/// wrapped id would silently alias another worker's states and corrupt
+/// every id-indexed side table. Shard capacity gating
+/// ([`local_capacity`]) makes the panic unreachable from the searches.
 #[inline]
 pub fn pack(worker: usize, local: u32) -> u32 {
-    debug_assert!(worker < MAX_WORKERS);
-    debug_assert!(local < (1 << LOCAL_BITS));
-    ((worker as u32) << LOCAL_BITS) | local
+    pack_checked(worker, local).expect("packed id out of range (worker or local id too large)")
+}
+
+/// Packs `(worker, local_id)` if both components fit their bit ranges;
+/// `None` signals an overflow the caller must degrade on.
+#[inline]
+pub fn pack_checked(worker: usize, local: u32) -> Option<u32> {
+    if worker < MAX_WORKERS && local < (1u32 << LOCAL_BITS) {
+        Some(((worker as u32) << LOCAL_BITS) | local)
+    } else {
+        None
+    }
 }
 
 /// Splits a packed id back into `(worker, local_id)`.
@@ -53,11 +116,17 @@ pub struct ShardedInterner {
 }
 
 impl ShardedInterner {
-    /// One shard per worker, each for keys of `width` words.
+    /// One shard per worker, each for keys of `width` words. Every shard's
+    /// id space is capped at [`local_capacity`] so local ids always fit the
+    /// packing; a full shard refuses fresh keys (`try_intern` → `None`) and
+    /// its worker degrades soundly instead of wrapping.
     pub fn new(workers: usize, width: usize) -> Self {
         assert!(workers <= MAX_WORKERS, "id packing supports at most {MAX_WORKERS} workers");
+        let cap = local_capacity();
         ShardedInterner {
-            shards: (0..workers.max(1)).map(|_| StateInterner::new(width)).collect(),
+            shards: (0..workers.max(1))
+                .map(|_| StateInterner::with_limit(width, cap))
+                .collect(),
         }
     }
 
@@ -143,5 +212,38 @@ mod tests {
         assert!(sharded.bytes() > 0);
         assert!(!sharded.is_empty());
         assert_eq!(sharded.workers(), 4);
+    }
+
+    #[test]
+    fn pack_checked_rejects_out_of_range_components() {
+        assert_eq!(pack_checked(0, 0), Some(0));
+        assert_eq!(
+            pack_checked(MAX_WORKERS - 1, (1 << LOCAL_BITS) - 1),
+            Some(u32::MAX)
+        );
+        assert_eq!(pack_checked(MAX_WORKERS, 0), None, "worker out of range");
+        assert_eq!(pack_checked(0, 1 << LOCAL_BITS), None, "local id out of range");
+        assert_eq!(pack_checked(1, u32::MAX), None);
+    }
+
+    /// With a shrunken capacity, a shard stops handing out fresh ids at the
+    /// limit instead of wrapping into the next worker's id range.
+    #[test]
+    fn shards_refuse_fresh_keys_at_local_capacity() {
+        let _scope = shrink_local_capacity_for_tests(4);
+        let sharded = ShardedInterner::new(2, 1);
+        let mut shards = sharded.split();
+        for w in 0..4u64 {
+            assert!(shards[0].try_intern(&[w]).is_some());
+        }
+        assert!(shards[0].at_capacity());
+        assert_eq!(shards[0].try_intern(&[100]), None, "overflow is checked, not silent");
+        // hits still resolve and the sibling shard is unaffected
+        assert_eq!(shards[0].try_intern(&[2]).map(|(_, fresh)| fresh), Some(false));
+        assert!(shards[1].try_intern(&[100]).is_some());
+        // every handed-out local id still packs
+        for local in 0..shards[0].len() as u32 {
+            assert!(pack_checked(0, local).is_some());
+        }
     }
 }

@@ -1,0 +1,50 @@
+//! Minimal blocking client for the wire protocol: one request line out,
+//! one response line back, in order.
+
+use crate::protocol::{Request, Response};
+use crate::server::Stream;
+use std::io::{BufRead, BufReader, Write};
+use std::io;
+
+/// A connected client. Requests block until the daemon answers — a solve
+/// may legitimately take as long as its `--time` budget allows, so no
+/// read timeout is imposed here.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to `addr` (`unix:PATH` or a TCP address).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = Stream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw line and reads one raw line back (both without the
+    /// trailing newline).
+    pub fn roundtrip_line(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// Sends `req` and parses the daemon's response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let reply = self.roundtrip_line(&req.render())?;
+        Response::parse(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}

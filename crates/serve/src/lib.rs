@@ -1,0 +1,319 @@
+//! `ghd-serve`: a long-running solve daemon with a canonical-form
+//! decomposition cache.
+//!
+//! The one-shot CLI pays instance parsing, search setup, *and the whole
+//! search* on every invocation — even for an instance it solved a second
+//! ago. This crate keeps a daemon resident: clients submit instances over
+//! a Unix or TCP socket in newline-delimited JSON
+//! ([`protocol`]), a fixed worker pool solves them, and self-certified
+//! exact answers are admitted to an LRU [`DecompCache`] keyed by the
+//! *canonical* form of the instance ([`ghd_core::canon`]) — a re-submitted
+//! instance, even reformatted or re-commented, returns its verified
+//! `(width, ordering, decomposition)` without expanding a single node.
+//!
+//! The daemon is deliberately decoupled from the solver: it dispatches
+//! through the [`Solver`] trait, and the `ghd` CLI supplies the
+//! implementation backed by its own solve functions. That keeps the
+//! dependency arrow pointing one way (`cli` → `serve`) while guaranteeing
+//! the byte-identity contract — daemon answers *are* one-shot CLI answers,
+//! produced by the same code path.
+//!
+//! Operational properties (see [`server`] for the mechanics):
+//! * **Backpressure**: the solve queue is bounded; a full queue answers
+//!   `busy` (503) instead of buffering without limit.
+//! * **Graceful drain**: `shutdown` refuses new solves, finishes and
+//!   delivers in-flight ones, then exits with a summary.
+//! * **Fault containment**: a panicking solve poisons one request
+//!   (error 70), never the daemon; worker faults *inside* the parallel
+//!   searches are already contained by `ghd_par` and surface as degraded
+//!   single answers.
+//! * **Telemetry**: the `stats` endpoint reports per-session aggregates
+//!   (cache hits/misses, queue wait, solve wall clock, faults).
+//!
+//! [`DecompCache`]: ghd_core::canon::DecompCache
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use ghd_core::canon::CacheKey;
+pub use protocol::{Request, Response};
+pub use server::{ServeStats, Server, ServerConfig};
+
+/// A solved request, as the [`Solver`] reports it to the daemon.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// Complete response body — byte-identical to the one-shot CLI's
+    /// stdout for the same instance text and flags.
+    pub body: String,
+    /// The certified width the body reports.
+    pub width: usize,
+    /// `true` iff the width is proven optimal.
+    pub exact: bool,
+    /// `true` iff the answer was independently re-verified.
+    pub certified: bool,
+    /// `true` iff the answer may enter the decomposition cache (the
+    /// daemon additionally requires `exact && certified`).
+    pub cacheable: bool,
+    /// Node expansions spent.
+    pub nodes_expanded: u64,
+    /// Worker faults contained during the solve.
+    pub faults: usize,
+}
+
+/// A failed solve: `sysexits`-style category code plus a one-liner.
+#[derive(Clone, Debug)]
+pub struct SolveError {
+    /// Error category (64 usage, 65 data, 70 internal, …).
+    pub code: i64,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// What the daemon needs from a solver backend.
+///
+/// Implementations must be deterministic: the same `(cmd, instance,
+/// args)` must produce the same `body`, or caching (and the byte-identity
+/// contract) is meaningless.
+pub trait Solver: Send + Sync + 'static {
+    /// The cache identity of this request, or `None` when the request
+    /// must never be cached (unparseable instance, non-reproducible
+    /// output such as `--stats` bodies with embedded wall-clock times).
+    fn cache_key(&self, cmd: &str, instance: &str, args: &[String]) -> Option<CacheKey>;
+
+    /// Solves the request. Called on a daemon worker thread; panics are
+    /// contained per request.
+    fn solve(&self, cmd: &str, instance: &str, args: &[String])
+        -> Result<SolveOutcome, SolveError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghd_core::canon::CacheKey;
+    use ghd_prng::hash::fx_hash_words;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    /// A deterministic scriptable solver: `solve:X` answers `solved:X`,
+    /// `sleep:MS` stalls (for backpressure/drain tests), `panic` panics,
+    /// `fail` returns a usage error. Everything is "exact + certified"
+    /// so cache admission is exercised.
+    struct MockSolver {
+        solves: AtomicU64,
+    }
+
+    impl MockSolver {
+        fn new() -> Arc<MockSolver> {
+            Arc::new(MockSolver { solves: AtomicU64::new(0) })
+        }
+    }
+
+    impl Solver for MockSolver {
+        fn cache_key(&self, cmd: &str, instance: &str, _args: &[String]) -> Option<CacheKey> {
+            if instance.starts_with("nocache:") {
+                return None;
+            }
+            Some(CacheKey {
+                hash: fx_hash_words(&[instance.len() as u64]),
+                canon: instance.to_string(),
+                signature: cmd.to_string(),
+            })
+        }
+
+        fn solve(
+            &self,
+            _cmd: &str,
+            instance: &str,
+            _args: &[String],
+        ) -> Result<SolveOutcome, SolveError> {
+            self.solves.fetch_add(1, Ordering::SeqCst);
+            if let Some(ms) = instance.strip_prefix("sleep:") {
+                thread::sleep(Duration::from_millis(ms.parse().unwrap()));
+            }
+            if instance == "panic" {
+                panic!("scripted solver panic");
+            }
+            if instance == "fail" {
+                return Err(SolveError { code: 64, message: "scripted failure".into() });
+            }
+            Ok(SolveOutcome {
+                body: format!("solved:{instance}\n"),
+                width: 2,
+                exact: true,
+                certified: true,
+                cacheable: true,
+                nodes_expanded: 10,
+                faults: 0,
+            })
+        }
+    }
+
+    /// Boots a daemon on a free TCP port, runs `f` against its address,
+    /// then shuts it down and returns (summary, solver).
+    fn with_server<R>(
+        cfg: ServerConfig,
+        f: impl FnOnce(&str) -> R,
+    ) -> (R, String, Arc<MockSolver>) {
+        let solver = MockSolver::new();
+        let server = Server::bind("127.0.0.1:0", cfg, Arc::clone(&solver) as Arc<dyn Solver>)
+            .expect("bind a free port");
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run());
+        let out = f(&addr);
+        let mut c = Client::connect(&addr).expect("connect for shutdown");
+        let resp = c.request(&Request::control(None, "shutdown")).expect("shutdown");
+        assert!(resp.ok);
+        let summary = handle.join().expect("server thread");
+        (out, summary, solver)
+    }
+
+    #[test]
+    fn solve_roundtrip_and_cache_hit() {
+        let (_, summary, solver) = with_server(ServerConfig::default(), |addr| {
+            let mut c = Client::connect(addr).unwrap();
+            let req = Request::solve(Some(1), "tw", "instance-a", &[]);
+            let cold = c.request(&req).unwrap();
+            assert!(cold.ok, "{cold:?}");
+            assert_eq!(cold.body.as_deref(), Some("solved:instance-a\n"));
+            assert_eq!(cold.cache_hit, Some(false));
+            assert_eq!(cold.nodes_expanded, Some(10));
+            assert_eq!(cold.id, Some(1));
+            // warm probe: identical body, zero work, cache_hit flagged
+            let warm = c.request(&req).unwrap();
+            assert_eq!(warm.body, cold.body);
+            assert_eq!(warm.cache_hit, Some(true));
+            assert_eq!(warm.nodes_expanded, Some(0));
+            assert_eq!(warm.exact, Some(true));
+            // a different signature (cmd) misses
+            let other = c.request(&Request::solve(None, "ghw", "instance-a", &[])).unwrap();
+            assert_eq!(other.cache_hit, Some(false));
+        });
+        assert_eq!(solver.solves.load(Ordering::SeqCst), 2, "warm probe never solves");
+        assert!(summary.contains("3 completed (1 cache hits)"), "{summary}");
+    }
+
+    #[test]
+    fn ping_stats_and_malformed_lines() {
+        with_server(ServerConfig::default(), |addr| {
+            let mut c = Client::connect(addr).unwrap();
+            let pong = c.request(&Request::control(Some(9), "ping")).unwrap();
+            assert_eq!((pong.ok, pong.body.as_deref(), pong.id), (true, Some("pong"), Some(9)));
+            // garbage is answered (code 64), not a dropped connection
+            let bad = c.roundtrip_line("this is not json").unwrap();
+            let bad = Response::parse(&bad).unwrap();
+            assert_eq!((bad.ok, bad.code), (false, Some(64)));
+            let unknown = c.request(&Request::control(None, "frobnicate")).unwrap();
+            assert_eq!(unknown.code, Some(64));
+            // solve twice (one hit), then read the stats endpoint
+            let req = Request::solve(None, "tw", "stats-probe", &[]);
+            assert!(c.request(&req).unwrap().ok);
+            assert!(c.request(&req).unwrap().ok);
+            let stats = c.request(&Request::control(None, "stats")).unwrap();
+            let body = stats.body.expect("stats body");
+            let v = ghd_core::json::Json::parse(&body).expect("stats is JSON");
+            use ghd_core::json::Json;
+            assert_eq!(v.get("completed").and_then(Json::as_f64), Some(2.0));
+            let cache = v.get("cache").expect("cache object");
+            assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+            assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(1.0));
+            assert!(v.get("queue_wait_s").and_then(Json::as_f64).is_some());
+        });
+    }
+
+    #[test]
+    fn full_queue_answers_busy_instead_of_buffering() {
+        let cfg = ServerConfig { workers: 1, queue: 1, ..ServerConfig::default() };
+        let ((), summary, _) = with_server(cfg, |addr| {
+            // occupy the single worker with a slow solve…
+            let slow_addr = addr.to_string();
+            let slow = thread::spawn(move || {
+                let mut c = Client::connect(&slow_addr).unwrap();
+                c.request(&Request::solve(None, "tw", "sleep:600", &[])).unwrap()
+            });
+            thread::sleep(Duration::from_millis(150));
+            // …fill the queue depth of 1…
+            let fill_addr = addr.to_string();
+            let fill = thread::spawn(move || {
+                let mut c = Client::connect(&fill_addr).unwrap();
+                c.request(&Request::solve(None, "tw", "sleep:100", &[])).unwrap()
+            });
+            thread::sleep(Duration::from_millis(150));
+            // …so the next submission bounces with `busy`, immediately
+            let mut c = Client::connect(addr).unwrap();
+            let busy = c.request(&Request::solve(Some(3), "tw", "bounced", &[])).unwrap();
+            assert_eq!((busy.ok, busy.code), (false, Some(503)), "{busy:?}");
+            assert_eq!(busy.error.as_deref(), Some("busy"));
+            assert_eq!(busy.id, Some(3));
+            // the in-flight requests still complete normally
+            assert!(slow.join().unwrap().ok);
+            assert!(fill.join().unwrap().ok);
+        });
+        assert!(summary.contains("1 busy rejections"), "{summary}");
+    }
+
+    #[test]
+    fn drain_finishes_inflight_work_and_refuses_new_solves() {
+        let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+        let solver = MockSolver::new();
+        let server = Server::bind("127.0.0.1:0", cfg, Arc::clone(&solver) as _).unwrap();
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run());
+        // a solve that is still running when shutdown arrives
+        let inflight_addr = addr.clone();
+        let inflight = thread::spawn(move || {
+            let mut c = Client::connect(&inflight_addr).unwrap();
+            c.request(&Request::solve(Some(1), "tw", "sleep:400", &[])).unwrap()
+        });
+        thread::sleep(Duration::from_millis(150));
+        let mut c = Client::connect(&addr).unwrap();
+        assert!(c.request(&Request::control(None, "shutdown")).unwrap().ok);
+        // post-shutdown solves are refused with `draining`
+        let refused = c.request(&Request::solve(None, "tw", "late", &[])).unwrap();
+        assert_eq!((refused.ok, refused.code), (false, Some(503)));
+        assert_eq!(refused.error.as_deref(), Some("draining"));
+        drop(c);
+        // the in-flight answer is still delivered in full
+        let done = inflight.join().unwrap();
+        assert!(done.ok, "{done:?}");
+        assert_eq!(done.body.as_deref(), Some("solved:sleep:400\n"));
+        let summary = handle.join().unwrap();
+        assert!(summary.contains("drained clean"), "{summary}");
+    }
+
+    #[test]
+    fn solver_panic_poisons_one_request_not_the_daemon() {
+        with_server(ServerConfig::default(), |addr| {
+            let mut c = Client::connect(addr).unwrap();
+            let poisoned = c.request(&Request::solve(Some(5), "tw", "panic", &[])).unwrap();
+            assert_eq!((poisoned.ok, poisoned.code), (false, Some(70)), "{poisoned:?}");
+            assert!(poisoned.error.unwrap().contains("scripted solver panic"));
+            // scripted errors keep their category code
+            let failed = c.request(&Request::solve(None, "tw", "fail", &[])).unwrap();
+            assert_eq!(failed.code, Some(64));
+            // the daemon keeps serving on the same connection
+            let alive = c.request(&Request::solve(None, "tw", "after-panic", &[])).unwrap();
+            assert!(alive.ok, "{alive:?}");
+        });
+    }
+
+    #[test]
+    fn unix_socket_transport_works_and_cleans_up() {
+        let path = std::env::temp_dir()
+            .join(format!("ghd-serve-test-{}.sock", std::process::id()));
+        let addr = format!("unix:{}", path.display());
+        let solver = MockSolver::new();
+        let server = Server::bind(&addr, ServerConfig::default(), solver as _).unwrap();
+        assert_eq!(server.local_addr(), addr);
+        let handle = thread::spawn(move || server.run());
+        let mut c = Client::connect(&addr).unwrap();
+        let resp = c.request(&Request::solve(None, "ghw", "via-unix", &[])).unwrap();
+        assert_eq!(resp.body.as_deref(), Some("solved:via-unix\n"));
+        assert!(c.request(&Request::control(None, "shutdown")).unwrap().ok);
+        handle.join().unwrap();
+        assert!(!path.exists(), "socket file removed on drop");
+    }
+}

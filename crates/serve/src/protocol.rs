@@ -1,0 +1,246 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order. Both
+//! sides use the workspace's zero-dependency [`ghd_core::json`] parser;
+//! rendering is hand-rolled (the parser is read-only by design).
+//!
+//! Request: `{"id": 1, "cmd": "tw", "instance": "p edge …", "args":
+//! ["--method", "bb"]}` — `id` is an optional client-chosen correlation
+//! number echoed back verbatim; `instance` carries the full instance file
+//! text; `args` are exactly the flags the one-shot CLI would take.
+//! Control commands `ping`, `stats`, and `shutdown` need no instance.
+//!
+//! Response: `{"id": 1, "ok": true, "body": "…", "cache_hit": false,
+//! "exact": true, …}` on success, `{"id": 1, "ok": false, "error": "…",
+//! "code": 64}` on failure. `code` follows the CLI's `sysexits` mapping,
+//! plus `503` for backpressure (`busy`) and drain (`draining`) rejections.
+
+use ghd_core::json::{escape, Json};
+use std::fmt::Write as _;
+
+/// One client request (see the module docs for the wire shape).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// `tw`, `ghw`, `ping`, `stats`, or `shutdown`.
+    pub cmd: String,
+    /// Full instance file text (solve commands only).
+    pub instance: String,
+    /// CLI flags for the solve, e.g. `["--method", "bb"]`.
+    pub args: Vec<String>,
+}
+
+impl Request {
+    /// A solve request for `cmd` over `instance` with `args`.
+    pub fn solve(id: Option<u64>, cmd: &str, instance: &str, args: &[String]) -> Request {
+        Request { id, cmd: cmd.into(), instance: instance.into(), args: args.to_vec() }
+    }
+
+    /// An instance-less control request (`ping` / `stats` / `shutdown`).
+    pub fn control(id: Option<u64>, cmd: &str) -> Request {
+        Request { id, cmd: cmd.into(), instance: String::new(), args: Vec::new() }
+    }
+
+    /// Renders the request as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        if let Some(id) = self.id {
+            let _ = write!(s, "\"id\": {id}, ");
+        }
+        let _ = write!(s, "\"cmd\": \"{}\"", escape(&self.cmd));
+        if !self.instance.is_empty() {
+            let _ = write!(s, ", \"instance\": \"{}\"", escape(&self.instance));
+        }
+        if !self.args.is_empty() {
+            s.push_str(", \"args\": [");
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\"", escape(a));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("{} at byte {}", e.message, e.offset))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd` string")?
+            .to_string();
+        let id = v.get("id").and_then(Json::as_f64).map(|x| x as u64);
+        let instance = v
+            .get("instance")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let args = match v.get("args") {
+            None => Vec::new(),
+            Some(a) => a
+                .as_array()
+                .ok_or("`args` must be an array of strings")?
+                .iter()
+                .map(|x| x.as_str().map(String::from).ok_or("`args` must be an array of strings"))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Request { id, cmd, instance, args })
+    }
+}
+
+/// One server response line (see the module docs for the wire shape).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Response {
+    /// The request's correlation id, echoed back.
+    pub id: Option<u64>,
+    /// `true` iff the request was answered (solve finished, control ran).
+    pub ok: bool,
+    /// Response payload: the solver's full stdout for solves, a JSON
+    /// document for `stats`, a short token for control commands.
+    pub body: Option<String>,
+    /// Diagnostic when `ok` is `false`.
+    pub error: Option<String>,
+    /// Error category when `ok` is `false`: the CLI `sysexits` code, or
+    /// `503` for `busy` / `draining` rejections.
+    pub code: Option<i64>,
+    /// `true` iff the body came from the decomposition cache.
+    pub cache_hit: Option<bool>,
+    /// Mirrors [`SolveOutcome::exact`](crate::SolveOutcome::exact).
+    pub exact: Option<bool>,
+    /// Mirrors [`SolveOutcome::certified`](crate::SolveOutcome::certified).
+    pub certified: Option<bool>,
+    /// Node expansions this request cost (0 on a cache hit).
+    pub nodes_expanded: Option<u64>,
+    /// Worker faults contained while solving this request.
+    pub faults: Option<u64>,
+    /// Seconds the request sat in the accept queue.
+    pub queue_wait_s: Option<f64>,
+    /// Seconds of solve wall clock (0 on a cache hit).
+    pub wall_s: Option<f64>,
+}
+
+impl Response {
+    /// A successful response carrying only a body.
+    pub fn ok_body(id: Option<u64>, body: impl Into<String>) -> Response {
+        Response { id, ok: true, body: Some(body.into()), ..Response::default() }
+    }
+
+    /// A failed response with an error category code.
+    pub fn fail(id: Option<u64>, code: i64, error: impl Into<String>) -> Response {
+        Response { id, ok: false, error: Some(error.into()), code: Some(code), ..Response::default() }
+    }
+
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        if let Some(id) = self.id {
+            let _ = write!(s, "\"id\": {id}, ");
+        }
+        let _ = write!(s, "\"ok\": {}", self.ok);
+        if let Some(b) = &self.body {
+            let _ = write!(s, ", \"body\": \"{}\"", escape(b));
+        }
+        if let Some(e) = &self.error {
+            let _ = write!(s, ", \"error\": \"{}\"", escape(e));
+        }
+        if let Some(c) = self.code {
+            let _ = write!(s, ", \"code\": {c}");
+        }
+        if let Some(h) = self.cache_hit {
+            let _ = write!(s, ", \"cache_hit\": {h}");
+        }
+        if let Some(x) = self.exact {
+            let _ = write!(s, ", \"exact\": {x}");
+        }
+        if let Some(c) = self.certified {
+            let _ = write!(s, ", \"certified\": {c}");
+        }
+        if let Some(n) = self.nodes_expanded {
+            let _ = write!(s, ", \"nodes_expanded\": {n}");
+        }
+        if let Some(f) = self.faults {
+            let _ = write!(s, ", \"faults\": {f}");
+        }
+        if let Some(w) = self.queue_wait_s {
+            let _ = write!(s, ", \"queue_wait_s\": {w:.6}");
+        }
+        if let Some(w) = self.wall_s {
+            let _ = write!(s, ", \"wall_s\": {w:.6}");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| format!("{} at byte {}", e.message, e.offset))?;
+        let ok = v.get("ok").and_then(Json::as_bool).ok_or("missing `ok` boolean")?;
+        Ok(Response {
+            id: v.get("id").and_then(Json::as_f64).map(|x| x as u64),
+            ok,
+            body: v.get("body").and_then(Json::as_str).map(String::from),
+            error: v.get("error").and_then(Json::as_str).map(String::from),
+            code: v.get("code").and_then(Json::as_f64).map(|x| x as i64),
+            cache_hit: v.get("cache_hit").and_then(Json::as_bool),
+            exact: v.get("exact").and_then(Json::as_bool),
+            certified: v.get("certified").and_then(Json::as_bool),
+            nodes_expanded: v.get("nodes_expanded").and_then(Json::as_f64).map(|x| x as u64),
+            faults: v.get("faults").and_then(Json::as_f64).map(|x| x as u64),
+            queue_wait_s: v.get("queue_wait_s").and_then(Json::as_f64),
+            wall_s: v.get("wall_s").and_then(Json::as_f64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_escapes() {
+        let req = Request::solve(
+            Some(7),
+            "tw",
+            "p edge 2 1\ne 1 2\n",
+            &["--method".to_string(), "bb".to_string()],
+        );
+        let parsed = Request::parse(&req.render()).unwrap();
+        assert_eq!(parsed, req);
+        let ctrl = Request::control(None, "ping");
+        assert_eq!(Request::parse(&ctrl.render()).unwrap(), ctrl);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response {
+            id: Some(3),
+            ok: true,
+            body: Some("graph: 2 vertices, 1 edges\nwidth = 1 (exact)\n".into()),
+            cache_hit: Some(true),
+            exact: Some(true),
+            certified: Some(true),
+            nodes_expanded: Some(0),
+            faults: Some(0),
+            queue_wait_s: Some(0.000123),
+            wall_s: Some(0.0),
+            ..Response::default()
+        };
+        let parsed = Response::parse(&resp.render()).unwrap();
+        assert_eq!(parsed, resp);
+        let fail = Response::fail(None, 503, "busy");
+        assert_eq!(Response::parse(&fail.render()).unwrap(), fail);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_reasons() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").unwrap_err().contains("cmd"));
+        assert!(Request::parse("{\"cmd\": \"tw\", \"args\": 3}").unwrap_err().contains("args"));
+        assert!(Response::parse("{}").unwrap_err().contains("ok"));
+    }
+}

@@ -15,7 +15,7 @@ echo "==> cargo test (offline)"
 cargo test --offline -q --workspace
 
 echo "==> cargo test (search crates, release optimisation + debug assertions)"
-cargo test --offline -q --profile relassert -p ghd-par -p ghd-search -p ghd-ga
+cargo test --offline -q --profile relassert -p ghd-par -p ghd-search -p ghd-ga -p ghd-serve
 
 echo "==> clippy -D warnings (whole workspace, all targets)"
 cargo clippy --offline -q --workspace --all-targets -- -D warnings
@@ -43,6 +43,58 @@ for T in 1 2 4; do
     }
 done
 
+echo "==> serve smoke (unix-socket daemon: concurrent submits == one-shot, warm hits, clean drain)"
+SOCK="$SWEEP_DIR/ghd.sock"
+"$GHD" serve "unix:$SOCK" --workers 2 --queue 16 > "$SWEEP_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SWEEP_DIR"' EXIT
+TRIES=0
+while [ ! -S "$SOCK" ]; do
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -le 50 ] || {
+        echo "daemon never bound $SOCK:" >&2
+        cat "$SWEEP_DIR/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ "$("$GHD" submit "unix:$SOCK" ping)" = "pong" ]
+# concurrent cold submits, diffed against the one-shot outputs above
+"$GHD" submit "unix:$SOCK" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 > "$SWEEP_DIR/srv_ghw.txt" &
+GHW_PID=$!
+"$GHD" submit "unix:$SOCK" tw "$SWEEP_DIR/g.col" --method bb --time 0 > "$SWEEP_DIR/srv_tw.txt" &
+TW_PID=$!
+wait "$GHW_PID"
+wait "$TW_PID"
+cmp -s "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/srv_ghw.txt" || {
+    echo "daemon ghw answer diverged from the one-shot CLI:" >&2
+    diff "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/srv_ghw.txt" >&2 || true
+    exit 1
+}
+cmp -s "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/srv_tw.txt" || {
+    echo "daemon tw answer diverged from the one-shot CLI:" >&2
+    diff "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/srv_tw.txt" >&2 || true
+    exit 1
+}
+# warm re-submits must come from the canonical cache
+"$GHD" submit "unix:$SOCK" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 > "$SWEEP_DIR/srv_ghw2.txt"
+cmp -s "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/srv_ghw2.txt"
+"$GHD" submit "unix:$SOCK" stats > "$SWEEP_DIR/serve_stats.json"
+grep -q '"hits": [1-9]' "$SWEEP_DIR/serve_stats.json" || {
+    echo "warm re-submit did not register a cache hit:" >&2
+    cat "$SWEEP_DIR/serve_stats.json" >&2
+    exit 1
+}
+"$GHD" submit "unix:$SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+grep -q "drained clean" "$SWEEP_DIR/serve.log" || {
+    echo "daemon did not drain clean:" >&2
+    cat "$SWEEP_DIR/serve.log" >&2
+    exit 1
+}
+[ ! -e "$SOCK" ] || { echo "stale socket left behind: $SOCK" >&2; exit 1; }
+
 echo "==> fuzz_inputs (seeded byte mutations across every parser; a panic fails)"
 cargo run --offline -q --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
 
@@ -56,5 +108,8 @@ cargo run --offline -q --release -p ghd-bench --bin validate_bench -- \
 
 echo "==> bench_join (naive vs columnar relation engine, writes BENCH_csp.json)"
 cargo run --offline -q --release -p ghd-bench --bin bench_join -- --runs 1
+
+echo "==> bench_serve (in-process daemon: byte-identity + 100% warm hits, writes BENCH_serve.json)"
+cargo run --offline -q --release -p ghd-bench --bin bench_serve -- --clients 3
 
 echo "==> tier-1 gate passed"

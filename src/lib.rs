@@ -10,6 +10,9 @@
 //!   annealing.
 //! * [`par`] — the fault-contained parallel runtime (scoped fork-join,
 //!   `WorkerFault` containment, deterministic fault injection).
+//! * [`serve`] — the `ghd-serve` solve daemon: newline-delimited JSON over
+//!   Unix/TCP sockets, a fixed worker pool, and a canonical-form keyed
+//!   decomposition cache that only admits self-certified exact results.
 //!
 //! See README.md for a tour and DESIGN.md for the paper mapping.
 
@@ -20,6 +23,7 @@ pub use ghd_ga as ga;
 pub use ghd_hypergraph as hypergraph;
 pub use ghd_par as par;
 pub use ghd_search as search;
+pub use ghd_serve as serve;
 
 /// One-stop imports for typical use.
 ///
