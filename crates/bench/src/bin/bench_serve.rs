@@ -10,6 +10,12 @@
 //! warm pass must be 100% cache hits with zero node expansions, and the
 //! drain must come back clean. A violated contract aborts the bench.
 //!
+//! A fourth **replay** pass measures the crash-safe cache log: the daemon
+//! is drained (fsyncing its log), a *second* daemon boots on the same log,
+//! and the whole workload must again be 100% cache hits — entries served
+//! from boot replay, not re-solved. The emitted JSON carries the replay
+//! telemetry (`replayed`, `replay_verify_rejects`, `boot_replay_s`).
+//!
 //! ```text
 //! cargo run --release -p ghd-bench --bin bench_serve -- \
 //!     --clients 3 --out BENCH_serve.json
@@ -106,18 +112,21 @@ fn main() {
     let out: String = args.get("out").unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     let items = workload();
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig { workers: 2, ..ServerConfig::default() },
-        Arc::new(CliSolver) as Arc<dyn Solver>,
-    )
-    .expect("bind a free port");
+    let log_path = std::env::temp_dir().join(format!("ghd-bench-serve-{}.cachelog", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let cfg = || ServerConfig {
+        workers: 2,
+        log_path: Some(log_path.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg(), Arc::new(CliSolver) as Arc<dyn Solver>)
+        .expect("bind a free port");
     let addr = server.local_addr();
     let daemon = thread::spawn(move || server.run());
 
     println!(
         "bench_serve — {} instances: cold (sequential misses), warm (sequential hits), \
-         concurrent warm ({} clients)\n",
+         concurrent warm ({} clients), replay (restart on the cache log)\n",
         items.len(),
         clients
     );
@@ -143,6 +152,39 @@ fn main() {
     let summary = daemon.join().expect("daemon thread");
     assert!(summary.contains("drained clean"), "{summary}");
 
+    // replay: a second daemon boots on the fsynced log; the workload must
+    // again be all hits — served from verified boot replay, not re-solved
+    let server2 = Server::bind("127.0.0.1:0", cfg(), Arc::new(CliSolver) as Arc<dyn Solver>)
+        .expect("bind replay port");
+    let addr2 = server2.local_addr();
+    let daemon2 = thread::spawn(move || server2.run());
+    let (replay_wall, replay) = pass(&addr2, 1, &items);
+    assert_eq!(hits(&replay), replay.len(), "replay pass must be 100% cache hits");
+    let mut stats_client = Client::connect(&addr2).expect("connect for stats");
+    let stats_body = stats_client
+        .request(&Request::control(None, "stats"))
+        .expect("stats")
+        .body
+        .expect("stats body");
+    let stats = ghd_core::json::Json::parse(&stats_body).expect("stats JSON");
+    let stat_num = |k: &str| {
+        stats
+            .get(k)
+            .and_then(ghd_core::json::Json::as_f64)
+            .unwrap_or_else(|| panic!("stats field `{k}` missing: {stats_body}"))
+    };
+    let replayed = stat_num("replayed") as u64;
+    let replay_verify_rejects = stat_num("replay_verify_rejects") as u64;
+    let boot_replay_s = stat_num("boot_replay_s");
+    assert_eq!(replayed as usize, items.len(), "every exact answer survives the restart");
+    assert_eq!(replay_verify_rejects, 0, "no record fails re-verification");
+    assert!(
+        stats_client.request(&Request::control(None, "shutdown")).expect("shutdown").ok
+    );
+    let summary2 = daemon2.join().expect("replay daemon thread");
+    assert!(summary2.contains("drained clean"), "{summary2}");
+    let _ = std::fs::remove_file(&log_path);
+
     let mut t = Table::new(&["pass", "requests", "wall[s]", "req/s", "cache hits", "wait[ms]"]);
     let mut row = |name: &str, wall: f64, tele: &[(bool, f64)], hits: usize| {
         t.row(vec![
@@ -157,8 +199,13 @@ fn main() {
     row("cold", cold_wall, &cold, cold_hits);
     row("warm", warm_wall, &warm, warm_hits);
     row("warm-concurrent", cwarm_wall, &cwarm, hits(&cwarm));
+    row("replay", replay_wall, &replay, hits(&replay));
     t.print();
     println!("\nspeedup (cold/warm wall): {:.2}x", cold_wall / warm_wall.max(1e-9));
+    println!(
+        "replay: {replayed} entries re-verified in {boot_replay_s:.4}s at boot \
+         ({replay_verify_rejects} rejected)"
+    );
 
     let mut json = String::from("{\n  \"schema\": \"ghd-bench-serve-v1\",\n  \"serve\": {\n");
     let _ = writeln!(json, "    \"workers\": 2,");
@@ -174,6 +221,10 @@ fn main() {
     let _ = writeln!(json, "    \"warm_hit_rate\": {:.3},", warm_hits as f64 / warm.len() as f64);
     let _ = writeln!(json, "    \"mean_queue_wait_cold_s\": {:.6},", mean_wait(&cold));
     let _ = writeln!(json, "    \"mean_queue_wait_warm_s\": {:.6},", mean_wait(&warm));
+    let _ = writeln!(json, "    \"replay_wall_s\": {replay_wall:.6},");
+    let _ = writeln!(json, "    \"replayed\": {replayed},");
+    let _ = writeln!(json, "    \"replay_verify_rejects\": {replay_verify_rejects},");
+    let _ = writeln!(json, "    \"boot_replay_s\": {boot_replay_s:.6},");
     json.push_str("    \"instances\": [");
     for (i, w) in items.iter().enumerate() {
         if i > 0 {

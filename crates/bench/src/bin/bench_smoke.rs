@@ -290,9 +290,9 @@ fn main() {
     let mut astar_rows: Vec<AstarRow> = Vec::new();
     for (name, g) in astar_tw_suite() {
         let sample = timer::measure(|| {
-            std::hint::black_box(astar_tw(&g, limits));
+            std::hint::black_box(astar_tw(&g, limits.clone()));
         });
-        let r = astar_tw(&g, limits.stats(true));
+        let r = astar_tw(&g, limits.clone().stats(true));
         let stats = r.stats.as_ref().expect("stats requested");
         let certified = {
             let ordering = r
@@ -331,9 +331,9 @@ fn main() {
     }
     for (name, h) in astar_ghw_suite() {
         let sample = timer::measure(|| {
-            std::hint::black_box(astar_ghw(&h, limits));
+            std::hint::black_box(astar_ghw(&h, limits.clone()));
         });
-        let r = astar_ghw(&h, limits.stats(true));
+        let r = astar_ghw(&h, limits.clone().stats(true));
         let stats = r.stats.as_ref().expect("stats requested");
         let certified = {
             let ordering = r

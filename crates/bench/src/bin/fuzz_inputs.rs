@@ -1,6 +1,7 @@
 //! Deterministic fuzz harness for every untrusted-input parser in the
 //! workspace: DIMACS / PACE graphs, the hypergraph text format, PACE `.td`
-//! tree decompositions, the `.ghd` text format and the JSON reader.
+//! tree decompositions, the `.ghd` text format, the JSON reader and the
+//! `ghd-serve` request line (the daemon's network-facing parser).
 //!
 //! The harness starts from *valid* corpora (serialised from real
 //! instances), applies seeded byte-level mutations (flips, truncations,
@@ -107,6 +108,26 @@ fn targets() -> Vec<Target> {
             name: "json",
             corpus: json_corpus,
             parse: Box::new(|s| Json::parse(s).is_ok()),
+        },
+        Target {
+            // the daemon's request line is read straight off a socket —
+            // the one parser in the workspace directly exposed to remote
+            // bytes, so it must be total under mutation like the rest
+            name: "serve_request",
+            corpus: vec![
+                ghd_serve::Request::solve(
+                    Some(7),
+                    "tw",
+                    &hio::write_dimacs(&gs[0]),
+                    &["--method".to_string(), "bb".to_string(), "--time".to_string(), "2".to_string()],
+                )
+                .render(),
+                ghd_serve::Request::solve(None, "ghw", &hio::write_hypergraph(&hs[0]), &[])
+                    .render(),
+                ghd_serve::Request::control(Some(1), "stats").render(),
+                ghd_serve::Request::cancel(Some(9), 42).render(),
+            ],
+            parse: Box::new(|s| ghd_serve::Request::parse(s).is_ok()),
         },
     ]
 }

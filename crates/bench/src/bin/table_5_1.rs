@@ -30,7 +30,7 @@ fn main() {
         let g = &inst.graph;
         let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
         let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
-        let r = astar_tw(g, limits);
+        let r = astar_tw(g, limits.clone());
         let (value, status) = if r.exact {
             (r.upper_bound, "exact")
         } else {

@@ -31,7 +31,7 @@ use ghd_hypergraph::generators::{graphs, hypergraphs};
 use ghd_hypergraph::{io, Graph, Hypergraph};
 use ghd_search::{
     astar_ghw, astar_tw, bb_ghw, bb_ghw_parallel, bb_tw, bb_tw_parallel, BbConfig, BbGhwConfig,
-    SearchLimits, StealConfig,
+    CancelToken, SearchLimits, StealConfig,
 };
 use std::time::Duration;
 
@@ -145,8 +145,10 @@ USAGE:
          [--stats json] [--show]
   ghd bounds <file>
   ghd validate <instance-file> <td-file>
-  ghd serve <addr> [--workers N] [--queue N] [--cache-mb M]
+  ghd serve <addr> [--workers N] [--queue N] [--cache-mb M] [--log PATH]
+         [--max-conns N] [--idle-timeout SECONDS]
   ghd submit <addr> tw|ghw <file> [solve flags…]
+         [--retries N] [--retry-budget SECONDS]
   ghd submit <addr> ping|stats|shutdown
 
 Budgets (exact searches): default 10s wall clock; --time 0 = unlimited;
@@ -163,8 +165,16 @@ Serve: <addr> is `unix:PATH` or a TCP address (`127.0.0.1:7171`; port 0
 picks a free port, printed on stderr). --workers 0 (default) uses all
 cores; the solve queue is bounded (--queue, default 64) and a full queue
 answers `busy`; exact self-certified answers enter a canonical-form cache
-(--cache-mb, default 32). `ghd submit` answers are byte-identical to the
-one-shot `ghd tw`/`ghd ghw` output for the same file and flags.
+(--cache-mb, default 32). With --log PATH the cache also persists to a
+checksummed append-only log, replayed (and re-verified) at the next boot;
+SIGTERM/SIGINT drains gracefully and fsyncs the log (a second signal
+cancels in-flight solves cooperatively). --max-conns (default 256) sheds
+excess connections with `busy`; --idle-timeout (default 300, 0 = off)
+closes connections with no complete request in the window. `ghd submit`
+answers are byte-identical to the one-shot `ghd tw`/`ghd ghw` output for
+the same file and flags; --retries N retries `busy`/refused connections
+with exponential backoff and seeded jitter within --retry-budget
+(default 30) seconds.
 ";
 
 /// Splits `args` into positionals and `--key [value]` options.
@@ -400,6 +410,7 @@ fn search_json(
     m: usize,
     r: &ghd_search::SearchResult,
     certified: bool,
+    cancelled: bool,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
@@ -411,6 +422,7 @@ fn search_json(
     let _ = writeln!(s, "  \"upper_bound\": {},", r.upper_bound);
     let _ = writeln!(s, "  \"exact\": {},", r.exact);
     let _ = writeln!(s, "  \"certified\": {certified},");
+    let _ = writeln!(s, "  \"cancelled\": {cancelled},");
     s.push_str("  \"faults\": [");
     for (i, f) in r.faults.iter().enumerate() {
         if i > 0 {
@@ -516,6 +528,10 @@ pub struct SolveReport {
     pub nodes_expanded: u64,
     /// Worker faults contained during the search.
     pub faults: usize,
+    /// `true` iff the search was stopped by cooperative cancellation; the
+    /// body then reports certified anytime bounds (`lb <= width <= ub
+    /// (cancelled)`), exactly like a budget expiry.
+    pub cancelled: bool,
 }
 
 fn cmd_tw(args: &[String]) -> CmdResult {
@@ -530,10 +546,23 @@ fn cmd_tw(args: &[String]) -> CmdResult {
 /// `ghd-serve` calls it directly so daemon answers match the one-shot CLI
 /// byte for byte.
 pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdError> {
+    solve_tw_text_with_cancel(text, args, CancelToken::default())
+}
+
+/// [`solve_tw_text`] with a cooperative cancellation token threaded into
+/// the search budget. `ghd-serve` arms one token per in-flight request so
+/// a `cancel` verb (or shutdown signal) stops the search at its next
+/// periodic budget draw; the one-shot CLI passes the inert default, which
+/// costs nothing on the hot path and never fires.
+pub fn solve_tw_text_with_cancel(
+    text: &str,
+    args: &[String],
+    cancel: CancelToken,
+) -> Result<SolveReport, CmdError> {
     let (_, opts) = split_opts(args);
     let g = load_graph(text)?;
     let method = opt(&opts, "method").unwrap_or("astar");
-    let limits = limits_from(&opts)?;
+    let limits = limits_from(&opts)?.with_cancel(cancel.clone());
     let parallel = steal_opts(&opts, method)?;
     let run_bb = |limits: SearchLimits| match parallel {
         Some((threads, steal)) => {
@@ -549,6 +578,7 @@ pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErro
                 return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
             }
         };
+        let cancelled = !r.exact && cancel.is_cancelled();
         let certified = match &r.ordering {
             Some(o) => {
                 certify_tw(&g, o, r.upper_bound, r.exact)?;
@@ -562,36 +592,41 @@ pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErro
             None => false,
         };
         return Ok(SolveReport {
-            body: search_json("tw", method, g.num_vertices(), g.num_edges(), &r, certified),
+            body: search_json("tw", method, g.num_vertices(), g.num_edges(), &r, certified, cancelled),
             width: r.upper_bound,
             exact: r.exact,
             certified,
             cacheable: false, // stats bodies embed wall-clock telemetry
             nodes_expanded: r.nodes_expanded,
             faults: r.faults.len(),
+            cancelled,
         });
     }
-    let (summary, claimed, exact, ordering, nodes, faults) = match method {
+    let (summary, claimed, exact, ordering, nodes, faults, cancelled) = match method {
         "astar" => {
             let r = astar_tw(&g, limits);
+            let cancelled = !r.exact && cancel.is_cancelled();
             (
-                describe("A*-tw", r.upper_bound, r.lower_bound, r.exact),
+                describe("A*-tw", r.upper_bound, r.lower_bound, r.exact, cancelled),
                 r.upper_bound,
                 r.exact,
                 r.ordering,
                 r.nodes_expanded,
                 r.faults.len(),
+                cancelled,
             )
         }
         "bb" => {
             let r = run_bb(limits);
+            let cancelled = !r.exact && cancel.is_cancelled();
             (
-                describe("BB-tw", r.upper_bound, r.lower_bound, r.exact),
+                describe("BB-tw", r.upper_bound, r.lower_bound, r.exact, cancelled),
                 r.upper_bound,
                 r.exact,
                 r.ordering,
                 r.nodes_expanded,
                 r.faults.len(),
+                cancelled,
             )
         }
         "ga" => {
@@ -603,6 +638,7 @@ pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErro
                 Some(r.best_ordering),
                 0,
                 0,
+                false,
             )
         }
         "sa" => {
@@ -614,11 +650,12 @@ pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErro
                 Some(r.best_ordering),
                 0,
                 0,
+                false,
             )
         }
         "minfill" => {
             let (w, o) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
-            (format!("min-fill: width <= {w}"), w, false, Some(o.into_vec()), 0, 0)
+            (format!("min-fill: width <= {w}"), w, false, Some(o.into_vec()), 0, 0, false)
         }
         other => return Err(CmdError::usage(format!("unknown method `{other}`"))),
     };
@@ -654,6 +691,7 @@ pub fn solve_tw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErro
         cacheable: exact && certified,
         nodes_expanded: nodes,
         faults,
+        cancelled,
     })
 }
 
@@ -667,10 +705,20 @@ fn cmd_ghw(args: &[String]) -> CmdResult {
 /// Solves a ghw request from instance *text* + flags; the `ghw` twin of
 /// [`solve_tw_text`].
 pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdError> {
+    solve_ghw_text_with_cancel(text, args, CancelToken::default())
+}
+
+/// [`solve_ghw_text`] with a cooperative cancellation token; the `ghw`
+/// twin of [`solve_tw_text_with_cancel`].
+pub fn solve_ghw_text_with_cancel(
+    text: &str,
+    args: &[String],
+    cancel: CancelToken,
+) -> Result<SolveReport, CmdError> {
     let (_, opts) = split_opts(args);
     let h = io::parse_hypergraph(text).map_err(CmdError::data)?;
     let method = opt(&opts, "method").unwrap_or("astar");
-    let limits = limits_from(&opts)?;
+    let limits = limits_from(&opts)?.with_cancel(cancel.clone());
     let parallel = steal_opts(&opts, method)?;
     let run_bb = |limits: SearchLimits| match parallel {
         Some((threads, steal)) => {
@@ -686,6 +734,7 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
                 return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
             }
         };
+        let cancelled = !r.exact && cancel.is_cancelled();
         let certified = match &r.ordering {
             Some(o) => {
                 certify_ghw(&h, o, r.upper_bound, r.exact)?;
@@ -699,36 +748,41 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
             None => false,
         };
         return Ok(SolveReport {
-            body: search_json("ghw", method, h.num_vertices(), h.num_edges(), &r, certified),
+            body: search_json("ghw", method, h.num_vertices(), h.num_edges(), &r, certified, cancelled),
             width: r.upper_bound,
             exact: r.exact,
             certified,
             cacheable: false, // stats bodies embed wall-clock telemetry
             nodes_expanded: r.nodes_expanded,
             faults: r.faults.len(),
+            cancelled,
         });
     }
-    let (summary, claimed, exact, ordering, nodes, faults) = match method {
+    let (summary, claimed, exact, ordering, nodes, faults, cancelled) = match method {
         "astar" => {
             let r = astar_ghw(&h, limits);
+            let cancelled = !r.exact && cancel.is_cancelled();
             (
-                describe("A*-ghw", r.upper_bound, r.lower_bound, r.exact),
+                describe("A*-ghw", r.upper_bound, r.lower_bound, r.exact, cancelled),
                 r.upper_bound,
                 r.exact,
                 r.ordering,
                 r.nodes_expanded,
                 r.faults.len(),
+                cancelled,
             )
         }
         "bb" => {
             let r = run_bb(limits);
+            let cancelled = !r.exact && cancel.is_cancelled();
             (
-                describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact),
+                describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact, cancelled),
                 r.upper_bound,
                 r.exact,
                 r.ordering,
                 r.nodes_expanded,
                 r.faults.len(),
+                cancelled,
             )
         }
         "ga" => {
@@ -740,6 +794,7 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
                 Some(r.best_ordering),
                 0,
                 0,
+                false,
             )
         }
         "saiga" => {
@@ -751,6 +806,7 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
                 Some(r.result.best_ordering),
                 0,
                 0,
+                false,
             )
         }
         "sa" => {
@@ -762,6 +818,7 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
                 Some(r.best_ordering),
                 0,
                 0,
+                false,
             )
         }
         "greedy" => {
@@ -773,6 +830,7 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
                 Some(o.into_vec()),
                 0,
                 0,
+                false,
             )
         }
         other => return Err(CmdError::usage(format!("unknown method `{other}`"))),
@@ -811,6 +869,7 @@ pub fn solve_ghw_text(text: &str, args: &[String]) -> Result<SolveReport, CmdErr
         cacheable: exact && certified,
         nodes_expanded: nodes,
         faults,
+        cancelled,
     })
 }
 
@@ -878,10 +937,12 @@ impl ghd_serve::Solver for CliSolver {
         cmd: &str,
         instance: &str,
         args: &[String],
+        cancel: &ghd_serve::CancelFlag,
     ) -> Result<ghd_serve::SolveOutcome, ghd_serve::SolveError> {
+        let token = CancelToken::from_flag(std::sync::Arc::clone(cancel));
         let report = match cmd {
-            "tw" => solve_tw_text(instance, args),
-            "ghw" => solve_ghw_text(instance, args),
+            "tw" => solve_tw_text_with_cancel(instance, args, token),
+            "ghw" => solve_ghw_text_with_cancel(instance, args, token),
             other => Err(CmdError::usage(format!("unknown solve command `{other}`"))),
         }
         .map_err(|e| ghd_serve::SolveError {
@@ -896,7 +957,36 @@ impl ghd_serve::Solver for CliSolver {
             cacheable: report.cacheable,
             nodes_expanded: report.nodes_expanded,
             faults: report.faults,
+            cancelled: report.cancelled,
         })
+    }
+
+    /// Replay admission check for records read back from the on-disk
+    /// cache log. A record is trusted only if its canonical text still
+    /// parses, still re-serializes to the *same* canonical text, and
+    /// still hashes to the stored key — i.e. the canonicalization this
+    /// build would produce matches the one the record was written under.
+    /// Any drift (format change, hash change, corrupted-but-valid-CRC
+    /// payload) fails closed and the record is skipped.
+    fn verify_replay(&self, key: &ghd_serve::CacheKey) -> bool {
+        let cmd = key.signature.split_whitespace().next().unwrap_or("");
+        match cmd {
+            "tw" => match load_graph(&key.canon) {
+                Ok(g) => {
+                    io::write_dimacs(&g) == key.canon
+                        && ghd_core::canon::graph_hash(&g) == key.hash
+                }
+                Err(_) => false,
+            },
+            "ghw" => match io::parse_hypergraph(&key.canon) {
+                Ok(h) => {
+                    io::write_hypergraph(&h) == key.canon
+                        && ghd_core::canon::hypergraph_hash(&h) == key.hash
+                }
+                Err(_) => false,
+            },
+            _ => false,
+        }
     }
 }
 
@@ -918,15 +1008,102 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     if let Some(s) = opt(&opts, "cache-mb") {
         cfg.cache_bytes = parse_num::<usize>(s, "--cache-mb")? << 20;
     }
+    if let Some(s) = opt(&opts, "log") {
+        cfg.log_path = Some(std::path::PathBuf::from(s));
+    }
+    if let Some(s) = opt(&opts, "max-conns") {
+        cfg.max_conns = parse_num(s, "--max-conns")?;
+        if cfg.max_conns == 0 {
+            return Err(CmdError::usage(format!("bad --max-conns: `{s}` (must be >= 1)")));
+        }
+    }
+    if let Some(s) = opt(&opts, "idle-timeout") {
+        let secs = parse_secs(s, "--idle-timeout")?;
+        // 0 disables the idle reaper (connections may sit forever)
+        cfg.idle_timeout = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+    }
     let server = ghd_serve::Server::bind(addr, cfg, std::sync::Arc::new(CliSolver))
         .map_err(|e| CmdError::usage(format!("cannot bind `{addr}`: {e}")))?;
+    // SIGTERM/SIGINT drain gracefully: in-flight solves finish (a second
+    // signal cancels them cooperatively) and the cache log is fsynced
+    ghd_serve::signal::install();
     // readiness line on stderr: stdout stays the command's output channel
     eprintln!("ghd-serve listening on {}", server.local_addr());
     Ok(server.run())
 }
 
+/// Strips the client-side `--retries N` / `--retry-budget SECS` flags
+/// from a submit argument list — they configure the retry loop *here*
+/// and must never reach the daemon (where they would split the cache
+/// signature). Returns `(retries, budget, forwarded_args)`.
+fn retry_opts(args: &[String]) -> Result<(u32, Duration, Vec<String>), CmdError> {
+    let mut retries = 0u32;
+    let mut budget = Duration::from_secs(30);
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--retries" => {
+                let v = args.get(i + 1).ok_or("--retries needs a value")?;
+                retries = parse_num(v, "--retries")?;
+                i += 2;
+            }
+            "--retry-budget" => {
+                let v = args.get(i + 1).ok_or("--retry-budget needs a value")?;
+                budget = Duration::from_secs_f64(parse_secs(v, "--retry-budget")?);
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((retries, budget, rest))
+}
+
+/// One submit attempt. `Err((retryable, error))`: retryable covers
+/// exactly the *transient* overload conditions — a refused connection
+/// (daemon not yet listening / backlog full) and a `busy` 503 (full
+/// queue or shed connection). `draining` is 503 but **not** retryable:
+/// the daemon is going away, so retrying only delays the inevitable.
+fn submit_once(addr: &str, req: &ghd_serve::Request) -> Result<String, (bool, CmdError)> {
+    let mut client = match ghd_serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            let transient = e.kind() == std::io::ErrorKind::ConnectionRefused;
+            return Err((transient, CmdError::no_input(format!("cannot connect to `{addr}`: {e}"))));
+        }
+    };
+    let resp = client
+        .request(req)
+        .map_err(|e| (false, CmdError::data(format!("transport error: {e}"))))?;
+    if resp.ok {
+        let mut body = resp.body.unwrap_or_default();
+        // control answers are bare tokens; give them their newline
+        if !body.is_empty() && !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Ok(body)
+    } else {
+        let message = resp.error.unwrap_or_else(|| "unspecified server error".into());
+        let transient = resp.code == Some(503) && message.starts_with("busy");
+        let err = match resp.code {
+            // the daemon's code is the CLI's own sysexits category
+            Some(64) => CmdError::usage(message),
+            Some(65) => CmdError::data(message),
+            Some(66) => CmdError::no_input(message),
+            // busy/draining (503) and contained panics (70) are server
+            // conditions: surface as internal
+            _ => CmdError::internal(message),
+        };
+        Err((transient, err))
+    }
+}
+
 fn cmd_submit(args: &[String]) -> CmdResult {
     let usage = "submit <addr> tw|ghw <file> [flags…] | submit <addr> ping|stats|shutdown";
+    let (retries, retry_budget, args) = retry_opts(args)?;
     let addr = args.first().ok_or(usage)?;
     let cmd = args.get(1).ok_or(usage)?.as_str();
     let req = match cmd {
@@ -939,35 +1116,43 @@ fn cmd_submit(args: &[String]) -> CmdResult {
         "ping" | "stats" | "shutdown" => ghd_serve::Request::control(None, cmd),
         other => return Err(CmdError::usage(format!("unknown submit command `{other}`\n{usage}"))),
     };
-    let mut client = ghd_serve::Client::connect(addr)
-        .map_err(|e| CmdError::no_input(format!("cannot connect to `{addr}`: {e}")))?;
-    let resp = client
-        .request(&req)
-        .map_err(|e| CmdError::data(format!("transport error: {e}")))?;
-    if resp.ok {
-        let mut body = resp.body.unwrap_or_default();
-        // control answers are bare tokens; give them their newline
-        if !body.is_empty() && !body.ends_with('\n') {
-            body.push('\n');
+    // exponential backoff with deterministic jitter: attempt k sleeps
+    // 0.05 * 2^k seconds plus up to 50% of that again, drawn from a
+    // fixed-seed SplitMix64 so a retry schedule is reproducible in tests
+    // and in the field alike. The jitter still decorrelates concurrent
+    // clients: each draws a different point in the stream per attempt
+    // because each has its own generator *position* by the time it backs
+    // off (connection establishment ordering differs), and the growing
+    // base dominates any residual alignment.
+    use ghd_prng::Rng as _;
+    let mut rng = ghd_prng::SplitMix64::new(0x6768_645f_7375_626d); // "ghd_subm"
+    let deadline = std::time::Instant::now() + retry_budget;
+    let mut attempt = 0u32;
+    loop {
+        let (transient, err) = match submit_once(addr, &req) {
+            Ok(body) => return Ok(body),
+            Err(e) => e,
+        };
+        if !transient || attempt >= retries {
+            return Err(err);
         }
-        Ok(body)
-    } else {
-        let message = resp.error.unwrap_or_else(|| "unspecified server error".into());
-        Err(match resp.code {
-            // the daemon's code is the CLI's own sysexits category
-            Some(64) => CmdError::usage(message),
-            Some(65) => CmdError::data(message),
-            Some(66) => CmdError::no_input(message),
-            // busy/draining (503) and contained panics (70) are server
-            // conditions: surface as internal
-            _ => CmdError::internal(message),
-        })
+        let base = 0.05 * f64::from(1u32 << attempt.min(10));
+        let jitter = base * 0.5 * (rng.next_u64() as f64 / u64::MAX as f64);
+        let pause = Duration::from_secs_f64(base + jitter);
+        // never sleep past the budget: give up with the last error instead
+        if std::time::Instant::now() + pause > deadline {
+            return Err(err);
+        }
+        std::thread::sleep(pause);
+        attempt += 1;
     }
 }
 
-fn describe(name: &str, ub: usize, lb: usize, exact: bool) -> String {
+fn describe(name: &str, ub: usize, lb: usize, exact: bool, cancelled: bool) -> String {
     if exact {
         format!("{name}: width = {ub} (exact)")
+    } else if cancelled {
+        format!("{name}: {lb} <= width <= {ub} (cancelled)")
     } else {
         format!("{name}: {lb} <= width <= {ub} (budget expired)")
     }
@@ -1419,6 +1604,79 @@ mod tests {
             ["--method", "bb", "--stats", "json"].iter().map(|s| s.to_string()).collect();
         let report = solve_ghw_text(&hg, &stats).unwrap();
         assert!(report.exact && report.certified && !report.cacheable);
+    }
+
+    #[test]
+    fn cancelled_solve_reports_certified_anytime_bounds() {
+        // a pre-cancelled token stops the search at its first periodic
+        // budget draw; the report must carry bounds, not an error
+        let col = run_args(&["gen", "queen", "6"]).unwrap();
+        let args: Vec<String> = vec!["--method".into(), "bb".into(), "--time".into(), "0".into()];
+        let token = CancelToken::arm();
+        token.cancel();
+        let report = solve_tw_text_with_cancel(&col, &args, token).unwrap();
+        assert!(report.cancelled, "{}", report.body);
+        assert!(!report.exact);
+        assert!(!report.cacheable, "anytime answers never enter the cache");
+        assert!(report.certified, "BB's min-fill incumbent re-verifies");
+        assert!(report.body.contains("<= width <="), "{}", report.body);
+        assert!(report.body.contains("(cancelled)"), "{}", report.body);
+
+        // the inert default token never fires: same args solve exactly
+        let report = solve_tw_text(&col, &args).unwrap();
+        assert!(report.exact && !report.cancelled);
+
+        // --stats json spells the same outcome machine-readably
+        let stats: Vec<String> =
+            ["--method", "bb", "--time", "0", "--stats", "json"].iter().map(|s| s.to_string()).collect();
+        let token = CancelToken::arm();
+        token.cancel();
+        let report = solve_tw_text_with_cancel(&col, &stats, token).unwrap();
+        assert!(report.cancelled);
+        assert!(report.body.contains("\"cancelled\": true"), "{}", report.body);
+    }
+
+    #[test]
+    fn submit_retry_flags_are_stripped_and_validated() {
+        // client-side flags are consumed here, never forwarded
+        let args: Vec<String> =
+            ["addr", "tw", "f.col", "--method", "bb", "--retries", "3", "--retry-budget", "2.5"]
+                .iter().map(|s| s.to_string()).collect();
+        let (retries, budget, rest) = retry_opts(&args).unwrap();
+        assert_eq!(retries, 3);
+        assert_eq!(budget, Duration::from_secs_f64(2.5));
+        assert_eq!(rest, strings(&["addr", "tw", "f.col", "--method", "bb"]));
+
+        // defaults: no retries, 30 s budget
+        let (retries, budget, _) = retry_opts(&strings(&["addr", "ping"])).unwrap();
+        assert_eq!((retries, budget), (0, Duration::from_secs(30)));
+
+        // junk values are usage errors → exit 64 (the daemon never sees them)
+        for junk in [
+            vec!["addr", "ping", "--retries", "x"],
+            vec!["addr", "ping", "--retries"],
+            vec!["addr", "ping", "--retry-budget", "inf"],
+            vec!["addr", "ping", "--retry-budget", "-1"],
+        ] {
+            let e = run_args(&[&["submit"], junk.as_slice()].concat())
+                .expect_err(&format!("{junk:?} must be rejected"));
+            assert_eq!(e.exit_code(), 64, "{junk:?}: {e}");
+        }
+
+        // a refused connection with retries exhausts the budget and still
+        // surfaces the connect error (no daemon ever listens here)
+        let t0 = std::time::Instant::now();
+        let e = run_args(&[
+            "submit", "127.0.0.1:1", "ping", "--retries", "2", "--retry-budget", "0.25",
+        ])
+        .expect_err("nothing listens on port 1");
+        assert_eq!(e.kind, ErrorKind::NoInput, "{e}");
+        assert!(t0.elapsed() >= Duration::from_millis(50), "at least one backoff ran");
+        assert!(t0.elapsed() < Duration::from_secs(5), "the budget caps the loop");
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]

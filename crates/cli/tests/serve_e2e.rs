@@ -157,6 +157,121 @@ fn injected_worker_fault_degrades_one_request_not_the_daemon() {
     assert!(summary.contains("drained clean"), "{summary}");
 }
 
+/// Tentpole contract: cancelling an in-flight hard solve returns a
+/// *certified anytime* answer (`lb <= width <= ub (cancelled)`) to the
+/// submitting client — with a real lower bound, exactly like a budget
+/// expiry — while the daemon stays healthy and keeps serving exact
+/// answers afterwards.
+#[test]
+fn cancel_mid_solve_returns_certified_bounds_and_daemon_survives() {
+    // queen(7) is far beyond an exact solve in test time; `--time 0`
+    // removes the wall clock, so only the cancel can stop the search
+    let hard = run_args(&["gen", "queen", "7"]);
+    let (addr, handle) = boot(ServerConfig { workers: 1, ..ServerConfig::default() });
+
+    let solver = {
+        let addr = addr.clone();
+        let hard = hard.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect solver");
+            client
+                .request(&Request::solve(
+                    Some(77),
+                    "tw",
+                    &hard,
+                    &strings(&["--method", "bb", "--time", "0"]),
+                ))
+                .expect("solve roundtrip")
+        })
+    };
+
+    // let the solve get into its search loop, then cancel it by id from
+    // a second connection (the first is blocked awaiting its answer)
+    thread::sleep(std::time::Duration::from_millis(400));
+    let mut canceller = Client::connect(&addr).expect("connect canceller");
+    let ack = canceller.request(&Request::cancel(Some(1), 77)).expect("cancel roundtrip");
+    assert!(ack.ok, "{ack:?}");
+    assert!(ack.body.as_deref().unwrap_or("").contains("cancelling"), "{ack:?}");
+
+    let resp = solver.join().expect("solver thread");
+    assert!(resp.ok, "cancellation degrades the answer, never drops it: {resp:?}");
+    assert_eq!(resp.cancelled, Some(true), "{resp:?}");
+    assert_eq!(resp.exact, Some(false), "exactness is withdrawn");
+    assert_eq!(resp.cache_hit, Some(false), "anytime answers are never admitted");
+    let body = resp.body.as_deref().expect("anytime bounds body");
+    assert!(body.contains("<= width <="), "a lower bound is reported: {body}");
+    assert!(body.contains("(cancelled)"), "the stop reason is named: {body}");
+    // BB seeds its incumbent from min-fill, so even an early cancel
+    // carries a re-verified ordering realising the upper bound
+    assert_eq!(resp.certified, Some(true), "{resp:?}");
+
+    // daemon health: the same daemon still answers exactly afterwards
+    let easy = run_args(&["gen", "grid", "4"]);
+    let after = canceller
+        .request(&Request::solve(Some(2), "tw", &easy, &strings(&["--method", "bb"])))
+        .expect("post-cancel roundtrip");
+    assert!(after.ok, "{after:?}");
+    assert_eq!(after.exact, Some(true));
+
+    let summary = shutdown(&addr, handle);
+    assert!(summary.contains("1 cancelled"), "{summary}");
+}
+
+/// Tentpole contract: with a cache log configured, exact answers survive
+/// a daemon restart — boot replay re-verifies each record and warm
+/// probes hit with zero node expansions — and a corrupted tail is
+/// dropped at boot (truncated, logged), never replayed and never fatal.
+#[test]
+fn cache_log_replays_across_restart_and_drops_corrupt_tail() {
+    use ghd_core::json::Json;
+
+    let grid = run_args(&["gen", "grid", "4"]);
+    let clique = run_args(&["gen", "clique", "6"]);
+    let log = std::env::temp_dir().join(format!("ghd-serve-e2e-{}.cachelog", std::process::id()));
+    let _ = std::fs::remove_file(&log);
+    let cfg = || ServerConfig {
+        workers: 2,
+        log_path: Some(log.clone()),
+        ..ServerConfig::default()
+    };
+
+    // first life: two exact solves spill to the log, drain fsyncs it
+    let (addr, handle) = boot(cfg());
+    let mut client = Client::connect(&addr).expect("connect cold");
+    let args = strings(&["--method", "bb"]);
+    let cold_tw = client.request(&Request::solve(None, "tw", &grid, &args)).unwrap();
+    let cold_ghw = client.request(&Request::solve(None, "ghw", &clique, &args)).unwrap();
+    assert!(cold_tw.ok && cold_ghw.ok, "{cold_tw:?} {cold_ghw:?}");
+    let summary = shutdown(&addr, handle);
+    assert!(summary.contains("drained clean"), "{summary}");
+
+    // simulate a torn append: a valid version byte then garbage, exactly
+    // what a crash mid-write leaves behind
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(&[0x01, 0xFF, 0xFF, 0xFF, 0x13]).unwrap();
+    }
+
+    // second life, same log: warm probes are pure replays
+    let (addr, handle) = boot(cfg());
+    let mut client = Client::connect(&addr).expect("connect warm");
+    for (cmd, instance, cold) in [("tw", &grid, &cold_tw), ("ghw", &clique, &cold_ghw)] {
+        let warm = client.request(&Request::solve(None, cmd, instance, &args)).unwrap();
+        assert_eq!(warm.cache_hit, Some(true), "replayed entry answers {cmd}: {warm:?}");
+        assert_eq!(warm.nodes_expanded, Some(0), "replays cost nothing");
+        assert_eq!(warm.body, cold.body, "replayed body is byte-identical");
+    }
+    let stats = client.request(&Request::control(None, "stats")).unwrap().body.unwrap();
+    let v = Json::parse(&stats).expect("stats JSON");
+    assert_eq!(v.get("replayed").and_then(Json::as_f64), Some(2.0), "{stats}");
+    assert_eq!(v.get("replay_verify_rejects").and_then(Json::as_f64), Some(0.0), "{stats}");
+
+    let summary = shutdown(&addr, handle);
+    assert!(summary.contains("drained clean"), "{summary}");
+    let _ = std::fs::remove_file(&log);
+}
+
 fn tmp(name: &str, content: &str) -> String {
     let path = std::env::temp_dir().join(format!(
         "ghd-serve-e2e-{}-{name}",

@@ -24,6 +24,8 @@
 //! exact results enter) lives in the caller; this module provides the
 //! mechanism and the accounting.
 
+pub mod log;
+
 use crate::setcover::CacheStats;
 use ghd_hypergraph::{Graph, Hypergraph};
 use ghd_prng::hash::fx_hash_words;

@@ -20,7 +20,7 @@ use ghd_hypergraph::{BitSet, EliminationGraph, Hypergraph};
 /// improved lower bounds" for several instances).
 pub fn astar_ghw(h: &Hypergraph, limits: SearchLimits) -> SearchResult {
     let n = h.num_vertices();
-    let budget = Budget::new(limits);
+    let budget = Budget::new(&limits);
     let mut ticker = budget.worker();
     let mut telemetry = Telemetry::new(limits.collect_stats);
     let root_lb = ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
@@ -333,7 +333,7 @@ mod tests {
         for seed in 0..3u64 {
             let h = hypergraphs::random_hypergraph(11, 7, 3, seed);
             for limits in [SearchLimits::unlimited(), SearchLimits::with_nodes(60)] {
-                let off = astar_ghw(&h, limits);
+                let off = astar_ghw(&h, limits.clone());
                 let on = astar_ghw(&h, limits.stats(true));
                 assert_eq!(on.upper_bound, off.upper_bound, "seed {seed}");
                 assert_eq!(on.lower_bound, off.lower_bound, "seed {seed}");

@@ -63,7 +63,7 @@ pub(crate) fn transform(eg: &mut EliminationGraph, current: &mut Vec<u32>, targe
 /// bound are reported.
 pub fn astar_tw(g: &Graph, limits: SearchLimits) -> SearchResult {
     let n = g.num_vertices();
-    let budget = Budget::new(limits);
+    let budget = Budget::new(&limits);
     let mut ticker = budget.worker();
     let mut telemetry = Telemetry::new(limits.collect_stats);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
@@ -347,7 +347,7 @@ mod tests {
             (graphs::grid(4), SearchLimits::unlimited()),
             (graphs::queen(5), SearchLimits::with_nodes(200)),
         ] {
-            let off = astar_tw(&g, limits);
+            let off = astar_tw(&g, limits.clone());
             let on = astar_tw(&g, limits.stats(true));
             assert_eq!(on.upper_bound, off.upper_bound);
             assert_eq!(on.lower_bound, off.lower_bound);

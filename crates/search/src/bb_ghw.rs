@@ -517,7 +517,7 @@ fn ghw_anytime_lb(
 /// heuristic.
 pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
     let n = h.num_vertices();
-    let budget = Budget::new(cfg.limits);
+    let budget = Budget::new(&cfg.limits);
     let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
     let mut telemetry = Telemetry::new(cfg.limits.collect_stats);
@@ -591,7 +591,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
 /// degrade to `exact == false` with the root heuristic as lower bound).
 pub fn bb_ghw_parallel_rootsplit(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> SearchResult {
     let n = h.num_vertices();
-    let budget = Budget::new(cfg.limits);
+    let budget = Budget::new(&cfg.limits);
     let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
     let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
@@ -799,7 +799,7 @@ pub(crate) fn steal_workers(requested: usize) -> usize {
 /// ([`StealCounters`], [`SearchStats::worker_steals`]).
 pub fn bb_ghw_parallel(h: &Hypergraph, cfg: &BbGhwConfig, threads: usize) -> SearchResult {
     let n = h.num_vertices();
-    let budget = Budget::new(cfg.limits);
+    let budget = Budget::new(&cfg.limits);
     let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
     let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
@@ -1254,7 +1254,7 @@ mod tests {
         for seed in 0..3u64 {
             let h = hypergraphs::random_hypergraph(10, 7, 3, seed);
             for limits in [SearchLimits::unlimited(), SearchLimits::with_nodes(200)] {
-                let off = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
+                let off = bb_ghw(&h, &BbGhwConfig { limits: limits.clone(), ..BbGhwConfig::default() });
                 let on = bb_ghw(
                     &h,
                     &BbGhwConfig {

@@ -312,7 +312,7 @@ fn run_steal_task(dfs: &mut Dfs<'_>, prefix: &[u32], g: usize, f: usize) -> bool
 /// proven).
 pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
     let n = g.num_vertices();
-    let budget = Budget::new(cfg.limits);
+    let budget = Budget::new(&cfg.limits);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
     let mut telemetry = Telemetry::new(cfg.limits.collect_stats);
@@ -374,7 +374,7 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
 /// heuristic) instead of aborting the process.
 pub fn bb_tw_parallel_rootsplit(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
     let n = g.num_vertices();
-    let budget = Budget::new(cfg.limits);
+    let budget = Budget::new(&cfg.limits);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
     let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
@@ -521,7 +521,7 @@ pub fn bb_tw_parallel_rootsplit(g: &Graph, cfg: &BbConfig, threads: usize) -> Se
 /// ([`StealCounters`], [`SearchStats::worker_steals`]).
 pub fn bb_tw_parallel(g: &Graph, cfg: &BbConfig, threads: usize) -> SearchResult {
     let n = g.num_vertices();
-    let budget = Budget::new(cfg.limits);
+    let budget = Budget::new(&cfg.limits);
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
     let mut root_tel = Telemetry::new(cfg.limits.collect_stats);
@@ -819,7 +819,7 @@ mod tests {
     fn stats_collection_is_behaviourally_free() {
         for g in [graphs::grid(4), graphs::queen(4)] {
             for limits in [SearchLimits::unlimited(), SearchLimits::with_nodes(300)] {
-                let off = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
+                let off = bb_tw(&g, &BbConfig { limits: limits.clone(), ..BbConfig::default() });
                 let on = bb_tw(
                     &g,
                     &BbConfig {

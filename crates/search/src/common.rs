@@ -28,7 +28,48 @@
 use ghd_core::setcover::CacheStats;
 use ghd_par::WorkerFault;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle threaded into a search [`Budget`].
+///
+/// The default token is *inert*: it can never fire, costs nothing to
+/// check, and keeps `SearchLimits::default()` meaning "run to
+/// completion". An armed token wraps a shared flag that any holder — a
+/// daemon's `cancel` verb, a signal handler, a test — can flip;
+/// in-flight searches observe it on the **existing** periodic deadline
+/// check (every 16th expansion), so cancellation adds zero new hot-path
+/// cost. Like budget expiry, cancellation is sticky and global: one
+/// observation stops every worker at its next check, and the search
+/// reports its certified anytime bounds exactly as if the clock had run
+/// out.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Option<Arc<AtomicBool>>);
+
+impl CancelToken {
+    /// A token that can actually be cancelled.
+    pub fn arm() -> Self {
+        CancelToken(Some(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Wraps an existing shared flag (e.g. a daemon's per-request flag),
+    /// so callers outside this crate can own the storage.
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken(Some(flag))
+    }
+
+    /// Requests cancellation. A no-op on an inert token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.0 {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once cancellation was requested (always `false` for inert).
+    pub fn is_cancelled(&self) -> bool {
+        self.0.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
 
 /// Resource limits for a search run. Both algorithm families in the thesis
 /// are *anytime*: when a limit is hit they report the best upper bound found
@@ -36,7 +77,7 @@ use std::time::{Duration, Instant};
 ///
 /// The limits are **global per run**: parallel searches share one deadline
 /// and one node pool across all workers (see [`Budget`]).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SearchLimits {
     /// Wall-clock budget (the thesis used one hour per run).
     pub time_limit: Option<Duration>,
@@ -47,6 +88,10 @@ pub struct SearchLimits {
     /// counters, high-water marks). Off by default; results are
     /// bit-identical either way.
     pub collect_stats: bool,
+    /// Cooperative cancellation handle. Inert by default; when armed, a
+    /// cancel stops the run exactly like a wall-clock expiry (anytime
+    /// bounds reported, sticky across all workers).
+    pub cancel: CancelToken,
 }
 
 impl SearchLimits {
@@ -76,6 +121,12 @@ impl SearchLimits {
         self.collect_stats = on;
         self
     }
+
+    /// Same limits with a cancellation token attached.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
 }
 
 /// Node credits a [`Ticker`] reserves from the shared pool per refill.
@@ -99,6 +150,11 @@ pub struct Budget {
     /// stops workers once they cannot refill — a worker still holding batch
     /// credits is entitled to spend them (the pool already accounted them).
     deadline_hit: AtomicBool,
+    /// Cooperative cancellation handle (inert unless the caller armed it).
+    cancel: CancelToken,
+    /// Sticky record that expiry was *caused* by cancellation, so callers
+    /// can label the outcome `cancelled` rather than `budget expired`.
+    cancelled: AtomicBool,
     /// Telemetry collection flag, carried alongside the budget so searches
     /// need only the limits to configure themselves.
     collect_stats: bool,
@@ -106,7 +162,7 @@ pub struct Budget {
 
 impl Budget {
     /// A fresh budget; the clock starts now.
-    pub fn new(limits: SearchLimits) -> Self {
+    pub fn new(limits: &SearchLimits) -> Self {
         let start = Instant::now();
         Budget {
             start,
@@ -114,6 +170,8 @@ impl Budget {
             pool: limits.max_nodes.map(AtomicU64::new),
             expired: AtomicBool::new(false),
             deadline_hit: AtomicBool::new(false),
+            cancel: limits.cancel.clone(),
+            cancelled: AtomicBool::new(false),
             collect_stats: limits.collect_stats,
         }
     }
@@ -144,10 +202,25 @@ impl Budget {
         self.expired.load(Ordering::Relaxed)
     }
 
-    /// Checks the sticky wall-clock flag and the clock itself; marks a
-    /// deadline hit globally (stopping every worker at its next check).
+    /// `true` iff the run was stopped by cancellation (a cancelled run is
+    /// also [`expired`](Budget::expired); the converse does not hold).
+    pub fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Checks the sticky stop flags, the cancel token, and the clock
+    /// itself; marks a hit globally (stopping every worker at its next
+    /// check). Cancellation rides the wall-clock path — a cancel must
+    /// stop every worker immediately, exactly like a deadline, not just
+    /// starve refills like pool exhaustion.
     fn check_deadline(&self) -> bool {
         if self.deadline_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.cancel.is_cancelled() {
+            self.cancelled.store(true, Ordering::Relaxed);
+            self.deadline_hit.store(true, Ordering::Relaxed);
+            self.expired.store(true, Ordering::Relaxed);
             return true;
         }
         if let Some(d) = self.deadline {
@@ -534,7 +607,7 @@ mod tests {
 
     #[test]
     fn node_limit_expires_without_overcount() {
-        let budget = Budget::new(SearchLimits::with_nodes(3));
+        let budget = Budget::new(&SearchLimits::with_nodes(3));
         let mut t = ticker_of(&budget);
         assert!(t.tick());
         assert!(t.tick());
@@ -549,7 +622,7 @@ mod tests {
 
     #[test]
     fn unlimited_never_expires_quickly() {
-        let budget = Budget::new(SearchLimits::unlimited());
+        let budget = Budget::new(&SearchLimits::unlimited());
         let mut t = ticker_of(&budget);
         for _ in 0..10_000 {
             assert!(t.tick());
@@ -558,7 +631,7 @@ mod tests {
 
     #[test]
     fn zero_time_budget_expires() {
-        let budget = Budget::new(SearchLimits::with_time(Duration::ZERO));
+        let budget = Budget::new(&SearchLimits::with_time(Duration::ZERO));
         let mut t = ticker_of(&budget);
         // expiry is detected on a check boundary
         let mut ok = true;
@@ -574,7 +647,7 @@ mod tests {
 
     #[test]
     fn workers_share_one_node_pool() {
-        let budget = Budget::new(SearchLimits::with_nodes(100));
+        let budget = Budget::new(&SearchLimits::with_nodes(100));
         let mut a = budget.worker();
         let mut b = budget.worker();
         let mut total = 0u64;
@@ -598,7 +671,7 @@ mod tests {
 
     #[test]
     fn dropped_worker_returns_unused_credits() {
-        let budget = Budget::new(SearchLimits::with_nodes(CREDIT_BATCH * 2));
+        let budget = Budget::new(&SearchLimits::with_nodes(CREDIT_BATCH * 2));
         {
             let mut a = budget.worker();
             assert!(a.tick()); // reserves a batch, spends 1
@@ -613,13 +686,58 @@ mod tests {
 
     #[test]
     fn one_expired_worker_stops_the_others() {
-        let budget = Budget::new(SearchLimits::with_time(Duration::ZERO));
+        let budget = Budget::new(&SearchLimits::with_time(Duration::ZERO));
         let mut a = budget.worker();
         while a.tick() {}
         // a fresh worker sees the sticky flag on its first check boundary
         let mut b = budget.worker();
         assert!(!b.tick());
         assert_eq!(b.nodes(), 0);
+    }
+
+    #[test]
+    fn cancel_stops_every_worker_and_is_distinguishable_from_expiry() {
+        let token = CancelToken::arm();
+        let budget = Budget::new(&SearchLimits::unlimited().with_cancel(token.clone()));
+        let mut a = budget.worker();
+        for _ in 0..100 {
+            assert!(a.tick());
+        }
+        assert!(!budget.cancelled());
+        token.cancel();
+        // observed on the next check boundary, then sticky for everyone
+        let mut stopped = false;
+        for _ in 0..16 {
+            if !a.tick() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "cancel observed within one check period");
+        let mut b = budget.worker();
+        assert!(!b.tick(), "fresh workers see the sticky flag immediately");
+        assert!(budget.expired(), "a cancelled run reports as expired");
+        assert!(budget.cancelled(), "...and remembers the cause");
+    }
+
+    #[test]
+    fn inert_token_never_fires_and_deadline_is_not_a_cancel() {
+        let inert = CancelToken::default();
+        inert.cancel(); // no-op
+        assert!(!inert.is_cancelled());
+        let budget = Budget::new(&SearchLimits::with_time(Duration::ZERO));
+        let mut t = budget.worker();
+        while t.tick() {}
+        assert!(budget.expired());
+        assert!(!budget.cancelled(), "wall-clock expiry is not cancellation");
+    }
+
+    #[test]
+    fn armed_token_clones_share_one_flag() {
+        let token = CancelToken::arm();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled(), "clones observe each other's cancel");
     }
 
     #[test]

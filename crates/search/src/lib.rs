@@ -31,7 +31,7 @@ pub use steal::StealConfig;
 pub use bb_ghw::{bb_ghw, bb_ghw_parallel, bb_ghw_parallel_rootsplit, BbGhwConfig};
 pub use bb_tw::{bb_tw, bb_tw_parallel, bb_tw_parallel_rootsplit, BbConfig, LbMode};
 pub use common::{
-    Budget, IncumbentSample, PruneCounters, SearchLimits, SearchResult, SearchStats,
-    StealCounters, Ticker,
+    Budget, CancelToken, IncumbentSample, PruneCounters, SearchLimits, SearchResult,
+    SearchStats, StealCounters, Ticker,
 };
 pub use preprocess::{preprocess_tw, tw_with_preprocessing, Preprocessed};

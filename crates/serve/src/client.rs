@@ -41,6 +41,23 @@ impl Client {
         Ok(reply)
     }
 
+    /// Reads one unsolicited line from the daemon (without the trailing
+    /// newline). Used for lines the daemon sends on its own — e.g. the
+    /// `busy` shed line written when the connection cap is reached.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
     /// Sends `req` and parses the daemon's response.
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
         let reply = self.roundtrip_line(&req.render())?;

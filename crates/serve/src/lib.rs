@@ -35,11 +35,19 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod signal;
 
 pub use client::Client;
 pub use ghd_core::canon::CacheKey;
 pub use protocol::{Request, Response};
 pub use server::{ServeStats, Server, ServerConfig};
+
+/// The shared per-request cancellation flag the daemon hands a solve.
+///
+/// A plain `Arc<AtomicBool>` rather than a search-crate type, so the
+/// [`Solver`] trait does not force a `ghd-search` dependency onto this
+/// crate; the CLI's solver wraps it in a `CancelToken` on its side.
+pub type CancelFlag = std::sync::Arc<std::sync::atomic::AtomicBool>;
 
 /// A solved request, as the [`Solver`] reports it to the daemon.
 #[derive(Clone, Debug)]
@@ -60,6 +68,9 @@ pub struct SolveOutcome {
     pub nodes_expanded: u64,
     /// Worker faults contained during the solve.
     pub faults: usize,
+    /// `true` iff the solve was stopped by cooperative cancellation; the
+    /// body then reports certified anytime bounds (never cacheable).
+    pub cancelled: bool,
 }
 
 /// A failed solve: `sysexits`-style category code plus a one-liner.
@@ -83,9 +94,27 @@ pub trait Solver: Send + Sync + 'static {
     fn cache_key(&self, cmd: &str, instance: &str, args: &[String]) -> Option<CacheKey>;
 
     /// Solves the request. Called on a daemon worker thread; panics are
-    /// contained per request.
-    fn solve(&self, cmd: &str, instance: &str, args: &[String])
-        -> Result<SolveOutcome, SolveError>;
+    /// contained per request. `cancel` is this request's cooperative
+    /// cancellation flag — implementations should observe it (e.g. by
+    /// threading it into their search budget) and report `cancelled`
+    /// outcomes with certified anytime bounds.
+    fn solve(
+        &self,
+        cmd: &str,
+        instance: &str,
+        args: &[String],
+        cancel: &CancelFlag,
+    ) -> Result<SolveOutcome, SolveError>;
+
+    /// Whether a cache-log record replayed at boot is a valid entry for
+    /// *this* solver: the stored canonical text must re-derive the stored
+    /// hash and canonical form (the on-disk analogue of verify-on-probe).
+    /// The checksum already proved the bytes intact; this proves they
+    /// mean what they claim. Defaults to rejecting everything, so a
+    /// backend that cannot re-verify never admits stale state.
+    fn verify_replay(&self, _key: &CacheKey) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -99,9 +128,10 @@ mod tests {
     use std::time::Duration;
 
     /// A deterministic scriptable solver: `solve:X` answers `solved:X`,
-    /// `sleep:MS` stalls (for backpressure/drain tests), `panic` panics,
-    /// `fail` returns a usage error. Everything is "exact + certified"
-    /// so cache admission is exercised.
+    /// `sleep:MS` stalls (for backpressure/drain tests), `wait-cancel`
+    /// spins until its cancel flag flips (then answers with anytime
+    /// bounds), `panic` panics, `fail` returns a usage error. Everything
+    /// else is "exact + certified" so cache admission is exercised.
     struct MockSolver {
         solves: AtomicU64,
     }
@@ -129,10 +159,27 @@ mod tests {
             _cmd: &str,
             instance: &str,
             _args: &[String],
+            cancel: &CancelFlag,
         ) -> Result<SolveOutcome, SolveError> {
             self.solves.fetch_add(1, Ordering::SeqCst);
             if let Some(ms) = instance.strip_prefix("sleep:") {
                 thread::sleep(Duration::from_millis(ms.parse().unwrap()));
+            }
+            if instance == "wait-cancel" {
+                // a "hard search" that only the cancel verb can stop
+                while !cancel.load(Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                return Ok(SolveOutcome {
+                    body: "2 <= width <= 5 (cancelled)\n".into(),
+                    width: 5,
+                    exact: false,
+                    certified: true,
+                    cacheable: false,
+                    nodes_expanded: 3,
+                    faults: 0,
+                    cancelled: true,
+                });
             }
             if instance == "panic" {
                 panic!("scripted solver panic");
@@ -148,7 +195,15 @@ mod tests {
                 cacheable: true,
                 nodes_expanded: 10,
                 faults: 0,
+                cancelled: false,
             })
+        }
+
+        fn verify_replay(&self, key: &CacheKey) -> bool {
+            // the same discipline the CLI solver applies: the stored
+            // canonical text must re-derive the stored hash
+            key.hash == fx_hash_words(&[key.canon.len() as u64])
+                && !key.canon.starts_with("nocache:")
         }
     }
 
@@ -193,7 +248,7 @@ mod tests {
             assert_eq!(other.cache_hit, Some(false));
         });
         assert_eq!(solver.solves.load(Ordering::SeqCst), 2, "warm probe never solves");
-        assert!(summary.contains("3 completed (1 cache hits)"), "{summary}");
+        assert!(summary.contains("3 completed (1 cache hits"), "{summary}");
     }
 
     #[test]
@@ -298,6 +353,123 @@ mod tests {
             let alive = c.request(&Request::solve(None, "tw", "after-panic", &[])).unwrap();
             assert!(alive.ok, "{alive:?}");
         });
+    }
+
+    #[test]
+    fn cancel_verb_stops_an_inflight_solve_and_daemon_stays_healthy() {
+        let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+        with_server(cfg, |addr| {
+            // a solve only cancellation can finish, on its own connection
+            let solve_addr = addr.to_string();
+            let inflight = thread::spawn(move || {
+                let mut c = Client::connect(&solve_addr).unwrap();
+                c.request(&Request::solve(Some(42), "tw", "wait-cancel", &[])).unwrap()
+            });
+            thread::sleep(Duration::from_millis(200));
+            let mut c = Client::connect(addr).unwrap();
+            // wrong target: diagnosed, nothing cancelled
+            let miss = c.request(&Request::cancel(Some(1), 999)).unwrap();
+            assert_eq!((miss.ok, miss.code), (false, Some(69)), "{miss:?}");
+            // a cancel with no target is a usage error
+            let mut bad = Request::control(Some(2), "cancel");
+            bad.target = None;
+            let bad = c.request(&bad).unwrap();
+            assert_eq!(bad.code, Some(64));
+            // the real cancel lands
+            let hit = c.request(&Request::cancel(Some(3), 42)).unwrap();
+            assert!(hit.ok, "{hit:?}");
+            let done = inflight.join().unwrap();
+            assert!(done.ok, "{done:?}");
+            assert_eq!(done.cancelled, Some(true));
+            assert_eq!(done.exact, Some(false));
+            assert!(done.body.unwrap().contains("(cancelled)"));
+            // the id is gone from the registry once answered…
+            let gone = c.request(&Request::cancel(None, 42)).unwrap();
+            assert_eq!(gone.code, Some(69));
+            // …and the daemon keeps solving exactly
+            let after = c.request(&Request::solve(None, "tw", "after-cancel", &[])).unwrap();
+            assert_eq!((after.ok, after.exact), (true, Some(true)), "{after:?}");
+        });
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_busy_line() {
+        let cfg = ServerConfig { max_conns: 2, ..ServerConfig::default() };
+        with_server(cfg, |addr| {
+            let _a = Client::connect(addr).unwrap();
+            let _b = Client::connect(addr).unwrap();
+            thread::sleep(Duration::from_millis(100)); // both accepted
+            let mut over = Client::connect(addr).unwrap();
+            // the shed line arrives unprompted, before any request
+            let line = over.read_line().unwrap();
+            let resp = Response::parse(&line).unwrap();
+            assert_eq!((resp.ok, resp.code), (false, Some(503)), "{resp:?}");
+            assert!(resp.error.unwrap().starts_with("busy"));
+            // an accepted connection still works while the cap holds
+            let mut a = _a;
+            let ok = a.request(&Request::solve(None, "tw", "capped", &[])).unwrap();
+            assert!(ok.ok, "{ok:?}");
+        });
+    }
+
+    #[test]
+    fn idle_connections_are_closed_and_counted() {
+        let cfg = ServerConfig {
+            idle_timeout: Some(Duration::from_millis(250)),
+            ..ServerConfig::default()
+        };
+        with_server(cfg, |addr| {
+            let mut idle = Client::connect(addr).unwrap();
+            assert!(idle.request(&Request::control(None, "ping")).unwrap().ok);
+            thread::sleep(Duration::from_millis(700));
+            // the daemon hung up; the next roundtrip fails on read or write
+            let dead = idle.request(&Request::control(None, "ping"));
+            assert!(dead.is_err(), "idle connection should be closed: {dead:?}");
+            let mut fresh = Client::connect(addr).unwrap();
+            let stats = fresh.request(&Request::control(None, "stats")).unwrap();
+            let body = stats.body.unwrap();
+            let v = ghd_core::json::Json::parse(&body).unwrap();
+            use ghd_core::json::Json;
+            assert!(
+                v.get("idle_closed").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+                "{body}"
+            );
+        });
+    }
+
+    #[test]
+    fn cache_log_persists_admissions_across_a_daemon_restart() {
+        let path = std::env::temp_dir()
+            .join(format!("ghd-serve-persist-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServerConfig { log_path: Some(path.clone()), ..ServerConfig::default() };
+
+        // first life: two admissions (one instance is not cacheable)
+        let (_, _, _) = with_server(cfg.clone(), |addr| {
+            let mut c = Client::connect(addr).unwrap();
+            assert!(c.request(&Request::solve(None, "tw", "persist-a", &[])).unwrap().ok);
+            assert!(c.request(&Request::solve(None, "ghw", "persist-b", &[])).unwrap().ok);
+            assert!(c.request(&Request::solve(None, "tw", "nocache:x", &[])).unwrap().ok);
+        });
+
+        // second life, same log: the warm entries replay as verified hits
+        let (_, _, solver) = with_server(cfg, |addr| {
+            let mut c = Client::connect(addr).unwrap();
+            let stats = c.request(&Request::control(None, "stats")).unwrap();
+            let body = stats.body.unwrap();
+            use ghd_core::json::Json;
+            let v = Json::parse(&body).unwrap();
+            assert_eq!(v.get("replayed").and_then(Json::as_f64), Some(2.0), "{body}");
+            assert_eq!(v.get("replay_verify_rejects").and_then(Json::as_f64), Some(0.0));
+            let warm = c.request(&Request::solve(Some(7), "tw", "persist-a", &[])).unwrap();
+            assert_eq!(warm.cache_hit, Some(true), "{warm:?}");
+            assert_eq!(warm.nodes_expanded, Some(0));
+            assert_eq!(warm.body.as_deref(), Some("solved:persist-a\n"));
+            let warm2 = c.request(&Request::solve(None, "ghw", "persist-b", &[])).unwrap();
+            assert_eq!(warm2.cache_hit, Some(true));
+        });
+        assert_eq!(solver.solves.load(Ordering::SeqCst), 0, "warm boot never re-solves");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -23,23 +23,38 @@ use std::fmt::Write as _;
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
-    /// `tw`, `ghw`, `ping`, `stats`, or `shutdown`.
+    /// `tw`, `ghw`, `ping`, `stats`, `cancel`, or `shutdown`.
     pub cmd: String,
     /// Full instance file text (solve commands only).
     pub instance: String,
     /// CLI flags for the solve, e.g. `["--method", "bb"]`.
     pub args: Vec<String>,
+    /// For `cancel`: the correlation id of the in-flight solve to stop.
+    pub target: Option<u64>,
 }
 
 impl Request {
     /// A solve request for `cmd` over `instance` with `args`.
     pub fn solve(id: Option<u64>, cmd: &str, instance: &str, args: &[String]) -> Request {
-        Request { id, cmd: cmd.into(), instance: instance.into(), args: args.to_vec() }
+        Request { id, cmd: cmd.into(), instance: instance.into(), args: args.to_vec(), target: None }
     }
 
     /// An instance-less control request (`ping` / `stats` / `shutdown`).
     pub fn control(id: Option<u64>, cmd: &str) -> Request {
-        Request { id, cmd: cmd.into(), instance: String::new(), args: Vec::new() }
+        Request { id, cmd: cmd.into(), instance: String::new(), args: Vec::new(), target: None }
+    }
+
+    /// A `cancel` request against the in-flight solve whose correlation
+    /// id is `target`. Sent on a second connection — the submitting
+    /// connection is blocked waiting for its answer.
+    pub fn cancel(id: Option<u64>, target: u64) -> Request {
+        Request {
+            id,
+            cmd: "cancel".into(),
+            instance: String::new(),
+            args: Vec::new(),
+            target: Some(target),
+        }
     }
 
     /// Renders the request as one JSON line (no trailing newline).
@@ -49,6 +64,9 @@ impl Request {
             let _ = write!(s, "\"id\": {id}, ");
         }
         let _ = write!(s, "\"cmd\": \"{}\"", escape(&self.cmd));
+        if let Some(t) = self.target {
+            let _ = write!(s, ", \"target\": {t}");
+        }
         if !self.instance.is_empty() {
             let _ = write!(s, ", \"instance\": \"{}\"", escape(&self.instance));
         }
@@ -89,7 +107,8 @@ impl Request {
                 .map(|x| x.as_str().map(String::from).ok_or("`args` must be an array of strings"))
                 .collect::<Result<Vec<_>, _>>()?,
         };
-        Ok(Request { id, cmd, instance, args })
+        let target = v.get("target").and_then(Json::as_f64).map(|x| x as u64);
+        Ok(Request { id, cmd, instance, args, target })
     }
 }
 
@@ -114,6 +133,9 @@ pub struct Response {
     pub exact: Option<bool>,
     /// Mirrors [`SolveOutcome::certified`](crate::SolveOutcome::certified).
     pub certified: Option<bool>,
+    /// `true` iff the solve was stopped by a `cancel` request; the body
+    /// then carries the certified anytime bounds, like a budget expiry.
+    pub cancelled: Option<bool>,
     /// Node expansions this request cost (0 on a cache hit).
     pub nodes_expanded: Option<u64>,
     /// Worker faults contained while solving this request.
@@ -160,6 +182,9 @@ impl Response {
         if let Some(c) = self.certified {
             let _ = write!(s, ", \"certified\": {c}");
         }
+        if let Some(c) = self.cancelled {
+            let _ = write!(s, ", \"cancelled\": {c}");
+        }
         if let Some(n) = self.nodes_expanded {
             let _ = write!(s, ", \"nodes_expanded\": {n}");
         }
@@ -189,6 +214,7 @@ impl Response {
             cache_hit: v.get("cache_hit").and_then(Json::as_bool),
             exact: v.get("exact").and_then(Json::as_bool),
             certified: v.get("certified").and_then(Json::as_bool),
+            cancelled: v.get("cancelled").and_then(Json::as_bool),
             nodes_expanded: v.get("nodes_expanded").and_then(Json::as_f64).map(|x| x as u64),
             faults: v.get("faults").and_then(Json::as_f64).map(|x| x as u64),
             queue_wait_s: v.get("queue_wait_s").and_then(Json::as_f64),
@@ -213,6 +239,10 @@ mod tests {
         assert_eq!(parsed, req);
         let ctrl = Request::control(None, "ping");
         assert_eq!(Request::parse(&ctrl.render()).unwrap(), ctrl);
+        let cancel = Request::cancel(Some(8), 42);
+        let parsed = Request::parse(&cancel.render()).unwrap();
+        assert_eq!(parsed, cancel);
+        assert_eq!(parsed.target, Some(42));
     }
 
     #[test]
@@ -234,6 +264,15 @@ mod tests {
         assert_eq!(parsed, resp);
         let fail = Response::fail(None, 503, "busy");
         assert_eq!(Response::parse(&fail.render()).unwrap(), fail);
+        let cancelled = Response {
+            id: Some(42),
+            ok: true,
+            body: Some("4 <= width <= 7 (cancelled)\n".into()),
+            exact: Some(false),
+            cancelled: Some(true),
+            ..Response::default()
+        };
+        assert_eq!(Response::parse(&cancelled.render()).unwrap(), cancelled);
     }
 
     #[test]

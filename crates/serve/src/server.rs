@@ -24,7 +24,8 @@
 //! yields an error response (code 70), never a dead daemon.
 
 use crate::protocol::{Request, Response};
-use crate::{SolveError, SolveOutcome, Solver};
+use crate::{signal, CancelFlag, SolveError, SolveOutcome, Solver};
+use ghd_core::canon::log::CacheLog;
 use ghd_core::canon::{CachedDecomp, DecompCache};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
@@ -42,7 +43,7 @@ use std::{fmt, io, thread};
 const POLL: Duration = Duration::from_millis(100);
 
 /// Sizing knobs for [`Server::bind`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Solver threads; `0` = one per core ([`ghd_par::num_threads`]).
     pub workers: usize,
@@ -50,11 +51,27 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Decomposition-cache byte cap.
     pub cache_bytes: usize,
+    /// Append-only cache log: admitted entries are spilled here and
+    /// replayed (with verification) at boot. `None` = memory only.
+    pub log_path: Option<PathBuf>,
+    /// Concurrent-connection cap; connections over it are shed with an
+    /// immediate `busy` (503) line instead of an unbounded thread pile.
+    pub max_conns: usize,
+    /// Idle-connection timeout: a connection with no complete request for
+    /// this long is closed. `None` = never.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 0, queue: 64, cache_bytes: 32 << 20 }
+        ServerConfig {
+            workers: 0,
+            queue: 64,
+            cache_bytes: 32 << 20,
+            log_path: None,
+            max_conns: 256,
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
     }
 }
 
@@ -80,6 +97,20 @@ pub struct ServeStats {
     pub queue_wait_s: f64,
     /// Total solve wall-clock seconds.
     pub wall_s: f64,
+    /// Solves stopped by a `cancel` request (answered with certified
+    /// anytime bounds; counted under `completed` as well).
+    pub cancelled: u64,
+    /// Connections shed at accept because the connection cap was reached.
+    pub conn_rejections: u64,
+    /// Connections closed by the per-connection idle timeout.
+    pub idle_closed: u64,
+    /// Cache-log records replayed (verified) into the cache at boot.
+    pub replayed: u64,
+    /// Cache-log records that survived their checksum but failed solver
+    /// verification at boot (skipped, never admitted).
+    pub replay_verify_rejects: u64,
+    /// Seconds spent replaying the cache log at boot.
+    pub boot_replay_s: f64,
 }
 
 /// `unix:PATH` or a TCP host:port, with the bound form reported back.
@@ -197,18 +228,63 @@ impl io::Write for Stream {
 struct Shared {
     solver: Arc<dyn Solver>,
     cache: Mutex<DecompCache>,
+    /// The append-only persistence log, when configured.
+    log: Mutex<Option<CacheLog>>,
     stats: Mutex<ServeStats>,
     draining: AtomicBool,
     /// Solve jobs accepted but not yet answered; drain waits for zero.
     outstanding: AtomicUsize,
+    /// In-flight solves by client-chosen correlation id, for the `cancel`
+    /// verb. Ids are client-owned, so duplicates are possible: a cancel
+    /// flips *every* matching flag; entries are removed by flag identity.
+    inflight: Mutex<Vec<(u64, CancelFlag)>>,
+    /// Open connections, for the connection cap.
+    conns: AtomicUsize,
     workers: usize,
 }
 
-/// One queued solve: the request, where to send the answer, and when it
-/// entered the queue (for the `queue_wait_s` telemetry).
+impl Shared {
+    /// Spills an admitted entry to the cache log, if one is configured.
+    fn log_append(&self, key: &ghd_core::canon::CacheKey, value: &CachedDecomp) {
+        let mut log = self.log.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(log) = log.as_mut() {
+            if let Err(e) = log.append(key, value) {
+                eprintln!("ghd-serve: cache-log append failed: {e}");
+            }
+        }
+    }
+
+    /// Flips the cancel flag of every in-flight solve with correlation id
+    /// `target`; returns how many were flipped.
+    fn cancel_inflight(&self, target: u64) -> usize {
+        let inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        let mut n = 0;
+        for (id, flag) in inflight.iter() {
+            if *id == target {
+                flag.store(true, Ordering::Relaxed);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Cancels *every* in-flight solve (second-signal escalation).
+    fn cancel_all(&self) -> usize {
+        let inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        for (_, flag) in inflight.iter() {
+            flag.store(true, Ordering::Relaxed);
+        }
+        inflight.len()
+    }
+}
+
+/// One queued solve: the request, where to send the answer, this solve's
+/// cancellation flag, and when it entered the queue (for the
+/// `queue_wait_s` telemetry).
 struct Job {
     req: Request,
     reply: std::sync::mpsc::Sender<Response>,
+    cancel: CancelFlag,
     enqueued: Instant,
 }
 
@@ -227,12 +303,47 @@ impl Server {
         let listener = Listener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let workers = if cfg.workers == 0 { ghd_par::num_threads() } else { cfg.workers };
+        let mut cache = DecompCache::new(cfg.cache_bytes);
+        let mut stats = ServeStats::default();
+        let log = match &cfg.log_path {
+            None => None,
+            Some(path) => {
+                let t0 = Instant::now();
+                let (log, records, report) =
+                    CacheLog::open(path, |r| solver.verify_replay(&r.key))?;
+                for r in records {
+                    cache.admit(r.key, r.value);
+                }
+                stats.replayed = report.replayed as u64;
+                stats.replay_verify_rejects = report.verify_rejects as u64;
+                stats.boot_replay_s = t0.elapsed().as_secs_f64();
+                eprintln!(
+                    "ghd-serve: cache-log replayed {} entries ({} rejected by verification) \
+                     from {} in {:.3}s",
+                    report.replayed,
+                    report.verify_rejects,
+                    path.display(),
+                    stats.boot_replay_s,
+                );
+                if report.truncated() {
+                    eprintln!(
+                        "ghd-serve: cache-log corrupt tail dropped ({} bytes truncated at \
+                         offset {})",
+                        report.corrupt_tail_bytes, report.valid_prefix_bytes,
+                    );
+                }
+                Some(log)
+            }
+        };
         let shared = Arc::new(Shared {
             solver,
-            cache: Mutex::new(DecompCache::new(cfg.cache_bytes)),
-            stats: Mutex::new(ServeStats::default()),
+            cache: Mutex::new(cache),
+            log: Mutex::new(log),
+            stats: Mutex::new(stats),
             draining: AtomicBool::new(false),
             outstanding: AtomicUsize::new(0),
+            inflight: Mutex::new(Vec::new()),
+            conns: AtomicUsize::new(0),
             workers,
         });
         Ok(Server { listener, cfg, shared })
@@ -257,15 +368,50 @@ impl Server {
             .collect();
 
         let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        // signals observed before boot (e.g. a stale count from a test
+        // process) don't count against this run
+        let signal_floor = signal::signal_count();
+        let mut signals_handled = 0;
         loop {
+            // first SIGTERM/SIGINT = graceful drain (like `shutdown`);
+            // second = cancel all in-flight solves so the drain converges
+            let observed = signal::signal_count().saturating_sub(signal_floor);
+            if observed > signals_handled {
+                signals_handled = observed;
+                if signals_handled == 1 {
+                    eprintln!("ghd-serve: signal received — draining");
+                    self.shared.draining.store(true, Ordering::Release);
+                } else {
+                    let n = self.shared.cancel_all();
+                    eprintln!("ghd-serve: second signal — cancelling {n} in-flight solves");
+                }
+            }
             match self.listener.accept() {
                 Ok(stream) => {
                     if self.shared.draining.load(Ordering::Acquire) {
                         continue; // connection dropped; the daemon is going away
                     }
+                    // connection cap: shed with an immediate busy line
+                    // rather than piling up threads without bound
+                    if self.shared.conns.load(Ordering::Acquire) >= self.cfg.max_conns {
+                        self.shared.stats.lock().unwrap_or_else(|p| p.into_inner()).conn_rejections +=
+                            1;
+                        let mut stream = stream;
+                        let shed =
+                            Response::fail(None, 503, "busy: connection limit reached");
+                        let _ = stream
+                            .write_all(shed.render().as_bytes())
+                            .and_then(|()| stream.write_all(b"\n"));
+                        continue;
+                    }
+                    self.shared.conns.fetch_add(1, Ordering::AcqRel);
                     let shared = Arc::clone(&self.shared);
                     let tx = tx.clone();
-                    conns.push(thread::spawn(move || handle_conn(stream, &shared, &tx)));
+                    let idle = self.cfg.idle_timeout;
+                    conns.push(thread::spawn(move || {
+                        handle_conn(stream, &shared, &tx, idle);
+                        shared.conns.fetch_sub(1, Ordering::AcqRel);
+                    }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     conns.retain(|h| !h.is_finished());
@@ -290,25 +436,48 @@ impl Server {
             let _ = w.join();
         }
         debug_assert_eq!(self.shared.outstanding.load(Ordering::Acquire), 0);
+        // every admitted entry reaches the device before the summary
+        // claims a clean drain
+        {
+            let mut log = self.shared.log.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(log) = log.as_mut() {
+                if let Err(e) = log.sync() {
+                    eprintln!("ghd-serve: cache-log fsync failed: {e}");
+                } else {
+                    eprintln!(
+                        "ghd-serve: cache-log synced ({} entries appended this session)",
+                        log.appends()
+                    );
+                }
+            }
+        }
         let stats = *self.shared.stats.lock().unwrap_or_else(|p| p.into_inner());
         let cache = self.shared.cache.lock().unwrap_or_else(|p| p.into_inner());
         format!(
-            "ghd-serve: drained clean — {} completed ({} cache hits), {} errors, \
-             {} busy rejections, cache {} entries / {} bytes\n",
+            "ghd-serve: drained clean — {} completed ({} cache hits, {} cancelled), {} errors, \
+             {} busy rejections, {} connections shed, cache {} entries / {} bytes\n",
             stats.completed,
             stats.cache_hits,
+            stats.cancelled,
             stats.errors,
             stats.busy_rejections,
+            stats.conn_rejections,
             cache.len(),
             cache.bytes(),
         )
     }
 }
 
-/// Reads request lines off one connection until EOF or drain, answering
-/// each in order. Read timeouts bound how long a drain waits on an idle
-/// connection.
-fn handle_conn(stream: Stream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+/// Reads request lines off one connection until EOF, drain, or idle
+/// timeout, answering each in order. Read timeouts bound how long a drain
+/// waits on an idle connection; `idle` bounds how long a silent peer may
+/// hold a connection slot.
+fn handle_conn(
+    stream: Stream,
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    idle: Option<Duration>,
+) {
     let _ = stream.set_read_timeout(Some(POLL));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -318,6 +487,9 @@ fn handle_conn(stream: Stream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
     // `read_line` appends, so a line split across read timeouts
     // accumulates here until its newline arrives.
     let mut line = String::new();
+    // idle = time since the last complete request (dispatch runs in this
+    // thread, so a long solve never counts as idleness)
+    let mut last_request = Instant::now();
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF; a trailing unterminated line is not a request
@@ -330,6 +502,7 @@ fn handle_conn(stream: Stream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
                     continue;
                 }
                 let resp = dispatch(text.trim(), shared, tx);
+                last_request = Instant::now();
                 if writer
                     .write_all(resp.render().as_bytes())
                     .and_then(|()| writer.write_all(b"\n"))
@@ -343,6 +516,12 @@ fn handle_conn(stream: Stream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
                 if shared.draining.load(Ordering::Acquire) {
                     break;
                 }
+                if let Some(limit) = idle {
+                    if last_request.elapsed() >= limit {
+                        shared.stats.lock().unwrap_or_else(|p| p.into_inner()).idle_closed += 1;
+                        break;
+                    }
+                }
             }
             Err(_) => break,
         }
@@ -350,19 +529,35 @@ fn handle_conn(stream: Stream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
 }
 
 /// Routes one request line: control commands inline, solves through the
-/// bounded queue with a blocking wait for the worker's reply.
+/// bounded queue with a blocking wait for the worker's reply. Every
+/// request leaves one structured access-log line on stderr.
 fn dispatch(text: &str, shared: &Arc<Shared>, tx: &SyncSender<Job>) -> Response {
     let req = match Request::parse(text) {
         Ok(r) => r,
-        Err(e) => return Response::fail(None, 64, format!("bad request: {e}")),
+        Err(e) => {
+            let resp = Response::fail(None, 64, format!("bad request: {e}"));
+            access_log(&Request::control(None, "<unparseable>"), &resp);
+            return resp;
+        }
     };
     shared.stats.lock().unwrap_or_else(|p| p.into_inner()).requests += 1;
-    match req.cmd.as_str() {
+    let resp = match req.cmd.as_str() {
         "ping" => Response::ok_body(req.id, "pong"),
         "shutdown" => {
             shared.draining.store(true, Ordering::Release);
             Response::ok_body(req.id, "draining")
         }
+        "cancel" => match req.target {
+            None => Response::fail(req.id, 64, "cancel requires a `target` request id"),
+            Some(target) => {
+                let flipped = shared.cancel_inflight(target);
+                if flipped == 0 {
+                    Response::fail(req.id, 69, format!("no in-flight request with id {target}"))
+                } else {
+                    Response::ok_body(req.id, format!("cancelling {flipped} in-flight solve(s)"))
+                }
+            }
+        },
         "stats" => {
             let stats = *shared.stats.lock().unwrap_or_else(|p| p.into_inner());
             let (cache_stats, cache_bytes) = {
@@ -373,12 +568,25 @@ fn dispatch(text: &str, shared: &Arc<Shared>, tx: &SyncSender<Job>) -> Response 
         }
         "tw" | "ghw" => {
             if shared.draining.load(Ordering::Acquire) {
-                return Response::fail(req.id, 503, "draining");
+                let resp = Response::fail(req.id, 503, "draining");
+                access_log(&req, &resp);
+                return resp;
             }
             let id = req.id;
             let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
+            // register for the `cancel` verb before the job can run; ids
+            // are client-chosen, so only registered while in flight
+            if let Some(rid) = id {
+                shared
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((rid, Arc::clone(&cancel)));
+            }
             shared.outstanding.fetch_add(1, Ordering::AcqRel);
-            let job = Job { req, reply: reply_tx, enqueued: Instant::now() };
+            let job =
+                Job { req: req.clone(), reply: reply_tx, cancel: Arc::clone(&cancel), enqueued: Instant::now() };
             let resp = match tx.try_send(job) {
                 Ok(()) => reply_rx
                     .recv()
@@ -390,10 +598,49 @@ fn dispatch(text: &str, shared: &Arc<Shared>, tx: &SyncSender<Job>) -> Response 
                 Err(TrySendError::Disconnected(_)) => Response::fail(id, 503, "draining"),
             };
             shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            if let Some(rid) = id {
+                shared
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .retain(|(i, f)| *i != rid || !Arc::ptr_eq(f, &cancel));
+            }
             resp
         }
         other => Response::fail(req.id, 64, format!("unknown command `{other}`")),
-    }
+    };
+    access_log(&req, &resp);
+    resp
+}
+
+/// One structured line per request on stderr: correlation id, verb, cache
+/// disposition, queue/solve timings, and the outcome class.
+fn access_log(req: &Request, resp: &Response) {
+    let id = req.id.map_or_else(|| "-".into(), |i| i.to_string());
+    let cache = match resp.cache_hit {
+        Some(true) => "hit",
+        Some(false) => "miss",
+        None => "-",
+    };
+    let fmt_s = |v: Option<f64>| v.map_or_else(|| "-".into(), |s| format!("{s:.6}"));
+    let outcome = if resp.cancelled == Some(true) {
+        "cancelled".to_string()
+    } else if resp.ok {
+        "ok".to_string()
+    } else {
+        match (resp.code, resp.error.as_deref()) {
+            (Some(503), Some(e)) if e.starts_with("busy") => "busy".to_string(),
+            (Some(503), _) => "draining".to_string(),
+            (Some(c), _) => format!("error:{c}"),
+            (None, _) => "error".to_string(),
+        }
+    };
+    eprintln!(
+        "ghd-serve: access id={id} verb={} cache={cache} queue_wait_s={} wall_s={} outcome={outcome}",
+        req.cmd,
+        fmt_s(resp.queue_wait_s),
+        fmt_s(resp.wall_s),
+    );
 }
 
 /// One worker: take a job, answer from cache or solve, admit the result.
@@ -439,8 +686,9 @@ fn answer(job: &Job, shared: &Arc<Shared>) -> Response {
     }
     let start = Instant::now();
     let solver = Arc::clone(&shared.solver);
-    let solved: Result<SolveOutcome, SolveError> =
-        match catch_unwind(AssertUnwindSafe(|| solver.solve(&req.cmd, &req.instance, &req.args))) {
+    let solved: Result<SolveOutcome, SolveError> = match catch_unwind(AssertUnwindSafe(|| {
+        solver.solve(&req.cmd, &req.instance, &req.args, &job.cancel)
+    })) {
             Ok(r) => r,
             Err(panic) => {
                 let what = panic
@@ -455,10 +703,11 @@ fn answer(job: &Job, shared: &Arc<Shared>) -> Response {
     match solved {
         Ok(outcome) => {
             if let (Some(k), true) = (key, outcome.cacheable && outcome.certified && outcome.exact) {
-                shared.cache.lock().unwrap_or_else(|p| p.into_inner()).admit(
-                    k,
-                    CachedDecomp { body: outcome.body.clone(), width: outcome.width },
-                );
+                let value = CachedDecomp { body: outcome.body.clone(), width: outcome.width };
+                // spill before admit: the in-memory cache may evict, the
+                // log keeps the entry for the next boot regardless
+                shared.log_append(&k, &value);
+                shared.cache.lock().unwrap_or_else(|p| p.into_inner()).admit(k, value);
             }
             let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
             stats.completed += 1;
@@ -466,6 +715,9 @@ fn answer(job: &Job, shared: &Arc<Shared>) -> Response {
             stats.nodes_expanded += outcome.nodes_expanded;
             stats.queue_wait_s += wait;
             stats.wall_s += wall;
+            if outcome.cancelled {
+                stats.cancelled += 1;
+            }
             Response {
                 id: req.id,
                 ok: true,
@@ -473,6 +725,7 @@ fn answer(job: &Job, shared: &Arc<Shared>) -> Response {
                 cache_hit: Some(false),
                 exact: Some(outcome.exact),
                 certified: Some(outcome.certified),
+                cancelled: outcome.cancelled.then_some(true),
                 nodes_expanded: Some(outcome.nodes_expanded),
                 faults: Some(outcome.faults as u64),
                 queue_wait_s: Some(wait),
@@ -512,6 +765,12 @@ fn render_stats(
     w(format_args!(", \"nodes_expanded\": {}", s.nodes_expanded));
     w(format_args!(", \"queue_wait_s\": {:.6}", s.queue_wait_s));
     w(format_args!(", \"wall_s\": {:.6}", s.wall_s));
+    w(format_args!(", \"cancelled\": {}", s.cancelled));
+    w(format_args!(", \"conn_rejections\": {}", s.conn_rejections));
+    w(format_args!(", \"idle_closed\": {}", s.idle_closed));
+    w(format_args!(", \"replayed\": {}", s.replayed));
+    w(format_args!(", \"replay_verify_rejects\": {}", s.replay_verify_rejects));
+    w(format_args!(", \"boot_replay_s\": {:.6}", s.boot_replay_s));
     w(format_args!(
         ", \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"bytes\": {}}}",
         cache.hits, cache.misses, cache.evictions, cache.entries, cache_bytes

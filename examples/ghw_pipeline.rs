@@ -56,11 +56,11 @@ fn main() {
     let bb = bb_ghw(
         &h,
         &BbGhwConfig {
-            limits: budget,
+            limits: budget.clone(),
             ..BbGhwConfig::default()
         },
     );
-    let astar = astar_ghw(&h, budget);
+    let astar = astar_ghw(&h, budget.clone());
     println!(
         "BB-ghw: width {} (exact: {}), A*-ghw: width {} (exact: {})",
         bb.upper_bound, bb.exact, astar.upper_bound, astar.exact

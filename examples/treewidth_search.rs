@@ -28,11 +28,11 @@ fn main() {
         let lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(&g, None);
         let (ub, _) = tw_upper_bound::<ghd_prng::rngs::StdRng>(&g, None);
 
-        let a = astar_tw(&g, budget);
+        let a = astar_tw(&g, budget.clone());
         let b = bb_tw(
             &g,
             &BbConfig {
-                limits: budget,
+                limits: budget.clone(),
                 ..BbConfig::default()
             },
         );

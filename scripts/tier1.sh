@@ -95,6 +95,74 @@ grep -q "drained clean" "$SWEEP_DIR/serve.log" || {
 }
 [ ! -e "$SOCK" ] || { echo "stale socket left behind: $SOCK" >&2; exit 1; }
 
+echo "==> crash recovery (kill -9 a logged daemon, restart on the same log: warm replays, corrupt tail dropped)"
+CACHELOG="$SWEEP_DIR/cache.log"
+SOCK1="$SWEEP_DIR/ghd-crash.sock"
+"$GHD" serve "unix:$SOCK1" --workers 2 --log "$CACHELOG" > "$SWEEP_DIR/serve_crash1.log" 2>&1 &
+CRASH_PID=$!
+trap 'kill -9 "$CRASH_PID" 2>/dev/null || true; rm -rf "$SWEEP_DIR"' EXIT
+TRIES=0
+while [ ! -S "$SOCK1" ]; do
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -le 50 ] || { cat "$SWEEP_DIR/serve_crash1.log" >&2; exit 1; }
+    sleep 0.1
+done
+# warm the cache: two exact answers, each append is one write() so the
+# records are in the page cache the moment the submit returns
+"$GHD" submit "unix:$SOCK1" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 > /dev/null
+"$GHD" submit "unix:$SOCK1" tw "$SWEEP_DIR/g.col" --method bb --time 0 > /dev/null
+# crash hard — no drain, no fsync, stale socket file left behind
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+# simulate the torn append a crash mid-write leaves: a valid version
+# byte followed by garbage
+printf '\001\377\377\377\023' >> "$CACHELOG"
+SOCK2="$SWEEP_DIR/ghd-recover.sock"
+"$GHD" serve "unix:$SOCK2" --workers 2 --log "$CACHELOG" > "$SWEEP_DIR/serve_crash2.log" 2>&1 &
+RECOVER_PID=$!
+trap 'kill "$RECOVER_PID" 2>/dev/null || true; rm -rf "$SWEEP_DIR"' EXIT
+TRIES=0
+while [ ! -S "$SOCK2" ]; do
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -le 50 ] || { cat "$SWEEP_DIR/serve_crash2.log" >&2; exit 1; }
+    sleep 0.1
+done
+# every verified record replays; the garbage tail is dropped and logged
+grep -q "cache-log replayed 2 entries (0 rejected by verification)" "$SWEEP_DIR/serve_crash2.log" || {
+    echo "boot replay did not admit both records:" >&2
+    cat "$SWEEP_DIR/serve_crash2.log" >&2
+    exit 1
+}
+grep -q "cache-log corrupt tail dropped" "$SWEEP_DIR/serve_crash2.log" || {
+    echo "corrupt tail was not detected/logged:" >&2
+    cat "$SWEEP_DIR/serve_crash2.log" >&2
+    exit 1
+}
+# warm answers come from the replayed cache (byte-identical, zero solves)
+"$GHD" submit "unix:$SOCK2" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 > "$SWEEP_DIR/srv_ghw3.txt"
+cmp -s "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/srv_ghw3.txt" || {
+    echo "replayed ghw answer diverged from the one-shot CLI:" >&2
+    diff "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/srv_ghw3.txt" >&2 || true
+    exit 1
+}
+"$GHD" submit "unix:$SOCK2" tw "$SWEEP_DIR/g.col" --method bb --time 0 > "$SWEEP_DIR/srv_tw3.txt"
+cmp -s "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/srv_tw3.txt"
+"$GHD" submit "unix:$SOCK2" stats > "$SWEEP_DIR/serve_stats2.json"
+grep -q '"replayed": 2' "$SWEEP_DIR/serve_stats2.json" || {
+    echo "stats did not report the boot replay:" >&2
+    cat "$SWEEP_DIR/serve_stats2.json" >&2
+    exit 1
+}
+grep -q 'access .* cache=hit' "$SWEEP_DIR/serve_crash2.log" || {
+    echo "warm submits after recovery were not cache hits:" >&2
+    cat "$SWEEP_DIR/serve_crash2.log" >&2
+    exit 1
+}
+"$GHD" submit "unix:$SOCK2" shutdown > /dev/null
+wait "$RECOVER_PID"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+grep -q "drained clean" "$SWEEP_DIR/serve_crash2.log"
+
 echo "==> fuzz_inputs (seeded byte mutations across every parser; a panic fails)"
 cargo run --offline -q --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
 

@@ -226,15 +226,15 @@ fn telemetry_is_behaviourally_free_across_the_search_suite() {
             Some(n) => SearchLimits::with_nodes(n),
             None => SearchLimits::unlimited(),
         };
-        let on = off.stats(true);
+        let on = off.clone().stats(true);
         let runs: [(&str, ghd::search::SearchResult, ghd::search::SearchResult); 4] = [
-            ("astar_tw", astar_tw(&g, off), astar_tw(&g, on)),
+            ("astar_tw", astar_tw(&g, off.clone()), astar_tw(&g, on.clone())),
             (
                 "bb_tw",
-                bb_tw(&g, &BbConfig { limits: off, ..BbConfig::default() }),
-                bb_tw(&g, &BbConfig { limits: on, ..BbConfig::default() }),
+                bb_tw(&g, &BbConfig { limits: off.clone(), ..BbConfig::default() }),
+                bb_tw(&g, &BbConfig { limits: on.clone(), ..BbConfig::default() }),
             ),
-            ("astar_ghw", astar_ghw(&h, off), astar_ghw(&h, on)),
+            ("astar_ghw", astar_ghw(&h, off.clone()), astar_ghw(&h, on.clone())),
             (
                 "bb_ghw",
                 bb_ghw(&h, &BbGhwConfig { limits: off, ..BbGhwConfig::default() }),
@@ -264,7 +264,7 @@ fn telemetry_is_behaviourally_free_across_the_search_suite() {
 
     // parallel searches: widths identical, stats merged from all workers
     let off = SearchLimits::unlimited();
-    let a = bb_ghw_parallel(&h, &BbGhwConfig { limits: off, ..BbGhwConfig::default() }, 3);
+    let a = bb_ghw_parallel(&h, &BbGhwConfig { limits: off.clone(), ..BbGhwConfig::default() }, 3);
     let b = bb_ghw_parallel(
         &h,
         &BbGhwConfig { limits: off.stats(true), ..BbGhwConfig::default() },
@@ -339,8 +339,8 @@ fn astar_runs_are_reproducible_including_peak_bytes() {
             Some(n) => SearchLimits::with_nodes(n).stats(true),
             None => SearchLimits::unlimited().stats(true),
         };
-        let (a1, a2) = (astar_tw(&g, limits), astar_tw(&g, limits));
-        let (b1, b2) = (astar_ghw(&h, limits), astar_ghw(&h, limits));
+        let (a1, a2) = (astar_tw(&g, limits.clone()), astar_tw(&g, limits.clone()));
+        let (b1, b2) = (astar_ghw(&h, limits.clone()), astar_ghw(&h, limits));
         for (name, x, y) in [("astar_tw", &a1, &a2), ("astar_ghw", &b1, &b2)] {
             let tag = format!("{name} cap {cap:?}");
             assert_eq!(x.upper_bound, y.upper_bound, "{tag}: ub");
@@ -368,7 +368,7 @@ fn bb_runs_report_zero_peak_gauges() {
     let g = graphs::gnm_random(14, 38, 3);
     let h = hypergraphs::random_hypergraph(11, 7, 3, 3);
     let limits = SearchLimits::unlimited().stats(true);
-    let b1 = bb_tw(&g, &BbConfig { limits, ..BbConfig::default() });
+    let b1 = bb_tw(&g, &BbConfig { limits: limits.clone(), ..BbConfig::default() });
     let b2 = bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() });
     for (name, r) in [("bb_tw", &b1), ("bb_ghw", &b2)] {
         let st = r.stats.as_ref().unwrap();
