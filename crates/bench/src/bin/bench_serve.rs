@@ -119,7 +119,7 @@ fn main() {
         log_path: Some(log_path.clone()),
         ..ServerConfig::default()
     };
-    let server = Server::bind("127.0.0.1:0", cfg(), Arc::new(CliSolver) as Arc<dyn Solver>)
+    let server = Server::bind("127.0.0.1:0", cfg(), Arc::new(CliSolver::default()) as Arc<dyn Solver>)
         .expect("bind a free port");
     let addr = server.local_addr();
     let daemon = thread::spawn(move || server.run());
@@ -154,7 +154,7 @@ fn main() {
 
     // replay: a second daemon boots on the fsynced log; the workload must
     // again be all hits — served from verified boot replay, not re-solved
-    let server2 = Server::bind("127.0.0.1:0", cfg(), Arc::new(CliSolver) as Arc<dyn Solver>)
+    let server2 = Server::bind("127.0.0.1:0", cfg(), Arc::new(CliSolver::default()) as Arc<dyn Solver>)
         .expect("bind replay port");
     let addr2 = server2.local_addr();
     let daemon2 = thread::spawn(move || server2.run());

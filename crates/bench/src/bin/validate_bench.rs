@@ -232,8 +232,71 @@ fn check(doc: &Json) -> Vec<String> {
             }
         }
     }
+    // Safe-separator split-sweep rows: the monolithic vs split walls plus
+    // the block inventory. Mandatory — bench_smoke always emits the section.
+    match doc.get("split_sweep").and_then(Json::as_array) {
+        None => err("top-level `split_sweep` array missing".to_string()),
+        Some([]) => err("`split_sweep` is empty".to_string()),
+        Some(rs) => {
+            for (i, r) in rs.iter().enumerate() {
+                let name = r
+                    .get("instance")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        err(format!("split_sweep[{i}]: `instance` string missing"));
+                        format!("split_sweep[{i}]")
+                    });
+                for &key in SPLIT_REQUIRED_NUMBERS {
+                    if r.get(key).and_then(Json::as_f64).is_none() {
+                        err(format!("{name}: number `{key}` missing"));
+                    }
+                }
+                if r.get("exact").and_then(Json::as_bool).is_none() {
+                    err(format!("{name}: boolean `exact` missing"));
+                }
+                match r.get("certified").and_then(Json::as_bool) {
+                    Some(true) => {}
+                    Some(false) => err(format!("{name}: width is not certified")),
+                    None => err(format!("{name}: boolean `certified` missing")),
+                }
+                // the block inventory must account for every block: one
+                // separator kind per block, and a sweep row that didn't
+                // actually split (one block) measures nothing
+                match r.get("kinds").and_then(Json::as_array) {
+                    None => err(format!("{name}: `kinds` array missing")),
+                    Some(ks) => {
+                        if ks.iter().any(|k| k.as_str().is_none()) {
+                            err(format!("{name}: `kinds` has a non-string entry"));
+                        }
+                        let blocks = r.get("blocks").and_then(Json::as_f64).unwrap_or(-1.0);
+                        if blocks >= 0.0 && ks.len() as f64 != blocks {
+                            err(format!(
+                                "{name}: {} kind(s) for {blocks} block(s)",
+                                ks.len()
+                            ));
+                        }
+                        if (0.0..2.0).contains(&blocks) {
+                            err(format!("{name}: only {blocks} block(s) — row did not split"));
+                        }
+                    }
+                }
+            }
+        }
+    }
     errs
 }
+
+/// Required numeric keys of every `split_sweep` record.
+const SPLIT_REQUIRED_NUMBERS: &[&str] = &[
+    "vertices",
+    "edges",
+    "width",
+    "wall_s_mono",
+    "wall_s_split",
+    "speedup",
+    "blocks",
+];
 
 /// Required numeric keys of every `threads_sweep` record.
 const SWEEP_REQUIRED_NUMBERS: &[&str] = &[
@@ -277,10 +340,11 @@ fn check_regressions(doc: &Json, base: &Json) -> Vec<String> {
     // (section, match keys, wall key) — BB rows match by instance alone,
     // A* rows by (instance, algo); sweep row names embed the thread count
     // (`grid2d_6@t4`), so instance alone is already unique
-    let sections: [(&str, bool, &str); 3] = [
+    let sections: [(&str, bool, &str); 4] = [
         ("results", false, "wall_s_cache_on"),
         ("astar_results", true, "wall_s"),
         ("threads_sweep", false, "wall_s_steal"),
+        ("split_sweep", false, "wall_s_split"),
     ];
     for (section, match_algo, wall_key) in sections {
         let rows = doc.get(section).and_then(Json::as_array).unwrap_or(&[]);
@@ -407,6 +471,12 @@ mod tests {
                  "wall_s_seq": 0.08, "wall_s_steal": 0.03, "wall_s_rootsplit": 0.06,
                  "speedup_steal": 2.6667, "speedup_rootsplit": 1.3333,
                  "published": 10, "executed": 11, "stolen": 6, "retried": 0}
+            ],
+            "split_sweep": [
+                {"instance": "blocky", "vertices": 30, "edges": 76, "width": 11,
+                 "exact": true, "certified": true,
+                 "wall_s_mono": 0.005, "wall_s_split": 0.001, "speedup": 5.0,
+                 "blocks": 2, "kinds": ["clique-separator", "clique-separator"]}
             ]}"#;
 
     #[test]
@@ -530,6 +600,51 @@ mod tests {
         let doc = Json::parse(&uncert).unwrap();
         let errs = check(&doc);
         assert!(errs.contains(&"g@t4: width is not certified".to_string()), "{errs:?}");
+    }
+
+    #[test]
+    fn split_rows_need_a_real_split_and_a_consistent_inventory() {
+        // the section itself is mandatory
+        let doc = Json::parse(r#"{"bench": "x", "results": [{"instance": "g"}]}"#).unwrap();
+        assert!(
+            check(&doc).iter().any(|e| e.contains("`split_sweep` array missing")),
+            "{:?}",
+            check(&doc)
+        );
+
+        // one block means the layer never split: the row measures nothing
+        let unsplit = WELL_FORMED.replace(
+            "\"blocks\": 2, \"kinds\": [\"clique-separator\", \"clique-separator\"]",
+            "\"blocks\": 1, \"kinds\": [\"component\"]",
+        );
+        let doc = Json::parse(&unsplit).unwrap();
+        let errs = check(&doc);
+        assert!(errs.iter().any(|e| e.contains("row did not split")), "{errs:?}");
+
+        // the kind inventory must account for every block
+        let mismatched = WELL_FORMED.replace(
+            "\"kinds\": [\"clique-separator\", \"clique-separator\"]",
+            "\"kinds\": [\"clique-separator\"]",
+        );
+        let doc = Json::parse(&mismatched).unwrap();
+        let errs = check(&doc);
+        assert!(errs.iter().any(|e| e.contains("1 kind(s) for 2 block(s)")), "{errs:?}");
+
+        // an uncertified split width fails the gate
+        let uncert = WELL_FORMED.replace(
+            "\"exact\": true, \"certified\": true,\n                 \"wall_s_mono\"",
+            "\"exact\": true, \"certified\": false,\n                 \"wall_s_mono\"",
+        );
+        let doc = Json::parse(&uncert).unwrap();
+        let errs = check(&doc);
+        assert!(errs.contains(&"blocky: width is not certified".to_string()), "{errs:?}");
+
+        // a regressed wall_s_split is flagged against the baseline
+        let base = Json::parse(WELL_FORMED).unwrap();
+        let slow = WELL_FORMED.replace("\"wall_s_split\": 0.001", "\"wall_s_split\": 0.9");
+        let doc = Json::parse(&slow).unwrap();
+        let errs = check_regressions(&doc, &base);
+        assert!(errs.iter().any(|e| e.starts_with("blocky: ")), "{errs:?}");
     }
 
     #[test]

@@ -30,8 +30,9 @@ use ghd_ga::{ga_ghw, ga_tw, sa_ghw, sa_tw, saiga_ghw, GaConfig, SaConfig, SaigaC
 use ghd_hypergraph::generators::{graphs, hypergraphs};
 use ghd_hypergraph::{io, Graph, Hypergraph};
 use ghd_search::{
-    astar_ghw, astar_tw, bb_ghw, bb_ghw_parallel, bb_tw, bb_tw_parallel, BbConfig, BbGhwConfig,
-    CancelToken, SearchLimits, StealConfig,
+    astar_ghw, astar_tw, bb_ghw, bb_ghw_parallel, bb_tw, bb_tw_parallel, split_ghw, split_tw,
+    BbConfig, BbGhwConfig, BlockSolution, BlockStore, CancelToken, SearchLimits, SplitReport,
+    StealConfig,
 };
 use std::time::Duration;
 
@@ -139,16 +140,18 @@ USAGE:
                 gnm N M SEED | adder N | bridge N | clique N |
                 grid2d-h N | grid3d-h N | circuit V E SEED
   ghd tw <graph-file> [--method astar|bb|ga|sa|minfill] [--time SECONDS]
-         [--nodes N] [--threads T] [--steal-depth D] [--stats json] [--td]
+         [--nodes N] [--threads T] [--steal-depth D] [--no-split]
+         [--stats json] [--td]
   ghd ghw <hypergraph-file> [--method astar|bb|ga|saiga|sa|greedy]
          [--time SECONDS] [--nodes N] [--threads T] [--steal-depth D]
-         [--stats json] [--show]
+         [--no-split] [--stats json] [--show]
   ghd bounds <file>
   ghd validate <instance-file> <td-file>
   ghd serve <addr> [--workers N] [--queue N] [--cache-mb M] [--log PATH]
-         [--max-conns N] [--idle-timeout SECONDS]
+         [--max-conns N] [--idle-timeout SECONDS] [--stats-interval SECONDS]
   ghd submit <addr> tw|ghw <file> [solve flags…]
          [--retries N] [--retry-budget SECONDS]
+  ghd submit <addr> --manifest FILE [--retries N] [--retry-budget SECONDS]
   ghd submit <addr> ping|stats|shutdown
 
 Budgets (exact searches): default 10s wall clock; --time 0 = unlimited;
@@ -157,6 +160,11 @@ Budgets (exact searches): default 10s wall clock; --time 0 = unlimited;
 --threads T (--method bb only) runs the work-stealing parallel search
 (T = 0 uses all cores); widths and orderings are identical to the
 sequential search. --steal-depth D tunes its task-publication cutoff.
+--method bb splits instances into independent blocks along safe
+separators (components, cut vertices, clique separators for tw;
+components and isolated/contained edges for ghw), solves the blocks in
+parallel, and recombines — widths and orderings stay identical to the
+unsplit search for any thread count. --no-split disables it.
 
 Graph files: DIMACS .col (`p edge`) or PACE .gr (`p tw`).
 Hypergraph files: CSP hypergraph library format `name(v1,v2,…).`
@@ -174,7 +182,11 @@ closes connections with no complete request in the window. `ghd submit`
 answers are byte-identical to the one-shot `ghd tw`/`ghd ghw` output for
 the same file and flags; --retries N retries `busy`/refused connections
 with exponential backoff and seeded jitter within --retry-budget
-(default 30) seconds.
+(default 30) seconds. --stats-interval S logs a one-line stats snapshot
+(cache bytes/hits, queue depth, in-flight, replays) every S seconds.
+--manifest FILE batches solves over one connection: each line is
+`tw|ghw <file> [flags…]` (# comments skipped, relative paths resolve
+against the manifest); one status line per instance plus a summary.
 ";
 
 /// Splits `args` into positionals and `--key [value]` options.
@@ -345,6 +357,18 @@ fn steal_opts(
     Ok(Some((threads, steal)))
 }
 
+/// Parses `--no-split`: like `--threads` it only makes sense for the BB
+/// searches, which split instances along safe separators by default.
+fn split_off(opts: &[(&str, Option<&str>)], method: &str) -> Result<bool, String> {
+    if !flag(opts, "no-split") {
+        return Ok(false);
+    }
+    if method != "bb" {
+        return Err(format!("--no-split requires --method bb (got `{method}`)"));
+    }
+    Ok(true)
+}
+
 /// Parses `--stats json` (the only supported format for now).
 fn stats_format<'a>(opts: &[(&'a str, Option<&'a str>)]) -> Result<Option<&'a str>, String> {
     if !flag(opts, "stats") {
@@ -401,23 +425,29 @@ fn certify_ghw(
     Ok(())
 }
 
+/// Identity of the solved instance as it appears in `--stats json`.
+struct JsonHeader<'a> {
+    problem: &'a str,
+    method: &'a str,
+    vertices: usize,
+    edges: usize,
+}
+
 /// Renders a [`ghd_search::SearchResult`] (with its telemetry) as a single
 /// JSON object — the machine-readable face of `--stats json`.
 fn search_json(
-    problem: &str,
-    method: &str,
-    n: usize,
-    m: usize,
+    hdr: &JsonHeader<'_>,
     r: &ghd_search::SearchResult,
     certified: bool,
     cancelled: bool,
+    split: Option<&SplitReport>,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"problem\": \"{}\",", ghd_core::json::escape(problem));
-    let _ = writeln!(s, "  \"method\": \"{}\",", ghd_core::json::escape(method));
-    let _ = writeln!(s, "  \"vertices\": {n},");
-    let _ = writeln!(s, "  \"edges\": {m},");
+    let _ = writeln!(s, "  \"problem\": \"{}\",", ghd_core::json::escape(hdr.problem));
+    let _ = writeln!(s, "  \"method\": \"{}\",", ghd_core::json::escape(hdr.method));
+    let _ = writeln!(s, "  \"vertices\": {},", hdr.vertices);
+    let _ = writeln!(s, "  \"edges\": {},", hdr.edges);
     let _ = writeln!(s, "  \"lower_bound\": {},", r.lower_bound);
     let _ = writeln!(s, "  \"upper_bound\": {},", r.upper_bound);
     let _ = writeln!(s, "  \"exact\": {},", r.exact);
@@ -439,6 +469,43 @@ fn search_json(
     s.push_str("],\n");
     let _ = writeln!(s, "  \"nodes_expanded\": {},", r.nodes_expanded);
     let _ = writeln!(s, "  \"elapsed_s\": {:.6},", r.elapsed.as_secs_f64());
+    match split {
+        Some(rep) => {
+            let _ = writeln!(
+                s,
+                "  \"preprocess\": {{\"eliminated\": {}, \"base_width\": {}, \"rounds\": {}}},",
+                rep.eliminated, rep.base_width, rep.rounds
+            );
+            let _ = write!(
+                s,
+                "  \"split\": {{\"enabled\": {}, \"stitched\": {}, \"witness_nodes\": {}, \
+                 \"contained_edges\": {}, \"blocks\": [",
+                rep.split, rep.stitched, rep.witness_nodes, rep.contained_edges
+            );
+            for (i, b) in rep.blocks.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"size\": {}, \"width\": {}, \"lower_bound\": {}, \"exact\": {}, \
+                     \"kind\": \"{}\", \"cache_hit\": {}, \"nodes\": {}}}",
+                    b.size,
+                    b.width,
+                    b.lower_bound,
+                    b.exact,
+                    b.kind.as_str(),
+                    b.cache_hit,
+                    b.nodes
+                );
+            }
+            s.push_str("]},\n");
+        }
+        None => {
+            s.push_str("  \"preprocess\": null,\n");
+            s.push_str("  \"split\": null,\n");
+        }
+    }
     match &r.stats {
         Some(st) => {
             s.push_str("  \"stats\": {\n");
@@ -559,20 +626,43 @@ pub fn solve_tw_text_with_cancel(
     args: &[String],
     cancel: CancelToken,
 ) -> Result<SolveReport, CmdError> {
+    solve_tw_text_with_store(text, args, cancel, None)
+}
+
+/// [`solve_tw_text_with_cancel`] plus an optional cross-instance
+/// [`BlockStore`]: `ghd-serve` passes its per-block decomposition cache so
+/// exact block solutions are shared across requests. A store hit replays a
+/// previously verified block solution; it never alters the response body —
+/// the witness reconstruction runs on the whole instance either way.
+pub fn solve_tw_text_with_store(
+    text: &str,
+    args: &[String],
+    cancel: CancelToken,
+    store: Option<&dyn BlockStore>,
+) -> Result<SolveReport, CmdError> {
     let (_, opts) = split_opts(args);
     let g = load_graph(text)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?.with_cancel(cancel.clone());
     let parallel = steal_opts(&opts, method)?;
-    let run_bb = |limits: SearchLimits| match parallel {
-        Some((threads, steal)) => {
-            bb_tw_parallel(&g, &BbConfig { limits, steal, ..BbConfig::default() }, threads)
+    let no_split = split_off(&opts, method)?;
+    let run_bb = |limits: SearchLimits| -> (ghd_search::SearchResult, Option<SplitReport>) {
+        let (threads, steal) = parallel.unwrap_or((1, StealConfig::default()));
+        let cfg = BbConfig { limits, steal, ..BbConfig::default() };
+        if no_split {
+            let r = match parallel {
+                Some((t, _)) => bb_tw_parallel(&g, &cfg, t),
+                None => bb_tw(&g, &cfg),
+            };
+            (r, None)
+        } else {
+            let o = split_tw(&g, &cfg, threads, store);
+            (o.result, Some(o.report))
         }
-        None => bb_tw(&g, &BbConfig { limits, ..BbConfig::default() }),
     };
     if stats_format(&opts)?.is_some() {
-        let r = match method {
-            "astar" => astar_tw(&g, limits),
+        let (r, split) = match method {
+            "astar" => (astar_tw(&g, limits), None),
             "bb" => run_bb(limits),
             other => {
                 return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
@@ -592,7 +682,18 @@ pub fn solve_tw_text_with_cancel(
             None => false,
         };
         return Ok(SolveReport {
-            body: search_json("tw", method, g.num_vertices(), g.num_edges(), &r, certified, cancelled),
+            body: search_json(
+                &JsonHeader {
+                    problem: "tw",
+                    method,
+                    vertices: g.num_vertices(),
+                    edges: g.num_edges(),
+                },
+                &r,
+                certified,
+                cancelled,
+                split.as_ref(),
+            ),
             width: r.upper_bound,
             exact: r.exact,
             certified,
@@ -617,7 +718,7 @@ pub fn solve_tw_text_with_cancel(
             )
         }
         "bb" => {
-            let r = run_bb(limits);
+            let (r, _) = run_bb(limits);
             let cancelled = !r.exact && cancel.is_cancelled();
             (
                 describe("BB-tw", r.upper_bound, r.lower_bound, r.exact, cancelled),
@@ -715,20 +816,40 @@ pub fn solve_ghw_text_with_cancel(
     args: &[String],
     cancel: CancelToken,
 ) -> Result<SolveReport, CmdError> {
+    solve_ghw_text_with_store(text, args, cancel, None)
+}
+
+/// [`solve_ghw_text_with_cancel`] plus an optional cross-instance
+/// [`BlockStore`]; the `ghw` twin of [`solve_tw_text_with_store`].
+pub fn solve_ghw_text_with_store(
+    text: &str,
+    args: &[String],
+    cancel: CancelToken,
+    store: Option<&dyn BlockStore>,
+) -> Result<SolveReport, CmdError> {
     let (_, opts) = split_opts(args);
     let h = io::parse_hypergraph(text).map_err(CmdError::data)?;
     let method = opt(&opts, "method").unwrap_or("astar");
     let limits = limits_from(&opts)?.with_cancel(cancel.clone());
     let parallel = steal_opts(&opts, method)?;
-    let run_bb = |limits: SearchLimits| match parallel {
-        Some((threads, steal)) => {
-            bb_ghw_parallel(&h, &BbGhwConfig { limits, steal, ..BbGhwConfig::default() }, threads)
+    let no_split = split_off(&opts, method)?;
+    let run_bb = |limits: SearchLimits| -> (ghd_search::SearchResult, Option<SplitReport>) {
+        let (threads, steal) = parallel.unwrap_or((1, StealConfig::default()));
+        let cfg = BbGhwConfig { limits, steal, ..BbGhwConfig::default() };
+        if no_split {
+            let r = match parallel {
+                Some((t, _)) => bb_ghw_parallel(&h, &cfg, t),
+                None => bb_ghw(&h, &cfg),
+            };
+            (r, None)
+        } else {
+            let o = split_ghw(&h, &cfg, threads, store);
+            (o.result, Some(o.report))
         }
-        None => bb_ghw(&h, &BbGhwConfig { limits, ..BbGhwConfig::default() }),
     };
     if stats_format(&opts)?.is_some() {
-        let r = match method {
-            "astar" => astar_ghw(&h, limits),
+        let (r, split) = match method {
+            "astar" => (astar_ghw(&h, limits), None),
             "bb" => run_bb(limits),
             other => {
                 return Err(CmdError::usage(format!("--stats json requires --method astar|bb (got `{other}`)")))
@@ -748,7 +869,18 @@ pub fn solve_ghw_text_with_cancel(
             None => false,
         };
         return Ok(SolveReport {
-            body: search_json("ghw", method, h.num_vertices(), h.num_edges(), &r, certified, cancelled),
+            body: search_json(
+                &JsonHeader {
+                    problem: "ghw",
+                    method,
+                    vertices: h.num_vertices(),
+                    edges: h.num_edges(),
+                },
+                &r,
+                certified,
+                cancelled,
+                split.as_ref(),
+            ),
             width: r.upper_bound,
             exact: r.exact,
             certified,
@@ -773,7 +905,7 @@ pub fn solve_ghw_text_with_cancel(
             )
         }
         "bb" => {
-            let r = run_bb(limits);
+            let (r, _) = run_bb(limits);
             let cancelled = !r.exact && cancel.is_cancelled();
             (
                 describe("BB-ghw", r.upper_bound, r.lower_bound, r.exact, cancelled),
@@ -873,10 +1005,82 @@ pub fn solve_ghw_text_with_cancel(
     })
 }
 
+/// Cross-instance cache of exact block solutions, shared by every worker
+/// of a `ghd-serve` daemon: two different instances that share a block
+/// (same canonical block text) reuse each other's verified solutions.
+/// Backed by the same byte-capped LRU as the response cache. Hits never
+/// alter response bodies — they only skip re-solving a block; the witness
+/// reconstruction still runs on the whole instance.
+pub struct BlockCache {
+    inner: std::sync::Mutex<ghd_core::canon::DecompCache>,
+}
+
+/// FNV-1a over the canonical block text: only narrows the LRU's candidate
+/// bucket — the cache verifies the canonical text exactly on every probe.
+fn block_hash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl BlockCache {
+    /// An empty cache holding at most `cap_bytes` of block solutions.
+    pub fn new(cap_bytes: usize) -> BlockCache {
+        BlockCache {
+            inner: std::sync::Mutex::new(ghd_core::canon::DecompCache::new(cap_bytes)),
+        }
+    }
+
+    fn key(canon: &str) -> ghd_core::canon::CacheKey {
+        ghd_core::canon::CacheKey {
+            hash: block_hash(canon),
+            canon: canon.to_string(),
+            signature: "block".to_string(),
+        }
+    }
+}
+
+impl BlockStore for BlockCache {
+    fn probe(&self, canon: &str) -> Option<BlockSolution> {
+        let hit = self.inner.lock().ok()?.probe(&Self::key(canon))?;
+        // body: "width lower_bound v0 v1 …" — fail closed on any slip
+        let mut nums = hit.body.split_whitespace().map(str::parse::<usize>);
+        let width = nums.next()?.ok()?;
+        let lower_bound = nums.next()?.ok()?;
+        let ordering: Vec<usize> = nums.collect::<Result<_, _>>().ok()?;
+        Some(BlockSolution { width, lower_bound, ordering })
+    }
+
+    fn admit(&self, canon: &str, sol: &BlockSolution) {
+        use std::fmt::Write as _;
+        let mut body = format!("{} {}", sol.width, sol.lower_bound);
+        for v in &sol.ordering {
+            let _ = write!(body, " {v}");
+        }
+        let value = ghd_core::canon::CachedDecomp { body, width: sol.width };
+        if let Ok(mut cache) = self.inner.lock() {
+            cache.admit(Self::key(canon), value);
+        }
+    }
+}
+
 /// The [`ghd_serve::Solver`] backed by this crate's own solve functions
 /// ([`solve_tw_text`] / [`solve_ghw_text`]), so daemon answers match the
-/// one-shot CLI byte for byte.
-pub struct CliSolver;
+/// one-shot CLI byte for byte. Owns the per-block solution cache the
+/// split layer probes across requests.
+#[derive(Default)]
+pub struct CliSolver {
+    blocks: BlockCache,
+}
+
+impl Default for BlockCache {
+    fn default() -> BlockCache {
+        BlockCache::new(8 << 20)
+    }
+}
 
 /// The normalized flag set as a cache-signature component: last
 /// occurrence wins per key (mirroring [`opt`]'s resolution), then sorted,
@@ -941,8 +1145,8 @@ impl ghd_serve::Solver for CliSolver {
     ) -> Result<ghd_serve::SolveOutcome, ghd_serve::SolveError> {
         let token = CancelToken::from_flag(std::sync::Arc::clone(cancel));
         let report = match cmd {
-            "tw" => solve_tw_text_with_cancel(instance, args, token),
-            "ghw" => solve_ghw_text_with_cancel(instance, args, token),
+            "tw" => solve_tw_text_with_store(instance, args, token, Some(&self.blocks)),
+            "ghw" => solve_ghw_text_with_store(instance, args, token, Some(&self.blocks)),
             other => Err(CmdError::usage(format!("unknown solve command `{other}`"))),
         }
         .map_err(|e| ghd_serve::SolveError {
@@ -1022,7 +1226,12 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         // 0 disables the idle reaper (connections may sit forever)
         cfg.idle_timeout = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
     }
-    let server = ghd_serve::Server::bind(addr, cfg, std::sync::Arc::new(CliSolver))
+    if let Some(s) = opt(&opts, "stats-interval") {
+        let secs = parse_secs(s, "--stats-interval")?;
+        // 0 disables the periodic snapshot line
+        cfg.stats_interval = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+    }
+    let server = ghd_serve::Server::bind(addr, cfg, std::sync::Arc::new(CliSolver::default()))
         .map_err(|e| CmdError::usage(format!("cannot bind `{addr}`: {e}")))?;
     // SIGTERM/SIGINT drain gracefully: in-flight solves finish (a second
     // signal cancels them cooperatively) and the cache log is fsynced
@@ -1101,11 +1310,170 @@ fn submit_once(addr: &str, req: &ghd_serve::Request) -> Result<String, (bool, Cm
     }
 }
 
+/// One manifest entry: `tw|ghw <file> [flags…]`, whitespace-separated.
+struct ManifestEntry {
+    line_no: usize,
+    verb: String,
+    file: String,
+    flags: Vec<String>,
+}
+
+/// Parses a batch manifest: one solve per line, `#` comments and blank
+/// lines skipped. Relative instance paths resolve against the manifest's
+/// own directory, so a manifest can sit next to its instances.
+fn parse_manifest(text: &str, manifest_path: &str) -> Result<Vec<ManifestEntry>, CmdError> {
+    let base = std::path::Path::new(manifest_path).parent();
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let verb = toks.next().unwrap_or_default().to_string();
+        if verb != "tw" && verb != "ghw" {
+            return Err(CmdError::usage(format!(
+                "manifest line {}: expected `tw|ghw <file> [flags…]`, got `{line}`",
+                i + 1
+            )));
+        }
+        let file = toks.next().ok_or_else(|| {
+            CmdError::usage(format!("manifest line {}: missing instance file", i + 1))
+        })?;
+        let path = std::path::Path::new(file);
+        let file = if path.is_relative() {
+            base.map_or_else(|| path.to_path_buf(), |b| b.join(path))
+        } else {
+            path.to_path_buf()
+        };
+        entries.push(ManifestEntry {
+            line_no: i + 1,
+            verb,
+            file: file.to_string_lossy().into_owned(),
+            flags: toks.map(str::to_string).collect(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Batch submit: every manifest entry goes over **one** connection, in
+/// order, printing one status line per instance and a trailing summary.
+/// Individual failures (unreadable file, solver error) don't abort the
+/// batch — they surface in their status line and the summary's `failed`
+/// count. `busy` answers retry with the same backoff as single submits.
+fn cmd_submit_manifest(
+    addr: &str,
+    manifest_path: &str,
+    retries: u32,
+    retry_budget: Duration,
+) -> CmdResult {
+    use ghd_prng::Rng as _;
+    use std::fmt::Write as _;
+    let entries = parse_manifest(&read_file(manifest_path)?, manifest_path)?;
+    let mut client = ghd_serve::Client::connect(addr)
+        .map_err(|e| CmdError::no_input(format!("cannot connect to `{addr}`: {e}")))?;
+    let mut rng = ghd_prng::SplitMix64::new(0x6768_645f_6d66_7374); // "ghd_mfst"
+    let deadline = std::time::Instant::now() + retry_budget;
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    let (mut ok_n, mut err_n, mut hits, mut exact_n) = (0usize, 0usize, 0usize, 0usize);
+    for e in &entries {
+        let instance = match read_file(&e.file) {
+            Ok(text) => text,
+            Err(err) => {
+                err_n += 1;
+                let _ = writeln!(out, "error {} {} (line {}): {}", e.verb, e.file, e.line_no, err);
+                continue;
+            }
+        };
+        let req = ghd_serve::Request::solve(None, &e.verb, &instance, &e.flags);
+        let mut attempt = 0u32;
+        let resp = loop {
+            match client.request(&req) {
+                Ok(resp) => {
+                    let busy = !resp.ok
+                        && resp.code == Some(503)
+                        && resp.error.as_deref().is_some_and(|m| m.starts_with("busy"));
+                    if !busy || attempt >= retries {
+                        break Ok(resp);
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+            let base = 0.05 * f64::from(1u32 << attempt.min(10));
+            let jitter = base * 0.5 * (rng.next_u64() as f64 / u64::MAX as f64);
+            let pause = Duration::from_secs_f64(base + jitter);
+            if std::time::Instant::now() + pause > deadline {
+                attempt = retries; // budget spent: next answer is final
+            } else {
+                std::thread::sleep(pause);
+            }
+            attempt += 1;
+        };
+        match resp {
+            Ok(resp) if resp.ok => {
+                ok_n += 1;
+                let cache = if resp.cache_hit == Some(true) { "hit" } else { "miss" };
+                if resp.cache_hit == Some(true) {
+                    hits += 1;
+                }
+                if resp.exact == Some(true) {
+                    exact_n += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "ok {} {} exact={} cache={cache} wall_s={:.6}",
+                    e.verb,
+                    e.file,
+                    resp.exact == Some(true),
+                    resp.wall_s.unwrap_or(0.0),
+                );
+            }
+            Ok(resp) => {
+                err_n += 1;
+                let _ = writeln!(
+                    out,
+                    "error {} {} (line {}): {}",
+                    e.verb,
+                    e.file,
+                    e.line_no,
+                    resp.error.unwrap_or_else(|| "unspecified server error".into()),
+                );
+            }
+            Err(e) => {
+                // the connection is gone; later entries would all fail the
+                // same way, so the batch stops here with a loud line
+                err_n += 1;
+                let _ = writeln!(out, "error: transport failed, aborting batch: {e}");
+                break;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "manifest: {} instance(s) — {ok_n} ok ({hits} cache hit(s), {exact_n} exact), \
+         {err_n} failed in {:.3}s",
+        entries.len(),
+        started.elapsed().as_secs_f64(),
+    );
+    Ok(out)
+}
+
 fn cmd_submit(args: &[String]) -> CmdResult {
-    let usage = "submit <addr> tw|ghw <file> [flags…] | submit <addr> ping|stats|shutdown";
+    let usage = "submit <addr> tw|ghw <file> [flags…] | submit <addr> --manifest FILE | \
+                 submit <addr> ping|stats|shutdown";
     let (retries, retry_budget, args) = retry_opts(args)?;
     let addr = args.first().ok_or(usage)?;
     let cmd = args.get(1).ok_or(usage)?.as_str();
+    if cmd == "--manifest" {
+        let path = args.get(2).ok_or("--manifest needs a file")?;
+        if let Some(extra) = args.get(3) {
+            return Err(CmdError::usage(format!(
+                "unexpected argument `{extra}` after --manifest FILE"
+            )));
+        }
+        return cmd_submit_manifest(addr, path, retries, retry_budget);
+    }
     let req = match cmd {
         "tw" | "ghw" => {
             let path = args.get(2).ok_or(usage)?;

@@ -17,7 +17,7 @@ fn strings(args: &[&str]) -> Vec<String> {
 }
 
 fn boot(cfg: ServerConfig) -> (String, thread::JoinHandle<String>) {
-    let server = Server::bind("127.0.0.1:0", cfg, Arc::new(CliSolver) as Arc<dyn Solver>)
+    let server = Server::bind("127.0.0.1:0", cfg, Arc::new(CliSolver::default()) as Arc<dyn Solver>)
         .expect("bind a free port");
     let addr = server.local_addr();
     (addr, thread::spawn(move || server.run()))

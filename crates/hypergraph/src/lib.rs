@@ -13,6 +13,7 @@ pub mod generators;
 pub mod graph;
 pub mod hypergraph;
 pub mod io;
+pub mod separators;
 
 pub use bitset::BitSet;
 pub use elimination::EliminationGraph;

@@ -1,0 +1,478 @@
+//! Safe-separator decompositions of the primal graph.
+//!
+//! Treewidth decomposes along three kinds of separator without losing
+//! exactness: connected components (no separator at all), cut vertices
+//! (Tarjan's biconnected components), and clique minimal separators
+//! (Tarjan's clique-separator decomposition, here computed via the MCS-M
+//! minimal triangulation of Berry–Blair–Heggernes–Peyton and the atom
+//! extraction of Berry–Pogorelcnik–Simonet). For every kind,
+//! `tw(G) = max` over the blocks, each block being an *induced* subgraph
+//! of `G` that contains its separator as a clique — so per-block lower
+//! bounds are sound for the whole instance and per-block decompositions
+//! glue back together at a separator bag.
+//!
+//! All routines are deterministic: ties break toward the smallest vertex
+//! index and every returned vertex list is sorted.
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+
+/// Connected components of a hypergraph (vertices connected iff they
+/// co-occur in a hyperedge), each as a sorted vertex list, in order of
+/// their smallest vertex. Runs in time linear in the incidence size —
+/// the primal graph is never materialised.
+pub fn hypergraph_components(h: &Hypergraph) -> Vec<Vec<usize>> {
+    let n = h.num_vertices();
+    let mut seen_v = BitSet::new(n);
+    let mut seen_e = BitSet::new(h.num_edges());
+    let mut comps = Vec::new();
+    for s in 0..n {
+        if seen_v.contains(s) {
+            continue;
+        }
+        let mut stack = vec![s];
+        let mut comp = Vec::new();
+        seen_v.insert(s);
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for &e in h.edges_containing(u) {
+                if !seen_e.insert(e) {
+                    continue;
+                }
+                for v in h.edge(e).iter() {
+                    if seen_v.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// The block–cut structure of a graph: biconnected components (each a
+/// sorted vertex list; cut vertices appear in every block they join) and
+/// the sorted list of cut vertices. Isolated vertices form singleton
+/// blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockCut {
+    /// Biconnected blocks as sorted vertex lists.
+    pub blocks: Vec<Vec<usize>>,
+    /// Articulation points, sorted.
+    pub cut_vertices: Vec<usize>,
+}
+
+/// Tarjan's biconnected-component decomposition, iterative (no recursion,
+/// so deep paths cannot overflow the stack). Linear in `n + m`.
+pub fn biconnected_components(g: &Graph) -> BlockCut {
+    let n = g.num_vertices();
+    let adj: Vec<Vec<usize>> = (0..n).map(|v| g.neighbors(v).to_vec()).collect();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut edge_stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        if adj[root].is_empty() {
+            disc[root] = timer;
+            timer += 1;
+            blocks.push(vec![root]);
+            continue;
+        }
+        let mut root_children = 0usize;
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        // (vertex, index of the next neighbour to visit)
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(top) = stack.last_mut() {
+            let u = top.0;
+            if top.1 < adj[u].len() {
+                let v = adj[u][top.1];
+                top.1 += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    edge_stack.push((u, v));
+                    stack.push((v, 0));
+                } else if v != parent[u] && disc[v] < disc[u] {
+                    // back edge to a strict ancestor; the symmetric visit
+                    // from the descendant side is skipped by the disc test
+                    edge_stack.push((u, v));
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] >= disc[p] {
+                        // the tree edge (p, u) closes a block
+                        if p != root {
+                            is_cut[p] = true;
+                        }
+                        let mut verts = BitSet::new(n);
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            edge_stack.pop();
+                            verts.insert(a);
+                            verts.insert(b);
+                            if (a, b) == (p, u) {
+                                break;
+                            }
+                        }
+                        blocks.push(verts.to_vec());
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root] = true;
+        }
+    }
+    let cut_vertices = (0..n).filter(|&v| is_cut[v]).collect();
+    BlockCut { blocks, cut_vertices }
+}
+
+/// Result of the clique-minimal-separator decomposition: the atoms (each
+/// an inclusion-maximal induced subgraph without a clique separator) and
+/// the clique separators the decomposition split on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliqueAtoms {
+    /// Atoms as sorted vertex lists. Every vertex of the input appears in
+    /// at least one atom; each separator appears in the atoms it joins.
+    pub atoms: Vec<Vec<usize>>,
+    /// The clique separators split on, sorted vertex lists, in the order
+    /// they were applied.
+    pub separators: Vec<Vec<usize>>,
+}
+
+/// MCS-M (Berry, Blair, Heggernes, Peyton 2004): a minimal triangulation
+/// of `g` together with the order in which vertices were numbered
+/// (first-numbered first; the meo visits this in reverse).
+///
+/// The inner reachability question — "is there a path from the chosen
+/// vertex to `u` through unnumbered vertices all of weight `< w(u)`?" —
+/// is answered with a bottleneck (minimax) Dijkstra over the unnumbered
+/// subgraph, which is exact and keeps the whole routine `O(n·m log n)`
+/// in the worst case; the cores this runs on are small.
+fn mcs_m(g: &Graph) -> (Vec<usize>, Graph) {
+    let n = g.num_vertices();
+    let mut fill = g.clone();
+    let mut weight = vec![0usize; n];
+    let mut numbered = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut dist = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&u| !numbered[u])
+            .max_by_key(|&u| (weight[u], std::cmp::Reverse(u)))
+            .expect("an unnumbered vertex remains");
+        // minimax internal weight of paths from v through unnumbered vertices
+        for u in 0..n {
+            dist[u] = usize::MAX;
+            done[u] = false;
+        }
+        dist[v] = 0;
+        loop {
+            let mut best = usize::MAX;
+            let mut bu = usize::MAX;
+            for u in 0..n {
+                if !numbered[u] && !done[u] && dist[u] < best {
+                    best = dist[u];
+                    bu = u;
+                }
+            }
+            if bu == usize::MAX {
+                break;
+            }
+            done[bu] = true;
+            // extending a path past bu makes bu internal (unless bu == v)
+            let through = if bu == v { 0 } else { dist[bu].max(weight[bu]) };
+            for w in g.neighbors(bu).iter() {
+                if !numbered[w] && !done[w] && through < dist[w] {
+                    dist[w] = through;
+                }
+            }
+        }
+        for u in 0..n {
+            if u == v || numbered[u] {
+                continue;
+            }
+            // reachable with every internal weight strictly below w(u)
+            // (a direct edge has no internal vertices: dist == 0 via v)
+            if g.has_edge(u, v) || (dist[u] != usize::MAX && dist[u] < weight[u]) {
+                weight[u] += 1;
+                fill.add_edge(u, v);
+            }
+        }
+        numbered[v] = true;
+        order.push(v);
+    }
+    (order, fill)
+}
+
+/// Clique-minimal-separator decomposition (Berry–Pogorelcnik–Simonet,
+/// Algorithms 2010): walks the MCS-M meo and splits off the component of
+/// each vertex whose higher-numbered fill neighbourhood is a clique in
+/// `g`. Splitting only on verified clique separators keeps the
+/// decomposition sound even where the triangulation is conservative.
+pub fn clique_separator_atoms(g: &Graph) -> CliqueAtoms {
+    let n = g.num_vertices();
+    let (order, fill) = mcs_m(g);
+    // rank = position in the MCS-M numbering; vertices chosen earlier are
+    // numbered higher, and madj(x) keeps only those (BPS Algorithm 3).
+    let mut chosen_at = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        chosen_at[v] = i;
+    }
+    let mut alive = BitSet::full(n);
+    let mut atoms = Vec::new();
+    let mut separators = Vec::new();
+    for &x in order.iter().rev() {
+        if !alive.contains(x) {
+            continue;
+        }
+        let mut sep = BitSet::new(n);
+        for u in fill.neighbors(x).iter() {
+            if chosen_at[u] < chosen_at[x] {
+                sep.insert(u);
+            }
+        }
+        sep.intersect_with(&alive);
+        if !g.is_clique(&sep) {
+            continue;
+        }
+        // component of G[alive \ sep] containing x
+        let mut comp = BitSet::new(n);
+        comp.insert(x);
+        let mut stack = vec![x];
+        while let Some(u) = stack.pop() {
+            for w in g.neighbors(u).iter() {
+                if alive.contains(w) && !sep.contains(w) && comp.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        if comp.len() + sep.len() >= alive.len() {
+            continue; // sep does not separate what is left
+        }
+        let mut atom = comp.clone();
+        atom.union_with(&sep);
+        atoms.push(atom);
+        separators.push(sep.to_vec());
+        alive.difference_with(&comp);
+    }
+    atoms.push(alive);
+    // A conservative neighbourhood (not a *minimal* separator) can split
+    // off an atom nested inside a later one; nested atoms are sound but
+    // redundant, so drop any atom contained in another, along with the
+    // separator that produced it (atom i was split off by separator i;
+    // the final atom has none).
+    let keep: Vec<bool> = atoms
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            !atoms
+                .iter()
+                .enumerate()
+                .any(|(j, b)| j != i && a.is_subset(b) && (a.len() < b.len() || j < i))
+        })
+        .collect();
+    let kept_separators = separators
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| keep[*i])
+        .map(|(_, s)| s)
+        .collect();
+    let kept_atoms = atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep[*i])
+        .map(|(_, a)| a.to_vec())
+        .collect();
+    CliqueAtoms { atoms: kept_atoms, separators: kept_separators }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_sharing_vertex() -> Graph {
+        // 0-1-2 triangle and 2-3-4 triangle share cut vertex 2
+        Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+    }
+
+    #[test]
+    fn hypergraph_components_follow_shared_edges() {
+        let h = Hypergraph::from_edges(7, [vec![0, 1, 2], vec![2, 3], vec![4, 5]]);
+        assert_eq!(
+            hypergraph_components(&h),
+            vec![vec![0, 1, 2, 3], vec![4, 5], vec![6]]
+        );
+    }
+
+    #[test]
+    fn bcc_of_two_triangles() {
+        let bc = biconnected_components(&two_triangles_sharing_vertex());
+        assert_eq!(bc.cut_vertices, vec![2]);
+        assert_eq!(bc.blocks.len(), 2);
+        let mut blocks = bc.blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn bcc_of_a_path_splits_every_edge() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let bc = biconnected_components(&g);
+        assert_eq!(bc.cut_vertices, vec![1, 2]);
+        let mut blocks = bc.blocks;
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn bcc_of_a_cycle_is_one_block_no_cuts() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let bc = biconnected_components(&g);
+        assert!(bc.cut_vertices.is_empty());
+        assert_eq!(bc.blocks, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn bcc_handles_isolated_vertices_and_components() {
+        let g = Graph::from_edges(5, [(1, 2), (3, 4)]);
+        let bc = biconnected_components(&g);
+        assert!(bc.cut_vertices.is_empty());
+        let mut blocks = bc.blocks;
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0], vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn every_edge_lands_in_exactly_one_block() {
+        // two 4-cycles joined by a bridge, plus a pendant
+        let g = Graph::from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 8),
+            ],
+        );
+        let bc = biconnected_components(&g);
+        assert_eq!(bc.cut_vertices, vec![0, 3, 4]);
+        let mut covered = 0usize;
+        for block in &bc.blocks {
+            let set = BitSet::from_iter(9, block.iter().copied());
+            covered += g
+                .edges()
+                .filter(|&(u, v)| set.contains(u) && set.contains(v))
+                .count();
+        }
+        assert_eq!(covered, g.num_edges(), "blocks partition the edge set");
+    }
+
+    #[test]
+    fn clique_atoms_split_on_an_edge_separator() {
+        // two 4-cliques sharing the edge {3, 4}: the shared edge is a
+        // clique minimal separator, the atoms are the two cliques
+        let mut g = Graph::new(6);
+        g.make_clique(&BitSet::from_iter(6, [0, 1, 3, 4]));
+        g.make_clique(&BitSet::from_iter(6, [2, 3, 4, 5]));
+        let ca = clique_separator_atoms(&g);
+        let mut atoms = ca.atoms.clone();
+        atoms.sort();
+        assert_eq!(atoms, vec![vec![0, 1, 3, 4], vec![2, 3, 4, 5]]);
+        // the separator split on need not be the minimal {3,4}, but it
+        // must be a clique containing it
+        assert_eq!(ca.separators.len(), 1);
+        let sep = BitSet::from_iter(6, ca.separators[0].iter().copied());
+        assert!(g.is_clique(&sep));
+        assert!(sep.contains(3) && sep.contains(4));
+    }
+
+    #[test]
+    fn clique_atoms_leave_a_cycle_whole() {
+        // C5 is chordless: no clique separator, a single atom
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let ca = clique_separator_atoms(&g);
+        assert_eq!(ca.atoms, vec![vec![0, 1, 2, 3, 4]]);
+        assert!(ca.separators.is_empty());
+    }
+
+    #[test]
+    fn clique_atoms_cover_vertices_and_edges() {
+        // a blocky graph: triangle - edge sep - square - cut vertex - triangle
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+                (6, 7),
+                (7, 3),
+            ],
+        );
+        let ca = clique_separator_atoms(&g);
+        assert!(ca.atoms.len() >= 2, "blocky graph must split: {:?}", ca.atoms);
+        // every vertex in some atom
+        let mut seen = BitSet::new(8);
+        for atom in &ca.atoms {
+            for &v in atom {
+                seen.insert(v);
+            }
+        }
+        assert_eq!(seen.len(), 8);
+        // every edge inside some atom
+        for (u, v) in g.edges() {
+            assert!(
+                ca.atoms.iter().any(|a| a.contains(&u) && a.contains(&v)),
+                "edge ({u},{v}) not covered by any atom"
+            );
+        }
+        // every separator is a clique
+        for sep in &ca.separators {
+            assert!(g.is_clique(&BitSet::from_iter(8, sep.iter().copied())));
+        }
+    }
+
+    #[test]
+    fn clique_atoms_on_chordal_graph_are_maximal_cliques() {
+        // a chordal graph: triangles 0-1-2, 1-2-3, 3-4-5 (cut vertex 3)
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 5)],
+        );
+        let ca = clique_separator_atoms(&g);
+        let mut atoms = ca.atoms.clone();
+        atoms.sort();
+        assert_eq!(atoms, vec![vec![0, 1, 2], vec![1, 2, 3], vec![3, 4, 5]]);
+    }
+}

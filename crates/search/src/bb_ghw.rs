@@ -516,8 +516,16 @@ fn ghw_anytime_lb(
 /// proven over the unexplored frontier rather than collapsing to the root
 /// heuristic.
 pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
-    let n = h.num_vertices();
     let budget = Budget::new(&cfg.limits);
+    bb_ghw_budgeted(h, cfg, &budget)
+}
+
+/// [`bb_ghw`] drawing on an externally owned [`Budget`]: the split layer
+/// solves many blocks against one shared deadline / node pool / cancel
+/// token, so the budget must outlive any single search. `elapsed` in the
+/// result is measured from the budget's creation, not this call.
+pub fn bb_ghw_budgeted(h: &Hypergraph, cfg: &BbGhwConfig, budget: &Budget) -> SearchResult {
+    let n = h.num_vertices();
     let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
     let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
     let mut telemetry = Telemetry::new(cfg.limits.collect_stats);
@@ -569,6 +577,52 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &BbGhwConfig) -> SearchResult {
         cover_cache,
         stats: telemetry.finish(),
         faults: Vec::new(),
+    }
+}
+
+/// Reconstructs the canonical sequential witness ordering for a *proven*
+/// ghw: reruns the sequential DFS with `ub = width + 1`, stopping at the
+/// first improvement — the determinism idiom of [`bb_ghw_parallel`],
+/// exposed for the split layer so divide-and-conquer results are
+/// bit-identical to the monolithic sequential search.
+///
+/// Returns the ordering plus the nodes the reconstruction expanded; the
+/// ordering is `None` if the budget expired before a witness was found.
+pub fn witness_ghw(
+    h: &Hypergraph,
+    width: usize,
+    cfg: &BbGhwConfig,
+    budget: &Budget,
+) -> (Option<Vec<usize>>, u64) {
+    let n = h.num_vertices();
+    let root_lb = ghd_bounds::ksc::ghw_lower_bound::<ghd_prng::rngs::StdRng>(h, None);
+    let (ub, ub_order) = ghw_upper_bound::<ghd_prng::rngs::StdRng>(h, None);
+    if n <= 1 || width >= ub {
+        return (Some(ub_order.into_vec()), 0);
+    }
+    let primal = h.primal_graph();
+    let covered = h.covered_vertices();
+    let ksc = KscTable::new(h);
+    let mut dfs = Dfs::new(
+        h,
+        cfg,
+        &primal,
+        &covered,
+        budget.worker(),
+        width + 1,
+        root_lb,
+        &ksc,
+    );
+    dfs.stop_at_first = true;
+    dfs.search(0, root_lb, None);
+    let nodes = dfs.ticker.nodes();
+    if dfs.found == width {
+        (
+            Some(complete_ordering(n, &dfs.best_suffix, ub_order.into_vec())),
+            nodes,
+        )
+    } else {
+        (None, nodes)
     }
 }
 

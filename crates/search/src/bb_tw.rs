@@ -311,8 +311,16 @@ fn run_steal_task(dfs: &mut Dfs<'_>, prefix: &[u32], g: usize, f: usize) -> bool
 /// minimum f-value of the unexplored frontier (`exact == false` unless
 /// proven).
 pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
-    let n = g.num_vertices();
     let budget = Budget::new(&cfg.limits);
+    bb_tw_budgeted(g, cfg, &budget)
+}
+
+/// [`bb_tw`] drawing on an externally owned [`Budget`]: the split layer
+/// solves many blocks against one shared deadline / node pool / cancel
+/// token, so the budget must outlive any single search. `elapsed` in the
+/// result is measured from the budget's creation, not this call.
+pub fn bb_tw_budgeted(g: &Graph, cfg: &BbConfig, budget: &Budget) -> SearchResult {
+    let n = g.num_vertices();
     let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
     let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
     let mut telemetry = Telemetry::new(cfg.limits.collect_stats);
@@ -352,6 +360,43 @@ pub fn bb_tw(g: &Graph, cfg: &BbConfig) -> SearchResult {
         cover_cache: None,
         stats: telemetry.finish(),
         faults: Vec::new(),
+    }
+}
+
+/// Reconstructs the canonical sequential witness ordering for a *proven*
+/// width: reruns the sequential DFS with `ub = width + 1`, stopping at the
+/// first improvement, which visits exactly the DFS-first optimal state
+/// whose suffix the sequential search reports last (the determinism idiom
+/// of [`bb_tw_parallel`]). The split layer uses this to make divide-and-
+/// conquer results bit-identical to the monolithic sequential search.
+///
+/// Returns the ordering plus the nodes the reconstruction expanded; the
+/// ordering is `None` if the budget expired before a witness was found.
+pub fn witness_tw(
+    g: &Graph,
+    width: usize,
+    cfg: &BbConfig,
+    budget: &Budget,
+) -> (Option<Vec<usize>>, u64) {
+    let n = g.num_vertices();
+    let root_lb = tw_lower_bound::<ghd_prng::rngs::StdRng>(g, None);
+    let (ub, ub_order) = tw_upper_bound::<ghd_prng::rngs::StdRng>(g, None);
+    if n <= 1 || width >= ub {
+        // the heuristic ordering is what the sequential search emits when
+        // it cannot improve on the heuristic
+        return (Some(ub_order.into_vec()), 0);
+    }
+    let mut dfs = Dfs::new(g, cfg, budget.worker(), width + 1, root_lb);
+    dfs.stop_at_first = true;
+    dfs.search(0, root_lb, None);
+    let nodes = dfs.ticker.nodes();
+    if dfs.found == width {
+        (
+            Some(complete_ordering(n, &dfs.best_suffix, ub_order.into_vec())),
+            nodes,
+        )
+    } else {
+        (None, nodes)
     }
 }
 

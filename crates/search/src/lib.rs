@@ -19,6 +19,7 @@ pub mod preprocess;
 pub mod queue;
 pub mod rules;
 pub mod sharded;
+pub mod split;
 pub mod steal;
 
 pub use arena::WordArena;
@@ -28,10 +29,14 @@ pub use interner::StateInterner;
 pub use queue::BucketQueue;
 pub use sharded::ShardedInterner;
 pub use steal::StealConfig;
-pub use bb_ghw::{bb_ghw, bb_ghw_parallel, bb_ghw_parallel_rootsplit, BbGhwConfig};
-pub use bb_tw::{bb_tw, bb_tw_parallel, bb_tw_parallel_rootsplit, BbConfig, LbMode};
+pub use bb_ghw::{bb_ghw, bb_ghw_budgeted, bb_ghw_parallel, bb_ghw_parallel_rootsplit, witness_ghw, BbGhwConfig};
+pub use bb_tw::{bb_tw, bb_tw_budgeted, bb_tw_parallel, bb_tw_parallel_rootsplit, witness_tw, BbConfig, LbMode};
 pub use common::{
     Budget, CancelToken, IncumbentSample, PruneCounters, SearchLimits, SearchResult,
     SearchStats, StealCounters, Ticker,
 };
 pub use preprocess::{preprocess_tw, tw_with_preprocessing, Preprocessed};
+pub use split::{
+    split_ghw, split_tw, BlockOutcome, BlockSolution, BlockStore, SeparatorKind, SplitOutcome,
+    SplitReport,
+};

@@ -23,6 +23,10 @@ pub struct Preprocessed {
     /// reverse) yields an ordering of the original graph: they are
     /// eliminated first.
     pub eliminated: Vec<usize>,
+    /// Reduction rounds: loop iterations that eliminated at least one
+    /// vertex (the final bulk flush counts as one round). Zero when the
+    /// input was already irreducible.
+    pub rounds: usize,
 }
 
 /// Exhaustively applies the simplicial / strongly-almost-simplicial
@@ -33,6 +37,7 @@ pub fn preprocess_tw(g: &Graph) -> Preprocessed {
     let mut eg = EliminationGraph::new(g);
     let mut eliminated = Vec::new();
     let mut base_width = 0;
+    let mut rounds = 0;
     while eg.num_alive() > 0 {
         // once few vertices remain, finishing here is exact
         if eg.num_alive() <= base_width.max(lb) + 1 {
@@ -41,12 +46,14 @@ pub fn preprocess_tw(g: &Graph) -> Preprocessed {
                 base_width = base_width.max(eg.eliminate(v));
                 eliminated.push(v);
             }
+            rounds += 1;
             break;
         }
         match find_reduction_tw(&eg, lb.max(base_width)) {
             Some(v) => {
                 base_width = base_width.max(eg.eliminate(v));
                 eliminated.push(v);
+                rounds += 1;
             }
             None => break,
         }
@@ -70,6 +77,7 @@ pub fn preprocess_tw(g: &Graph) -> Preprocessed {
         original_of_core,
         base_width,
         eliminated,
+        rounds,
     }
 }
 

@@ -60,6 +60,10 @@ pub struct ServerConfig {
     /// Idle-connection timeout: a connection with no complete request for
     /// this long is closed. `None` = never.
     pub idle_timeout: Option<Duration>,
+    /// Periodic one-line stats snapshot to the access log (stderr):
+    /// requests, cache bytes/hits, queue depth, in-flight solves, replays.
+    /// `None` = off.
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +75,7 @@ impl Default for ServerConfig {
             log_path: None,
             max_conns: 256,
             idle_timeout: Some(Duration::from_secs(300)),
+            stats_interval: None,
         }
     }
 }
@@ -276,6 +281,30 @@ impl Shared {
         }
         inflight.len()
     }
+
+    /// One structured stats line on stderr, in the access-log style:
+    /// emitted every `--stats-interval` seconds by the accept loop.
+    fn snapshot_line(&self) {
+        let stats = *self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        let (cache_stats, cache_bytes, cache_entries) = {
+            let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            (cache.stats(), cache.bytes(), cache.len())
+        };
+        let queued = self.outstanding.load(Ordering::Acquire);
+        let inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner()).len();
+        eprintln!(
+            "ghd-serve: snapshot requests={} completed={} errors={} busy={} \
+             cache_hits={} cache_entries={cache_entries} cache_bytes={cache_bytes} \
+             queue_depth={queued} inflight={inflight} replayed={} conns={}",
+            stats.requests,
+            stats.completed,
+            stats.errors,
+            stats.busy_rejections,
+            cache_stats.hits,
+            stats.replayed,
+            self.conns.load(Ordering::Acquire),
+        );
+    }
 }
 
 /// One queued solve: the request, where to send the answer, this solve's
@@ -372,7 +401,14 @@ impl Server {
         // process) don't count against this run
         let signal_floor = signal::signal_count();
         let mut signals_handled = 0;
+        let mut next_snapshot = self.cfg.stats_interval.map(|iv| Instant::now() + iv);
         loop {
+            if let (Some(at), Some(iv)) = (next_snapshot, self.cfg.stats_interval) {
+                if Instant::now() >= at {
+                    self.shared.snapshot_line();
+                    next_snapshot = Some(Instant::now() + iv);
+                }
+            }
             // first SIGTERM/SIGINT = graceful drain (like `shutdown`);
             // second = cancel all in-flight solves so the drain converges
             let observed = signal::signal_count().saturating_sub(signal_floor);

@@ -42,6 +42,20 @@ for T in 1 2 4; do
         exit 1
     }
 done
+# safe-separator splitting is on by default for --method bb; turning it
+# off must not change a byte of the output
+"$GHD" tw "$SWEEP_DIR/g.col" --method bb --time 0 --no-split > "$SWEEP_DIR/tw_nosplit.txt"
+cmp -s "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/tw_nosplit.txt" || {
+    echo "tw --no-split diverged from the default split output:" >&2
+    diff "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/tw_nosplit.txt" >&2 || true
+    exit 1
+}
+"$GHD" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 --no-split > "$SWEEP_DIR/ghw_nosplit.txt"
+cmp -s "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/ghw_nosplit.txt" || {
+    echo "ghw --no-split diverged from the default split output:" >&2
+    diff "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/ghw_nosplit.txt" >&2 || true
+    exit 1
+}
 
 echo "==> serve smoke (unix-socket daemon: concurrent submits == one-shot, warm hits, clean drain)"
 SOCK="$SWEEP_DIR/ghd.sock"
@@ -79,6 +93,17 @@ cmp -s "$SWEEP_DIR/tw_seq.txt" "$SWEEP_DIR/srv_tw.txt" || {
 # warm re-submits must come from the canonical cache
 "$GHD" submit "unix:$SOCK" ghw "$SWEEP_DIR/h.hg" --method bb --time 0 > "$SWEEP_DIR/srv_ghw2.txt"
 cmp -s "$SWEEP_DIR/ghw_seq.txt" "$SWEEP_DIR/srv_ghw2.txt"
+# batch manifest over one connection: both instances are warm by now, so
+# the batch must report two ok lines, two cache hits, zero failures
+printf 'ghw %s --method bb --time 0\n# comment\n\ntw %s --method bb --time 0\n' \
+    "$SWEEP_DIR/h.hg" "$SWEEP_DIR/g.col" > "$SWEEP_DIR/batch.txt"
+"$GHD" submit "unix:$SOCK" --manifest "$SWEEP_DIR/batch.txt" > "$SWEEP_DIR/manifest.out"
+grep -q "manifest: 2 instance(s) — 2 ok (2 cache hit(s), 2 exact), 0 failed" \
+    "$SWEEP_DIR/manifest.out" || {
+    echo "manifest batch summary is wrong:" >&2
+    cat "$SWEEP_DIR/manifest.out" >&2
+    exit 1
+}
 "$GHD" submit "unix:$SOCK" stats > "$SWEEP_DIR/serve_stats.json"
 grep -q '"hits": [1-9]' "$SWEEP_DIR/serve_stats.json" || {
     echo "warm re-submit did not register a cache hit:" >&2
@@ -166,7 +191,7 @@ grep -q "drained clean" "$SWEEP_DIR/serve_crash2.log"
 echo "==> fuzz_inputs (seeded byte mutations across every parser; a panic fails)"
 cargo run --offline -q --release -p ghd-bench --bin fuzz_inputs -- --iters 2000 --seed 7
 
-echo "==> bench_smoke (cover cache on/off + A* rows, writes BENCH_search.json)"
+echo "==> bench_smoke (cover cache on/off + A* rows + split sweep, writes BENCH_search.json)"
 GHD_BENCH_SAMPLES="${GHD_BENCH_SAMPLES:-3}" \
     cargo run --offline -q --release -p ghd-bench --bin bench_smoke
 
